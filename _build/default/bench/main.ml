@@ -1,0 +1,118 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Section VI) on the simulated K20c, and provides Bechamel
+   microbenchmarks of the compiler pipeline itself (one Test.make per
+   figure).
+
+   Usage:
+     bench/main.exe                 run every figure (paper order)
+     bench/main.exe fig3 fig16      run a subset
+     bench/main.exe --bechamel      run the Bechamel pipeline benchmarks *)
+
+let dev = Ppat_gpu.Device.k20c
+
+(* ----- Bechamel microbenchmarks: the compiler pipeline (analysis +
+   lowering + simulation) at reduced sizes, one per figure ----- *)
+
+let pipeline (app : Ppat_apps.App.t) strat () =
+  let data = Ppat_apps.App.input_data app in
+  ignore
+    (Ppat_harness.Runner.run_gpu ~params:app.Ppat_apps.App.params dev
+       app.Ppat_apps.App.prog strat data)
+
+let search_only (app : Ppat_apps.App.t) () =
+  let prog = app.Ppat_apps.App.prog in
+  let n =
+    match prog.Ppat_ir.Pat.steps with
+    | Ppat_ir.Pat.Launch n :: _ -> n
+    | _ -> assert false
+  in
+  let c =
+    Ppat_core.Collect.collect
+      ~params:(Ppat_harness.Runner.analysis_params prog app.params)
+      ?bind:n.bind dev prog n.pat
+  in
+  ignore (Ppat_core.Search.search dev c)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let module A = Ppat_apps in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* the brute-force mapping search of Algorithm 1 in isolation *)
+    t "search:sumRows" (search_only (A.Sum_rows_cols.sum_rows ~r:1024 ~c:256 ()));
+    t "search:3-level" (search_only (A.Msm_cluster.app ~frames:256 ~centers:16 ~dims:16 ()));
+    (* one end-to-end pipeline run per figure, at reduced scale *)
+    t "fig3:sumCols" (pipeline (A.Sum_rows_cols.sum_cols ~r:512 ~c:64 ()) Ppat_core.Strategy.Auto);
+    t "fig12:hotspot" (pipeline (A.Hotspot.app ~n:48 ~steps:1 A.Hotspot.R) Ppat_core.Strategy.Auto);
+    t "fig13:mandelbrot-c"
+      (pipeline (A.Mandelbrot.app ~h:32 ~w:32 ~max_iter:12 A.Mandelbrot.C)
+         Ppat_core.Strategy.Warp_based);
+    t "fig14:qpscd" (pipeline (A.Qpscd.app ~samples:64 ~dim:64 ()) Ppat_core.Strategy.Auto);
+    t "fig16:malloc"
+      (fun () ->
+        let app = A.Sum_rows_cols.sum_weighted_rows ~r:48 ~c:32 () in
+        let data = A.App.input_data app in
+        let opts =
+          { Ppat_codegen.Lower.default_options with alloc_mode = Ppat_codegen.Lower.Malloc }
+        in
+        ignore
+          (Ppat_harness.Runner.run_gpu ~opts ~params:app.params dev app.prog
+             Ppat_core.Strategy.Auto data));
+    t "fig17:enumerate"
+      (fun () ->
+        let app = A.Mandelbrot.app ~h:16 ~w:256 ~max_iter:8 A.Mandelbrot.R in
+        search_only app ());
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Format.printf "Bechamel pipeline microbenchmarks (wall-clock per run):@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Format.printf "  %-22s %10.3f ms/run@." name (ns /. 1e6)
+          | _ -> Format.printf "  %-22s (no estimate)@." name)
+        analyzed)
+    (bechamel_tests ())
+
+(* ----- entry point ----- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--bechamel" args then run_bechamel ()
+  else begin
+    let all = Ppat_apps.Experiments.all dev in
+    let selected =
+      match List.filter (fun a -> a <> "--bechamel") args with
+      | [] -> List.map fst all
+      | names -> names
+    in
+    Format.printf
+      "Reproducing the evaluation of 'Locality-Aware Mapping of Nested \
+       Parallel Patterns on GPUs' (MICRO 2014)@.on a simulated %s@."
+      dev.Ppat_gpu.Device.dname;
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all with
+        | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Format.printf "  (%s regenerated in %.1f s of simulation)@." name
+            (Unix.gettimeofday () -. t0)
+        | None ->
+          Format.eprintf "unknown figure %S (have: %s)@." name
+            (String.concat ", " (List.map fst all)))
+      selected
+  end

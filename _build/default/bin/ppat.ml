@@ -1,0 +1,184 @@
+(* ppat — command-line driver for the nested-pattern GPU mapping pipeline.
+
+   Subcommands:
+     list                      the bundled benchmark applications
+     run APP [-s STRATEGY]     analyse, lower, simulate and validate an app
+     cuda APP                  print the CUDA kernels the mapping produces
+     explain APP               show constraints and the mapping decision
+     figures [FIG...]          regenerate the paper's evaluation figures *)
+
+let dev = Ppat_gpu.Device.k20c
+
+module A = Ppat_apps
+
+let registry : (string * (unit -> A.App.t)) list =
+  [
+    ("sum_rows", fun () -> A.Sum_rows_cols.sum_rows ());
+    ("sum_cols", fun () -> A.Sum_rows_cols.sum_cols ());
+    ("sum_weighted_rows", fun () -> A.Sum_rows_cols.sum_weighted_rows ());
+    ("sum_weighted_cols", fun () -> A.Sum_rows_cols.sum_weighted_cols ());
+    ("nearest_neighbor", fun () -> A.Nearest_neighbor.app ());
+    ("gaussian", fun () -> A.Gaussian.app ~n:128 A.Gaussian.R);
+    ("gaussian_c", fun () -> A.Gaussian.app ~n:128 A.Gaussian.C);
+    ("bfs", fun () -> A.Bfs.app ~nodes:8192 ~avg_degree:8 ());
+    ("hotspot", fun () -> A.Hotspot.app ~n:128 ~steps:4 A.Hotspot.R);
+    ("hotspot_c", fun () -> A.Hotspot.app ~n:128 ~steps:4 A.Hotspot.C);
+    ("mandelbrot", fun () -> A.Mandelbrot.app ~h:128 ~w:128 ~max_iter:32 A.Mandelbrot.R);
+    ("mandelbrot_c", fun () -> A.Mandelbrot.app ~h:128 ~w:128 ~max_iter:32 A.Mandelbrot.C);
+    ("srad", fun () -> A.Srad.app ~n:96 ~iters:2 A.Srad.R);
+    ("srad_c", fun () -> A.Srad.app ~n:96 ~iters:2 A.Srad.C);
+    ("pathfinder", fun () -> A.Pathfinder.app ~rows:24 ~cols:8192 ());
+    ("lud", fun () -> A.Lud.app ~n:96 A.Lud.R);
+    ("pagerank", fun () -> A.Pagerank.app ~nodes:8192 ~avg_degree:8 ~iters:3 ());
+    ("qpscd", fun () -> A.Qpscd.app ~samples:1024 ~dim:1024 ());
+    ("msm_cluster", fun () -> A.Msm_cluster.app ());
+    ("naive_bayes", fun () -> A.Naive_bayes.app ~docs:1024 ~words:512 ());
+    ("gemm", fun () -> A.Gemm.app ~m:128 ~n:128 ~k:128 ());
+    ("fig8", fun () -> A.Experiments.fig8_app ());
+  ]
+
+let strategy_of_string = function
+  | "auto" | "multidim" -> Ppat_core.Strategy.Auto
+  | "1d" | "one_d" -> Ppat_core.Strategy.One_d
+  | "tbt" | "thread_block" -> Ppat_core.Strategy.Thread_block_thread
+  | "warp" | "warp_based" -> Ppat_core.Strategy.Warp_based
+  | s -> failwith (Printf.sprintf "unknown strategy %S (auto|1d|tbt|warp)" s)
+
+let find_app name =
+  match List.assoc_opt name registry with
+  | Some mk -> mk ()
+  | None ->
+    Format.eprintf "unknown app %S; try 'ppat list'@." name;
+    exit 1
+
+let cmd_list () =
+  Format.printf "bundled applications:@.";
+  List.iter
+    (fun (name, mk) ->
+      let app = mk () in
+      let depth =
+        Ppat_ir.Pat.fold_patterns (fun d l _ -> max d (l + 1)) 0 app.A.App.prog
+      in
+      Format.printf "  %-20s %-18s %d level%s@." name app.A.App.name depth
+        (if depth = 1 then "" else "s"))
+    registry
+
+let cmd_run name strat =
+  let app = find_app name in
+  let data = A.App.input_data app in
+  Format.printf "running %s (CPU oracle first)...@." app.A.App.name;
+  let cpu = Ppat_harness.Runner.run_cpu ~params:app.params app.prog data in
+  Format.printf "CPU model: %.4g s@." cpu.cpu_seconds;
+  let r = Ppat_harness.Runner.run_gpu ~params:app.params dev app.prog strat data in
+  Format.printf "%s: %.4g s over %d kernel launches@."
+    (Ppat_core.Strategy.name strat)
+    r.seconds r.kernels;
+  List.iter
+    (fun (label, (d : Ppat_core.Strategy.decision)) ->
+      Format.printf "  %-16s %s  [%s]@." label
+        (Ppat_core.Mapping.to_string d.mapping)
+        d.via)
+    r.decisions;
+  List.iter (fun n -> Format.printf "  note: %s@." n) r.notes;
+  Format.printf "aggregate statistics:@.%a@." Ppat_gpu.Stats.pp r.stats;
+  match
+    Ppat_harness.Runner.check ~eps:(Float.max app.eps 1e-5)
+      ~unordered:app.unordered app.prog ~expected:cpu.cpu_data ~actual:r.data
+  with
+  | Ok () -> Format.printf "results validated against the CPU reference.@."
+  | Error e ->
+    Format.printf "VALIDATION FAILED: %s@." e;
+    exit 1
+
+(* iterate launches of the program once, for cuda/explain *)
+let iter_launches (app : A.App.t) f =
+  let seen = ref [] in
+  let rec step = function
+    | Ppat_ir.Pat.Launch n ->
+      if not (List.mem n.pat.Ppat_ir.Pat.pid !seen) then begin
+        seen := n.pat.Ppat_ir.Pat.pid :: !seen;
+        f n
+      end
+    | Ppat_ir.Pat.Host_loop { body; _ } | Ppat_ir.Pat.While_flag { body; _ }
+      ->
+      List.iter step body
+    | Ppat_ir.Pat.Swap _ -> ()
+  in
+  List.iter step app.prog.Ppat_ir.Pat.steps
+
+let decide (app : A.App.t) n =
+  let c =
+    Ppat_core.Collect.collect
+      ~params:(Ppat_harness.Runner.analysis_params app.prog app.params)
+      ?bind:n.Ppat_ir.Pat.bind dev app.prog n.Ppat_ir.Pat.pat
+  in
+  (c, Ppat_core.Search.search dev c)
+
+let cmd_cuda name =
+  let app = find_app name in
+  iter_launches app (fun n ->
+      let _, r = decide app n in
+      let params =
+        Ppat_harness.Runner.analysis_params app.prog app.params
+      in
+      match
+        Ppat_codegen.Lower.lower dev ~params app.prog n r.mapping
+      with
+      | lowered ->
+        List.iter
+          (fun (l : Ppat_kernel.Kir.launch) ->
+            print_endline (Ppat_codegen.Cuda_emit.launch_comment l);
+            print_endline (Ppat_codegen.Cuda_emit.kernel ~prog:app.prog l.kernel))
+          lowered.launches
+      | exception Ppat_codegen.Lower.Unsupported e ->
+        Format.printf "// %s: unsupported (%s)@." n.pat.label e)
+
+let cmd_explain name =
+  let app = find_app name in
+  Format.printf "%a@." Ppat_ir.Pat.pp_prog app.prog;
+  iter_launches app (fun n ->
+      let c, r = decide app n in
+      Format.printf "@.=== %s ===@.%a@.chosen: %s (score %.4g, DOP %d, %d \
+                     candidates)@."
+        n.pat.Ppat_ir.Pat.label Ppat_core.Collect.pp c
+        (Ppat_core.Mapping.to_string r.mapping)
+        r.score r.dop r.candidates)
+
+let cmd_figures names =
+  let all = A.Experiments.all dev in
+  let selected = if names = [] then List.map fst all else names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None -> Format.eprintf "unknown figure %S@." name)
+    selected
+
+let usage () =
+  print_endline
+    "usage: ppat <command>\n\
+     \  list                      bundled applications\n\
+     \  run APP [-s STRATEGY]     simulate and validate (auto|1d|tbt|warp)\n\
+     \  cuda APP                  print generated CUDA kernels\n\
+     \  explain APP               constraints and mapping decisions\n\
+     \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ -> cmd_list ()
+  | _ :: "run" :: name :: rest ->
+    let strat =
+      match rest with
+      | [ "-s"; s ] -> strategy_of_string s
+      | [] -> Ppat_core.Strategy.Auto
+      | _ ->
+        usage ();
+        exit 1
+    in
+    cmd_run name strat
+  | _ :: "cuda" :: name :: _ -> cmd_cuda name
+  | _ :: "explain" :: name :: _ -> cmd_explain name
+  | _ :: "figures" :: names -> cmd_figures names
+  | _ ->
+    usage ();
+    exit 1

@@ -1,0 +1,1 @@
+examples/mapping_explorer.ml: Float Format List Ppat_apps Ppat_gpu

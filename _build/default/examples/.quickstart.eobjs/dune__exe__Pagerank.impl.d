@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Format List Ppat_apps Ppat_core Ppat_gpu Ppat_harness Ppat_ir

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Exp Format Host List Pat Ppat_apps Ppat_codegen Ppat_core Ppat_gpu Ppat_harness Ppat_ir Ppat_kernel Ty

@@ -1,0 +1,33 @@
+(* Mapping-space explorer — interactive version of paper Figure 17.
+
+   Enumerates the hard-feasible mappings of a skewed Mandelbrot rendering,
+   simulates a sample of them, and prints (score, simulated time, mapping)
+   so the score/performance correlation — and its false negatives — can be
+   inspected. Also shows where the automatic pick and the fixed strategies
+   land.
+
+   Run with: dune exec examples/mapping_explorer.exe *)
+
+let () =
+  let points, table =
+    Ppat_apps.Experiments.fig17 ~max_points:36 Ppat_gpu.Device.k20c
+  in
+  Ppat_apps.Experiments.print_sweep Format.std_formatter points;
+  Ppat_apps.Experiments.print_table Format.std_formatter table;
+  (* simple correlation summary: do high scores predict low times? *)
+  let best_time =
+    List.fold_left (fun acc p -> Float.min acc p.Ppat_apps.Experiments.sw_seconds)
+      infinity points
+  in
+  let top_scored =
+    List.fold_left
+      (fun (bs, bt) p ->
+        let open Ppat_apps.Experiments in
+        if p.score > bs then (p.score, p.sw_seconds) else (bs, bt))
+      (neg_infinity, nan) points
+  in
+  Format.printf
+    "@.best simulated time %.4g s; the top-scored mapping runs in %.4g s \
+     (%.2fx of best)@."
+    best_time (snd top_scored)
+    (snd top_scored /. best_time)

@@ -1,0 +1,1 @@
+lib/apps/experiments.mli: App Format Ppat_core Ppat_gpu

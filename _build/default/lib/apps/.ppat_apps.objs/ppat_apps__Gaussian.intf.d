@@ -1,0 +1,1 @@
+lib/apps/gaussian.mli: App

@@ -1,0 +1,1 @@
+lib/apps/gemm.ml: App Builder Exp Host List Pat Ppat_ir Stdlib Ty Workloads

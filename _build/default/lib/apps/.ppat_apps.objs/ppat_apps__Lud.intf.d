@@ -1,0 +1,1 @@
+lib/apps/lud.mli: App

@@ -1,0 +1,1 @@
+lib/apps/mandelbrot.ml: App Builder Exp Pat Ppat_ir Ty

@@ -1,0 +1,1 @@
+lib/apps/mandelbrot.mli: App

@@ -1,0 +1,1 @@
+lib/apps/manual_kernels.ml: App Exp Host List Pat Ppat_core Ppat_gpu Ppat_harness Ppat_ir Ppat_kernel Ty

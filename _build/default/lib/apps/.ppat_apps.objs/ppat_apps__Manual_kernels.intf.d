@@ -1,0 +1,1 @@
+lib/apps/manual_kernels.mli: App Ppat_codegen Ppat_core Ppat_gpu Ppat_ir

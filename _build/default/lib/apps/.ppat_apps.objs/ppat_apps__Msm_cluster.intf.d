@@ -1,0 +1,1 @@
+lib/apps/msm_cluster.mli: App

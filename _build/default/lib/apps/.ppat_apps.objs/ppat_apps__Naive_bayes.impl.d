@@ -1,0 +1,1 @@
+lib/apps/naive_bayes.ml: App Array Builder Exp Float Host List Pat Ppat_ir Stdlib Ty Workloads

@@ -1,0 +1,1 @@
+lib/apps/nearest_neighbor.ml: App Builder Exp Host List Pat Ppat_ir Ty Workloads

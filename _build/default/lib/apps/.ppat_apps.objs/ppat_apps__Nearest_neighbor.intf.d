@@ -1,0 +1,1 @@
+lib/apps/nearest_neighbor.mli: App

@@ -1,0 +1,1 @@
+lib/apps/pagerank.ml: App Array Builder Exp Host List Pat Ppat_ir Stdlib Ty Workloads

@@ -1,0 +1,1 @@
+lib/apps/pagerank.mli: App

@@ -1,0 +1,1 @@
+lib/apps/pathfinder.mli: App

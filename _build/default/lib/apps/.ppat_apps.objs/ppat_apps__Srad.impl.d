@@ -1,0 +1,1 @@
+lib/apps/srad.ml: App Builder Exp Host List Pat Ppat_ir Stdlib Ty Workloads

@@ -1,0 +1,1 @@
+lib/apps/srad.mli: App

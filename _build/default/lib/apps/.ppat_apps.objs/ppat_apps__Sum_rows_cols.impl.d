@@ -1,0 +1,1 @@
+lib/apps/sum_rows_cols.ml: App Builder Exp Host List Pat Ppat_ir Ty Workloads

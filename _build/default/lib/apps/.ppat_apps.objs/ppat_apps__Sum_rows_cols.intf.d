@@ -1,0 +1,1 @@
+lib/apps/sum_rows_cols.mli: App

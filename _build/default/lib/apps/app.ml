@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  prog : Ppat_ir.Pat.prog;
+  params : (string * int) list;
+  gen : (string * int) list -> Ppat_ir.Host.data;
+  unordered : string list;
+  eps : float;
+}
+
+let make ?(params = []) ?(unordered = []) ?(eps = 1e-6) ~name ~gen prog =
+  { name; prog; params; gen; unordered; eps }
+
+let resolved_params t = Ppat_ir.Host.params_of t.prog t.params
+let input_data t = t.gen (resolved_params t)

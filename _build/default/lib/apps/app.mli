@@ -1,0 +1,31 @@
+(** Uniform description of a benchmark application: a pattern-IR program
+    together with its workload generator and validation policy. The
+    experiment harness runs each app through the CPU oracle and the GPU
+    simulator under every strategy of interest. *)
+
+type t = {
+  name : string;
+  prog : Ppat_ir.Pat.prog;
+  params : (string * int) list;  (** experiment parameter values *)
+  gen : (string * int) list -> Ppat_ir.Host.data;
+      (** build input buffers for resolved parameters (deterministic) *)
+  unordered : string list;
+      (** output buffers whose element order is nondeterministic on the GPU
+          (atomic-append filters, group-by values) *)
+  eps : float;  (** comparison tolerance against the CPU oracle *)
+}
+
+val make :
+  ?params:(string * int) list ->
+  ?unordered:string list ->
+  ?eps:float ->
+  name:string ->
+  gen:((string * int) list -> Ppat_ir.Host.data) ->
+  Ppat_ir.Pat.prog ->
+  t
+
+val resolved_params : t -> (string * int) list
+(** App params over program defaults. *)
+
+val input_data : t -> Ppat_ir.Host.data
+(** Generate the workload for the app's own parameters. *)

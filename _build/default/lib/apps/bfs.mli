@@ -1,0 +1,10 @@
+(** Rodinia BFS: level-synchronous breadth-first search over a CSR graph.
+    Each round expands the frontier (nodes whose cost equals the current
+    level); the inner pattern over a node's neighbours has a {e dynamic}
+    size (the row degree), which forces Span(all) on that level — exactly
+    the load-imbalance scenario warp-based mapping [Hong et al.] targets,
+    which the analysis reproduces. The hand-written Rodinia kernel only
+    parallelises the node loop (equal to the 1D strategy), so MultiDim
+    beats "Manual" here, as in the paper. *)
+
+val app : ?nodes:int -> ?avg_degree:int -> unit -> App.t

@@ -1,0 +1,543 @@
+module Strategy = Ppat_core.Strategy
+module Mapping = Ppat_core.Mapping
+module Lower = Ppat_codegen.Lower
+module Runner = Ppat_harness.Runner
+module MK = Manual_kernels
+
+type cell = { variant : string; seconds : float; ok : bool }
+type row = { rlabel : string; cells : cell list }
+
+type table = {
+  title : string;
+  baseline : string;
+  rows : row list;
+  notes : string list;
+}
+
+type sweep_point = {
+  mapping : Mapping.t;
+  score : float;
+  sw_seconds : float;
+}
+
+(* run one app under a strategy against a precomputed oracle *)
+let strat_cell ?opts dev (app : App.t) oracle strat =
+  let data = App.input_data app in
+  let r = Runner.run_gpu ?opts ~params:app.params dev app.prog strat data in
+  let ok =
+    Runner.check ~eps:(Float.max app.eps 1e-4) ~unordered:app.unordered
+      app.prog ~expected:oracle ~actual:r.data
+    = Ok ()
+  in
+  { variant = Strategy.name strat; seconds = r.seconds; ok }
+
+let manual_cell ?only dev (app : App.t) oracle mk =
+  let data = App.input_data app in
+  let (m : MK.result) = mk dev app data in
+  let ok =
+    Runner.check ~eps:1e-3 ~unordered:app.unordered ?only app.prog
+      ~expected:oracle ~actual:m.MK.data
+    = Ok ()
+  in
+  { variant = "Manual"; seconds = m.MK.seconds; ok }
+
+let oracle_of (app : App.t) =
+  (Runner.run_cpu ~params:app.params app.prog (App.input_data app)).cpu_data
+
+(* ----- Figure 3 ----- *)
+
+let fig3 dev =
+  let shapes = [ (8192, 64); (1024, 512); (64, 8192) ] in
+  let apps =
+    List.concat_map
+      (fun (r, c) ->
+        [
+          ( Printf.sprintf "sumCols [%d,%d]" r c,
+            Sum_rows_cols.sum_cols ~r ~c () );
+          ( Printf.sprintf "sumRows [%d,%d]" r c,
+            Sum_rows_cols.sum_rows ~r ~c () );
+        ])
+      shapes
+  in
+  let rows =
+    List.map
+      (fun (label, app) ->
+        let oracle = oracle_of app in
+        let cells =
+          List.map
+            (strat_cell dev app oracle)
+            Strategy.
+              [ Auto; One_d; Thread_block_thread; Warp_based ]
+        in
+        { rlabel = label; cells })
+      apps
+  in
+  {
+    title =
+      "Figure 3: sumCols/sumRows under fixed mapping strategies (normalised \
+       to MultiDim; paper finds gaps up to 58x)";
+    baseline = "MultiDim";
+    rows;
+    notes =
+      [
+        "matrix shapes scaled from the paper's [64K,1K]/[8K,8K]/[1K,64K] \
+         keeping the same skew ratios and equal element counts";
+      ];
+  }
+
+(* ----- Figure 12 ----- *)
+
+let fig12 dev =
+  let entries =
+    [
+      ("Nearest Neighbor", Nearest_neighbor.app ~n:65536 (),
+       MK.nearest_neighbor, None);
+      ("Gaussian Elim.", Gaussian.app ~n:256 ~steps:64 Gaussian.R, MK.gaussian, None);
+      ("BFS", Bfs.app ~nodes:16384 ~avg_degree:16 (), MK.bfs, None);
+      ("Hotspot", Hotspot.app ~n:256 ~steps:4 Hotspot.R, MK.hotspot, None);
+      ("Mandelbrot", Mandelbrot.app ~h:256 ~w:256 ~max_iter:48 Mandelbrot.R,
+       MK.mandelbrot, None);
+      ("Srad", Srad.app ~n:192 ~iters:2 Srad.R, MK.srad, None);
+      ("Pathfinder", Pathfinder.app ~rows:48 ~cols:24576 (),
+       (fun dev app data -> MK.pathfinder dev app data), Some [ "prev" ]);
+      ("LUD", Lud.app ~n:256 ~steps:64 Lud.R, (fun dev app data -> MK.lud dev app data),
+       None);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, app, mk, only) ->
+        let oracle = oracle_of app in
+        let cells =
+          manual_cell ?only dev app oracle mk
+          :: List.map (strat_cell dev app oracle) Strategy.[ Auto; One_d ]
+        in
+        { rlabel = label; cells })
+      entries
+  in
+  {
+    title =
+      "Figure 12: Rodinia benchmarks vs hand-optimised implementations \
+       (normalised to Manual)";
+    baseline = "Manual";
+    rows;
+    notes =
+      [
+        "Pathfinder/LUD manual kernels fuse iterations through shared \
+         memory (not inferred by the compiler, as in the paper)";
+        "BFS manual parallelises only the node level, like Rodinia";
+      ];
+  }
+
+(* ----- Figure 13 ----- *)
+
+let fig13 dev =
+  let entries =
+    [
+      ("Gaussian (R)", Gaussian.app ~n:256 ~steps:64 Gaussian.R);
+      ("Gaussian (C)", Gaussian.app ~n:256 ~steps:64 Gaussian.C);
+      ("Hotspot (R)", Hotspot.app ~n:256 ~steps:4 Hotspot.R);
+      ("Hotspot (C)", Hotspot.app ~n:256 ~steps:4 Hotspot.C);
+      ("Mandelbrot (R)", Mandelbrot.app ~h:256 ~w:256 ~max_iter:48 Mandelbrot.R);
+      ("Mandelbrot (C)", Mandelbrot.app ~h:256 ~w:256 ~max_iter:48 Mandelbrot.C);
+      ("Srad (R)", Srad.app ~n:192 ~iters:2 Srad.R);
+      ("Srad (C)", Srad.app ~n:192 ~iters:2 Srad.C);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, app) ->
+        let oracle = oracle_of app in
+        let cells =
+          List.map
+            (strat_cell dev app oracle)
+            Strategy.[ Auto; Thread_block_thread; Warp_based ]
+        in
+        { rlabel = label; cells })
+      entries
+  in
+  {
+    title =
+      "Figure 13: row-/column-order traversals vs fixed two-dimensional \
+       strategies (normalised to MultiDim)";
+    baseline = "MultiDim";
+    rows;
+    notes = [];
+  }
+
+(* ----- Figure 14 ----- *)
+
+let fig14 dev =
+  let entries =
+    [
+      ("QPSCD HogWild", Qpscd.app ~samples:2048 ~dim:2048 (), false);
+      ("MSMBuilder", Msm_cluster.app ~frames:4096 ~centers:64 ~dims:64 (),
+       false);
+      ("Naive Bayes", Naive_bayes.app ~docs:2048 ~words:1024 (), true);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, (app : App.t), with_transfer) ->
+        let data = App.input_data app in
+        let cpu = Runner.run_cpu ~params:app.params app.prog data in
+        let gpu strat = strat_cell dev app cpu.cpu_data strat in
+        let auto = gpu Strategy.Auto in
+        let base =
+          [
+            { variant = "CPU"; seconds = cpu.cpu_seconds; ok = true };
+            gpu Strategy.One_d;
+            auto;
+          ]
+        in
+        let cells =
+          if with_transfer then
+            base
+            @ [
+                {
+                  variant = "MultiDim+transfer";
+                  seconds =
+                    auto.seconds
+                    +. Ppat_gpu.Timing.transfer_seconds dev
+                         ~bytes:(Runner.input_bytes ~params:app.params app.prog);
+                  ok = auto.ok;
+                };
+              ]
+          else base
+        in
+        { rlabel = label; cells })
+      entries
+  in
+  {
+    title =
+      "Figure 14: real-world applications vs multi-core CPU (normalised to \
+       CPU)";
+    baseline = "CPU";
+    rows;
+    notes =
+      [
+        "the Naive Bayes row adds the PCIe input-transfer cost, amortised \
+         by the iterative applications (paper Section VI-E)";
+      ];
+  }
+
+(* ----- Figure 16 ----- *)
+
+let fig16 dev =
+  let entries =
+    [
+      ("sumWeightedRows", Sum_rows_cols.sum_weighted_rows ~r:2048 ~c:256 ());
+      ("sumWeightedCols", Sum_rows_cols.sum_weighted_cols ~r:256 ~c:2048 ());
+    ]
+  in
+  let modes =
+    [
+      ("Malloc", Lower.Malloc);
+      ("Prealloc", Lower.Prealloc);
+      ("Prealloc+layout", Lower.Prealloc_opt);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, app) ->
+        let oracle = oracle_of app in
+        let cells =
+          List.map
+            (fun (vname, mode) ->
+              let opts = { Lower.default_options with alloc_mode = mode } in
+              let c = strat_cell ~opts dev app oracle Strategy.Auto in
+              { c with variant = vname })
+            modes
+        in
+        { rlabel = label; cells })
+      entries
+  in
+  {
+    title =
+      "Figure 16: optimising dynamic allocations of nested patterns \
+       (normalised to Prealloc+layout)";
+    baseline = "Prealloc+layout";
+    rows;
+    notes =
+      [
+        "Malloc charges one device-side allocation per outer iteration; \
+         Prealloc uses a fixed outer-major layout; the layout optimisation \
+         picks the physical order from the mapping (paper Figure 11)";
+      ];
+  }
+
+(* ----- Figure 17 ----- *)
+
+let fig17 ?(max_points = 48) dev =
+  let app = Mandelbrot.app ~h:32 ~w:2048 ~max_iter:24 Mandelbrot.R in
+  let prog = app.prog in
+  let ap = Runner.analysis_params prog app.params in
+  let top =
+    match prog.steps with
+    | [ Ppat_ir.Pat.Launch n ] -> n
+    | _ -> assert false
+  in
+  let c = Ppat_core.Collect.collect ~params:ap ?bind:top.bind dev prog top.pat in
+  let candidates = Ppat_core.Search.enumerate dev c in
+  (* deterministic thinning to max_points *)
+  let n = List.length candidates in
+  let stride = max 1 (n / max_points) in
+  let sampled =
+    List.filteri (fun i _ -> i mod stride = 0) candidates
+  in
+  let data = App.input_data app in
+  let oracle = oracle_of app in
+  let points =
+    List.filter_map
+      (fun (m, score) ->
+        match
+          Runner.run_gpu_mapped ~params:app.params dev prog
+            (fun _ -> m)
+            data
+        with
+        | r ->
+          let ok =
+            Runner.check ~eps:1e-6 prog ~expected:oracle ~actual:r.data
+            = Ok ()
+          in
+          if ok then Some { mapping = m; score; sw_seconds = r.seconds }
+          else None
+        | exception Lower.Unsupported _ -> None)
+      sampled
+  in
+  let auto = strat_cell dev app oracle Strategy.Auto in
+  let warp = strat_cell dev app oracle Strategy.Warp_based in
+  let best =
+    List.fold_left
+      (fun acc pt -> Float.min acc pt.sw_seconds)
+      infinity points
+  in
+  let table =
+    {
+      title =
+        "Figure 17: performance and score across the mapping space \
+         (skewed Mandelbrot output)";
+      baseline = "best sampled mapping";
+      rows =
+        [
+          {
+            rlabel = "summary";
+            cells =
+              [
+                { variant = "best sampled mapping"; seconds = best; ok = true };
+                { variant = "MultiDim pick"; seconds = auto.seconds;
+                  ok = auto.ok };
+                { variant = "Warp-based (region B)"; seconds = warp.seconds;
+                  ok = warp.ok };
+              ];
+          };
+        ];
+      notes =
+        [ Printf.sprintf "%d of %d feasible mappings sampled" (List.length points) n ];
+    }
+  in
+  (points, table)
+
+(* ----- Ablations: the optimisations of Section V and the generated-code
+   quality choices, each toggled in isolation ----- *)
+
+(* the paper's Figure 8 shape: an imperfect nest where the outer level also
+   reads memory (one vector read per outer index under an inner 2D sweep) *)
+let fig8_app ?(rows = 1024) ?(cols = 1024) () =
+  let open Ppat_ir in
+  let b = Builder.create () in
+  let top =
+    Builder.foreach b ~label:"fig8" ~size:(Pat.Sparam "I") (fun i0 ->
+        [
+          Builder.nest
+            (Builder.foreach b ~label:"inner" ~size:(Pat.Sparam "J")
+               (fun j ->
+                 [
+                   Pat.Store
+                     ( "o2",
+                       [ i0; j ],
+                       Exp.Bin
+                         ( Exp.Add,
+                           Exp.Read ("a1", [ i0 ]),
+                           Exp.Read ("a2", [ i0; j ]) ) );
+                 ]));
+        ])
+  in
+  let prog =
+    {
+      Pat.pname = "fig8";
+      defaults = [ ("I", rows); ("J", cols) ];
+      buffers =
+        [
+          Pat.buffer "a1" Ty.F64 [ Ty.Param "I" ] Pat.Input;
+          Pat.buffer "a2" Ty.F64 [ Ty.Param "I"; Ty.Param "J" ] Pat.Input;
+          Pat.buffer "o2" Ty.F64 [ Ty.Param "I"; Ty.Param "J" ] Pat.Output;
+        ];
+      steps = [ Pat.Launch { bind = None; pat = top } ];
+    }
+  in
+  App.make ~name:"fig8"
+    ~gen:(fun params ->
+      let i = List.assoc "I" params and j = List.assoc "J" params in
+      [
+        ("a1", Ppat_ir.Host.F (Workloads.farray ~seed:131 i));
+        ("a2", Ppat_ir.Host.F (Workloads.farray ~seed:132 (Stdlib.( * ) i j)));
+      ])
+    prog
+
+let ablation dev =
+  let opt_cell name opts strat (app : App.t) oracle =
+    let c = strat_cell ~opts dev app oracle strat in
+    { c with variant = name }
+  in
+  let base = Lower.default_options in
+  (* prefetching only has a target when a block spans several outer rows,
+     so these rows pin a typical [DimY,8]x[DimX,...] geometry *)
+  let prefetch_row label app pick =
+    let oracle = oracle_of app in
+    let data = App.input_data app in
+    let cell name opts =
+      let m : Manual_kernels.result =
+        Manual_kernels.fixed ~opts dev pick app data
+      in
+      let ok =
+        Runner.check ~eps:1e-4 app.App.prog ~expected:oracle
+          ~actual:m.Manual_kernels.data
+        = Ok ()
+      in
+      { variant = name; seconds = m.Manual_kernels.seconds; ok }
+    in
+    {
+      rlabel = label;
+      cells =
+        [
+          cell "prefetch" base;
+          cell "no-prefetch" { base with smem_prefetch = false };
+        ];
+    }
+  in
+  let d8 dim bsize =
+    { Mapping.dim; bsize; span = Mapping.span1 }
+  in
+  let warp_sync_row =
+    let app = Sum_rows_cols.sum_rows ~r:2048 ~c:1024 () in
+    let oracle = oracle_of app in
+    {
+      rlabel = "sumRows 1024-wide tree (TB/T)";
+      cells =
+        [
+          opt_cell "warp-sync" base Strategy.Thread_block_thread app oracle;
+          opt_cell "all-barriers"
+            { base with warp_sync = false }
+            Strategy.Thread_block_thread app oracle;
+        ];
+    }
+  in
+  let filter_row =
+    let open Ppat_ir in
+    let b = Builder.create () in
+    let n = 65536 in
+    let top =
+      Builder.filter b ~label:"keep" ~size:(Pat.Sconst n)
+        ~pred:(fun ix ->
+          Exp.Cmp (Exp.Lt, Exp.Read ("src", [ ix ]), Exp.Float 0.5))
+        (fun ix -> Exp.Read ("src", [ ix ]))
+    in
+    let prog =
+      {
+        Pat.pname = "filter_abl";
+        defaults = [];
+        buffers =
+          [
+            Pat.buffer "src" Ty.F64 [ Ty.Const n ] Pat.Input;
+            Pat.buffer "out" Ty.F64 [ Ty.Const n ] Pat.Output;
+            Pat.buffer "out_count" Ty.I32 [ Ty.Const 1 ] Pat.Output;
+          ];
+        steps = [ Pat.Launch { bind = Some "out"; pat = top } ];
+      }
+    in
+    let app =
+      App.make ~name:"filter" ~unordered:[ "out" ]
+        ~gen:(fun _ -> [ ("src", Host.F (Workloads.farray ~seed:141 n)) ])
+        prog
+    in
+    let oracle = oracle_of app in
+    {
+      rlabel = "filter 64K (atomic vs scan)";
+      cells =
+        [
+          opt_cell "atomic-append" base Strategy.Auto app oracle;
+          opt_cell "ordered-scan"
+            { base with ordered_filter = true }
+            Strategy.Auto app oracle;
+        ];
+    }
+  in
+  {
+    title =
+      "Ablations: each mapping-guided optimisation toggled in isolation        (normalised to the first variant)";
+    baseline = "prefetch";
+    rows =
+      [
+        prefetch_row "fig8 imperfect nest (1024^2)" (fig8_app ())
+          (fun _ -> Some [| d8 Mapping.Y 8; d8 Mapping.X 128 |]);
+        prefetch_row "gaussian (R) 128" (Gaussian.app ~n:128 Gaussian.R)
+          (function
+            | "fan2_r" -> Some [| d8 Mapping.Y 8; d8 Mapping.X 32 |]
+            | _ -> None);
+        warp_sync_row;
+        filter_row;
+      ];
+    notes =
+      [
+        "warp-sync and filter rows are normalised to their own first          variant";
+      ];
+  }
+
+(* ----- printing ----- *)
+
+let print_table ppf (t : table) =
+  Format.fprintf ppf "@.%s@." t.title;
+  Format.fprintf ppf "%s@."
+    (String.make (min 78 (String.length t.title)) '-');
+  List.iter
+    (fun r ->
+      let base =
+        match List.find_opt (fun c -> c.variant = t.baseline) r.cells with
+        | Some c -> c.seconds
+        | None -> (
+          (* rows without the named baseline normalise to their first cell *)
+          match r.cells with c :: _ -> c.seconds | [] -> 1.)
+      in
+      Format.fprintf ppf "  %-22s" r.rlabel;
+      List.iter
+        (fun c ->
+          Format.fprintf ppf " %s=%.2f%s" c.variant (c.seconds /. base)
+            (if c.ok then "" else "(!)"))
+        r.cells;
+      Format.fprintf ppf "  [%.3g s]@." base)
+    t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes
+
+let print_sweep ppf points =
+  Format.fprintf ppf "@.  score    time(s)    mapping@.";
+  List.iter
+    (fun pt ->
+      Format.fprintf ppf "  %8.4g %10.4g  %s@." pt.score pt.sw_seconds
+        (Mapping.to_string pt.mapping))
+    (List.sort (fun a b -> compare b.score a.score) points)
+
+let all dev =
+  [
+    ("fig3", fun () -> print_table Format.std_formatter (fig3 dev));
+    ("fig12", fun () -> print_table Format.std_formatter (fig12 dev));
+    ("fig13", fun () -> print_table Format.std_formatter (fig13 dev));
+    ("fig14", fun () -> print_table Format.std_formatter (fig14 dev));
+    ("fig16", fun () -> print_table Format.std_formatter (fig16 dev));
+    ( "fig17",
+      fun () ->
+        let points, table = fig17 dev in
+        print_sweep Format.std_formatter points;
+        print_table Format.std_formatter table );
+    ("ablation", fun () -> print_table Format.std_formatter (ablation dev));
+  ]

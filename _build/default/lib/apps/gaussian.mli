@@ -1,0 +1,13 @@
+(** Rodinia Gaussian Elimination: per step t, Fan1 computes the multiplier
+    column m(i) = a(i,t)/a(t,t) and Fan2 subtracts m(i) x row t from every
+    remaining row (plus the right-hand side). Fan1's column read cannot
+    coalesce; Fan2 is the two-level nest whose dimension assignment the
+    analysis must get right — the hand-written Rodinia kernel places rows
+    on dimension x and loses (Section VI-C). *)
+
+type order = R | C
+
+val app : ?n:int -> ?steps:int -> order -> App.t
+(** [steps] limits the number of elimination steps (defaults to n-1);
+    the experiments use a prefix of a large matrix so per-kernel work,
+    not launch overhead, dominates — as at the paper's full sizes. *)

@@ -1,0 +1,44 @@
+open Ppat_ir
+open Exp.Infix
+
+let app ?(m = 256) ?(n = 256) ?(k = 256) () =
+  let b = Builder.create () in
+  let top =
+    Builder.foreach b ~label:"gemm_rows" ~size:(Pat.Sparam "M") (fun i0 ->
+        [
+          Builder.nest
+            (Builder.foreach b ~label:"cols" ~size:(Pat.Sparam "N") (fun j ->
+                 let dot =
+                   Builder.reduce b ~label:"dot" ~size:(Pat.Sparam "K")
+                     (fun kk ->
+                       ([], read "a" [ i0; kk ] * read "bmat" [ kk; j ]))
+                 in
+                 [
+                   Builder.bind "acc" dot;
+                   Pat.Store ("c", [ i0; j ], v "acc");
+                 ]));
+        ])
+  in
+  let prog =
+    {
+      Pat.pname = "gemm";
+      defaults = [ ("M", m); ("N", n); ("K", k) ];
+      buffers =
+        [
+          Pat.buffer "a" Ty.F64 [ Ty.Param "M"; Ty.Param "K" ] Pat.Input;
+          Pat.buffer "bmat" Ty.F64 [ Ty.Param "K"; Ty.Param "N" ] Pat.Input;
+          Pat.buffer "c" Ty.F64 [ Ty.Param "M"; Ty.Param "N" ] Pat.Output;
+        ];
+      steps = [ Pat.Launch { bind = None; pat = top } ];
+    }
+  in
+  App.make ~name:"GEMM" ~eps:1e-6
+    ~gen:(fun params ->
+      let m = List.assoc "M" params
+      and n = List.assoc "N" params
+      and k = List.assoc "K" params in
+      [
+        ("a", Host.F (Workloads.farray ~seed:151 (Stdlib.( * ) m k)));
+        ("bmat", Host.F (Workloads.farray ~seed:152 (Stdlib.( * ) k n)));
+      ])
+    prog

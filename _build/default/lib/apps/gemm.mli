@@ -1,0 +1,9 @@
+(** Dense matrix multiply C = A x B as a three-level nest: rows x cols x a
+    dot-product reduction. A textbook stress test for the analysis: the
+    k-level is contiguous in A, the j-level is contiguous in B and C, so
+    the search must trade the reduction's coalescing against the output's
+    (B and C win on weight, as a human would choose), and ControlDOP keeps
+    the k-level lean. Not part of the paper's benchmark set — included as
+    an extension exercising the three-dimensional mapping space. *)
+
+val app : ?m:int -> ?n:int -> ?k:int -> unit -> App.t

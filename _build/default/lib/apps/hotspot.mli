@@ -1,0 +1,8 @@
+(** Rodinia Hotspot: iterative 5-point stencil thermal simulation over a
+    2D grid, ping-ponging between two temperature buffers. A two-level
+    Foreach nest per time step; (R)/(C) control the traversal order
+    (Figures 12, 13). *)
+
+type order = R | C
+
+val app : ?n:int -> ?steps:int -> order -> App.t

@@ -1,0 +1,12 @@
+(** Rodinia LUD: in-place LU decomposition (Doolittle, no pivoting). The
+    generated version launches a column-scale kernel and a rank-1 trailing
+    update per step; the Rodinia hand-written version is {e blocked} —
+    diagonal / perimeter / internal kernels with shared-memory tiles,
+    processing 16 steps per round — which our compiler deliberately does
+    not infer (Section VI-C); see {!Manual_kernels.lud}. *)
+
+type order = R | C
+
+val app : ?n:int -> ?steps:int -> order -> App.t
+(** [steps] limits the elimination steps (defaults to n-1; the blocked
+    manual kernel requires it to be a multiple of its tile size). *)

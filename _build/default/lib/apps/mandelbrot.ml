@@ -1,0 +1,60 @@
+open Ppat_ir
+open Exp.Infix
+
+type order = R | C
+
+(* out[y, x] = escape iteration count of c = (x0 + x*dx, y0 + y*dy) *)
+let pixel_body y x =
+  [
+    Pat.Let ("cx", f (-2.0) + (i2f x * (f 2.8 / i2f (p "W"))));
+    Pat.Let ("cy", f (-1.2) + (i2f y * (f 2.4 / i2f (p "H"))));
+    Pat.Let ("zx", f 0.);
+    Pat.Let ("zy", f 0.);
+    Pat.Let ("it", i 0);
+    Pat.While
+      ( v "it" < p "MAXIT"
+        && (v "zx" * v "zx") + (v "zy" * v "zy") <= f 4.,
+        [
+          Pat.Let ("tx", (v "zx" * v "zx") - (v "zy" * v "zy") + v "cx");
+          Pat.Assign ("zy", (f 2. * v "zx" * v "zy") + v "cy");
+          Pat.Assign ("zx", v "tx");
+          Pat.Assign ("it", v "it" + i 1);
+        ] );
+    Pat.Store ("out", [ y; x ], v "it");
+  ]
+
+let app ?(h = 256) ?(w = 256) ?(max_iter = 64) order =
+  let b = Builder.create () in
+  let top =
+    match order with
+    | R ->
+      Builder.foreach b ~label:"mandel_rows" ~size:(Pat.Sparam "H") (fun y ->
+          [
+            Builder.nest
+              (Builder.foreach b ~label:"cols" ~size:(Pat.Sparam "W")
+                 (fun x -> pixel_body y x));
+          ])
+    | C ->
+      Builder.foreach b ~label:"mandel_cols" ~size:(Pat.Sparam "W") (fun x ->
+          [
+            Builder.nest
+              (Builder.foreach b ~label:"rows" ~size:(Pat.Sparam "H")
+                 (fun y -> pixel_body y x));
+          ])
+  in
+  let prog =
+    {
+      Pat.pname =
+        (match order with R -> "mandelbrot_r" | C -> "mandelbrot_c");
+      defaults = [ ("H", h); ("W", w); ("MAXIT", max_iter) ];
+      buffers =
+        [
+          Pat.buffer "out" Ty.I32 [ Ty.Param "H"; Ty.Param "W" ] Pat.Output;
+        ];
+      steps = [ Pat.Launch { bind = None; pat = top } ];
+    }
+  in
+  App.make
+    ~name:(match order with R -> "Mandelbrot (R)" | C -> "Mandelbrot (C)")
+    ~gen:(fun _ -> [])
+    prog

@@ -1,0 +1,12 @@
+(** Mandelbrot set iteration counts over a 2D pixel grid: a two-level
+    Foreach nest whose body is a data-dependent escape loop (warp
+    divergence). Used in Figures 12, 13 and for the mapping-space sweep of
+    Figure 17 (with a skewed output matrix).
+
+    The (R) variant iterates rows then columns; the (C) variant is the
+    column-major traversal the fixed strategies cannot adapt to
+    (Section VI-D). *)
+
+type order = R | C
+
+val app : ?h:int -> ?w:int -> ?max_iter:int -> order -> App.t

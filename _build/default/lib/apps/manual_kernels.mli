@@ -1,0 +1,51 @@
+(** Hand-optimised baselines ("Manual" in paper Figure 12).
+
+    Most Rodinia reference kernels correspond to a fixed hand-picked
+    geometry of the same computation, which we reproduce by forcing the
+    mapping (including Gaussian's documented mis-assignment of rows to
+    dimension x, which our analysis fixes automatically, and BFS's
+    top-level-only parallelisation). Pathfinder and LUD are genuinely
+    different programs — iteration-fused shared-memory kernels written
+    directly in kernel IR — reproducing the optimisation the compiler
+    deliberately does not infer (Section VI-C).
+
+    Every manual run returns the simulated time and final buffers so the
+    harness can validate it against the CPU oracle like any other run. *)
+
+type result = { seconds : float; data : Ppat_ir.Host.data }
+
+val fixed :
+  ?opts:Ppat_codegen.Lower.options ->
+  Ppat_gpu.Device.t ->
+  (string -> Ppat_core.Mapping.t option) ->
+  App.t ->
+  Ppat_ir.Host.data ->
+  result
+(** Run an app's own program under hand-picked mappings, keyed by top-level
+    pattern label ([None] falls back to the automatic mapping). *)
+
+val nearest_neighbor : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+val gaussian : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+(** Rodinia geometry: Fan1 on 256-thread 1D blocks; Fan2 as a 16x16 grid
+    with {e rows} on dimension x — the uncoalesced hand-written choice the
+    paper calls out (Section VI-C). *)
+
+val hotspot : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+val mandelbrot : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+val srad : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+val bfs : Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+(** The Rodinia BFS kernel only exploits node-level parallelism: identical
+    to the 1D strategy (Section VI-C). *)
+
+val pathfinder :
+  ?pyramid:int -> Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+(** Iteration-fused DP: [pyramid] rows per kernel launch, neighbours kept
+    in shared memory with halo columns (default 8). The final row lands in
+    buffer ["prev"], like the reference program. *)
+
+val lud :
+  ?tile:int -> Ppat_gpu.Device.t -> App.t -> Ppat_ir.Host.data -> result
+(** Blocked LU: per 16x16 diagonal tile, a diagonal kernel, one perimeter
+    kernel over the remaining row/column tiles and one internal kernel over
+    the trailing submatrix, all operating on shared-memory tiles. Requires
+    N to be a multiple of [tile]. *)

@@ -1,0 +1,42 @@
+open Ppat_ir
+open Exp.Infix
+
+let app ?(frames = 4096) ?(centers = 64) ?(dims = 64) () =
+  let b = Builder.create () in
+  let top =
+    Builder.map b ~label:"assign" ~size:(Pat.Sparam "T") (fun t ->
+        let best =
+          Builder.arg_min b ~label:"nearest" ~size:(Pat.Sparam "KC") (fun k ->
+              let d2 =
+                Builder.reduce b ~label:"dist2" ~size:(Pat.Sparam "D")
+                  (fun d ->
+                    let diff = read "pts" [ t; d ] - read "ctr" [ k; d ] in
+                    ([ Pat.Let ("diff", diff) ], v "diff" * v "diff"))
+              in
+              ([ Builder.bind "d2" d2 ], v "d2"))
+        in
+        ([ Builder.bind "best" best ], i2f (v "best")))
+  in
+  let prog =
+    {
+      Pat.pname = "msm_cluster";
+      defaults = [ ("T", frames); ("KC", centers); ("D", dims) ];
+      buffers =
+        [
+          Pat.buffer "pts" Ty.F64 [ Ty.Param "T"; Ty.Param "D" ] Pat.Input;
+          Pat.buffer "ctr" Ty.F64 [ Ty.Param "KC"; Ty.Param "D" ] Pat.Input;
+          Pat.buffer "assign" Ty.F64 [ Ty.Param "T" ] Pat.Output;
+        ];
+      steps = [ Pat.Launch { bind = Some "assign"; pat = top } ];
+    }
+  in
+  App.make ~name:"MSMBuilder"
+    ~gen:(fun params ->
+      let t = List.assoc "T" params
+      and k = List.assoc "KC" params
+      and d = List.assoc "D" params in
+      [
+        ("pts", Host.F (Workloads.farray ~seed:101 (Stdlib.( * ) t d)));
+        ("ctr", Host.F (Workloads.farray ~seed:102 (Stdlib.( * ) k d)));
+      ])
+    prog

@@ -1,0 +1,10 @@
+(** MSMBuilder trajectory clustering (paper Section VI-E): assign each
+    trajectory frame to its nearest cluster centre under squared Euclidean
+    distance. A genuinely three-level nest — frames x centres x
+    coordinates — where both inner domains are small (around 100 in the
+    paper), so a 1D mapping drastically under-utilises the GPU while the
+    analysis exploits the product of all three levels (one logical
+    dimension per level, Section IV-B "only needs to add one more logical
+    dimension"). *)
+
+val app : ?frames:int -> ?centers:int -> ?dims:int -> unit -> App.t

@@ -1,0 +1,68 @@
+open Ppat_ir
+open Exp.Infix
+
+let app ?(docs = 2048) ?(words = 1024) () =
+  let b = Builder.create () in
+  let doc_totals =
+    Builder.map b ~label:"doc_totals" ~size:(Pat.Sparam "DOCS") (fun d ->
+        let s =
+          Builder.reduce b ~label:"words_in_doc" ~size:(Pat.Sparam "WORDS")
+            (fun w -> ([], read "counts" [ d; w ]))
+        in
+        ([ Builder.bind "s" s ], v "s"))
+  in
+  let word_mass label cls =
+    Builder.map b ~label ~size:(Pat.Sparam "WORDS") (fun w ->
+        let s =
+          Builder.reduce b ~label:(label ^ "_docs") ~size:(Pat.Sparam "DOCS")
+            (fun d ->
+              ( [],
+                select
+                  (read "labels" [ d ] = i cls)
+                  (read "counts" [ d; w ])
+                  (f 0.) ))
+        in
+        ([ Builder.bind "s" s ], v "s"))
+  in
+  let by_class =
+    Builder.group_by b ~label:"docs_by_class" ~size:(Pat.Sparam "DOCS")
+      ~num_keys:(Ty.Const 2)
+      ~key:(fun d -> read "labels" [ d ])
+      (fun d -> read "totals" [ d ])
+  in
+  let prog =
+    {
+      Pat.pname = "naive_bayes";
+      defaults = [ ("DOCS", docs); ("WORDS", words) ];
+      buffers =
+        [
+          Pat.buffer "counts" Ty.F64 [ Ty.Param "DOCS"; Ty.Param "WORDS" ]
+            Pat.Input;
+          Pat.buffer "labels" Ty.I32 [ Ty.Param "DOCS" ] Pat.Input;
+          Pat.buffer "totals" Ty.F64 [ Ty.Param "DOCS" ] Pat.Output;
+          Pat.buffer "spam_mass" Ty.F64 [ Ty.Param "WORDS" ] Pat.Output;
+          Pat.buffer "ham_mass" Ty.F64 [ Ty.Param "WORDS" ] Pat.Output;
+          Pat.buffer "grouped" Ty.F64 [ Ty.Param "DOCS" ] Pat.Output;
+          Pat.buffer "grouped_counts" Ty.I32 [ Ty.Const 2 ] Pat.Output;
+          Pat.buffer "grouped_offsets" Ty.I32 [ Ty.Const 2 ] Pat.Output;
+        ];
+      steps =
+        [
+          Pat.Launch { bind = Some "totals"; pat = doc_totals };
+          Pat.Launch { bind = Some "spam_mass"; pat = word_mass "spam" 1 };
+          Pat.Launch { bind = Some "ham_mass"; pat = word_mass "ham" 0 };
+          Pat.Launch { bind = Some "grouped"; pat = by_class };
+        ];
+    }
+  in
+  App.make ~name:"NaiveBayes" ~unordered:[ "grouped" ]
+    ~gen:(fun params ->
+      let d = List.assoc "DOCS" params and w = List.assoc "WORDS" params in
+      [
+        ("counts",
+         Host.F
+           (Array.map Float.round
+              (Workloads.farray ~lo:0. ~hi:4. ~seed:111 (Stdlib.( * ) d w))));
+        ("labels", Host.I (Workloads.iarray ~seed:112 ~bound:2 d));
+      ])
+    prog

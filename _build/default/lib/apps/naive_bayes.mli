@@ -1,0 +1,10 @@
+(** Naive Bayes spam training (paper Section VI-E): over a document-by-word
+    count matrix, compute (1) words per document — row reductions — and
+    (2) per-word occurrence mass in spam and in ham documents — column
+    reductions over the same matrix. The two kernels need {e opposite}
+    dimension assignments on the same data; a fixed 1D mapping can only
+    coalesce one of them while the analysis flips dimensions per kernel
+    (Section VI-E). A Group_by of documents by class exercises the
+    remaining Table I pattern. *)
+
+val app : ?docs:int -> ?words:int -> unit -> App.t

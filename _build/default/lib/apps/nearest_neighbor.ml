@@ -1,0 +1,34 @@
+open Ppat_ir
+open Exp.Infix
+
+let app ?(n = 65536) () =
+  let b = Builder.create () in
+  (* target point, fixed in the kernel like Rodinia's lat/lng arguments *)
+  let plat = f 30. and plng = f 52. in
+  let top =
+    Builder.map b ~label:"nn" ~size:(Pat.Sparam "N") (fun i ->
+        let dx = read "lat" [ i ] - plat and dy = read "lng" [ i ] - plng in
+        ( [ Pat.Let ("dx", dx); Pat.Let ("dy", dy) ],
+          sqrt_ ((v "dx" * v "dx") + (v "dy" * v "dy")) ))
+  in
+  let prog =
+    {
+      Pat.pname = "nearest_neighbor";
+      defaults = [ ("N", n) ];
+      buffers =
+        [
+          Pat.buffer "lat" Ty.F64 [ Ty.Param "N" ] Pat.Input;
+          Pat.buffer "lng" Ty.F64 [ Ty.Param "N" ] Pat.Input;
+          Pat.buffer "dist" Ty.F64 [ Ty.Param "N" ] Pat.Output;
+        ];
+      steps = [ Pat.Launch { bind = Some "dist"; pat = top } ];
+    }
+  in
+  App.make ~name:"NearestNeighbor"
+    ~gen:(fun params ->
+      let n = List.assoc "N" params in
+      [
+        ("lat", Host.F (Workloads.farray ~lo:0. ~hi:60. ~seed:21 n));
+        ("lng", Host.F (Workloads.farray ~lo:0. ~hi:120. ~seed:22 n));
+      ])
+    prog

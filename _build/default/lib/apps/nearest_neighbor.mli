@@ -1,0 +1,6 @@
+(** Rodinia Nearest Neighbor: one level of parallelism (a flat Map
+    computing a Euclidean distance per record). Included in Figure 12 as
+    the baseline for generated-versus-manual code quality on code with no
+    mapping decisions to make. *)
+
+val app : ?n:int -> unit -> App.t

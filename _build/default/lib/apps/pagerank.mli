@@ -1,0 +1,6 @@
+(** PageRank over a CSR graph — the paper's motivating nested-pattern
+    example (Figure 5): for each node, gather the neighbours' weighted
+    ranks (inner pattern over a dynamic-degree edge list) and combine with
+    the damping term. Runs a fixed number of power iterations. *)
+
+val app : ?nodes:int -> ?avg_degree:int -> ?iters:int -> unit -> App.t

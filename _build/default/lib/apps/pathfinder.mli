@@ -1,0 +1,10 @@
+(** Rodinia Pathfinder: dynamic programming over a grid — each step
+    computes, for every column, the running minimum path cost from the
+    previous row's three neighbours. One level of parallelism per step,
+    launched once per row; the hand-optimised Rodinia code instead fuses
+    several rows per kernel through shared memory (the "pyramid"), which is
+    the optimisation our compiler deliberately does not infer
+    (Section VI-C) — reproduced by the manual kernel in
+    {!Manual_kernels}. *)
+
+val app : ?rows:int -> ?cols:int -> unit -> App.t

@@ -1,0 +1,9 @@
+(** QPSCD HogWild!: a lock-free stochastic coordinate-descent step of a
+    box-constrained quadratic program (paper Section VI-E, after Niu et
+    al.). The outer pattern visits rows in a random permutation (its memory
+    accesses are non-affine, so no coalescing constraint exists at that
+    level), while the inner pattern walks a dense row sequentially —
+    MultiDim puts the inner pattern on dimension x; a 1D mapping issues
+    uncoalesced row-gathers and loses even to the CPU, as in Figure 14. *)
+
+val app : ?samples:int -> ?dim:int -> unit -> App.t

@@ -1,0 +1,10 @@
+(** Rodinia SRAD (speckle-reducing anisotropic diffusion): each iteration
+    computes image statistics (two global reductions), a diffusion
+    coefficient per pixel from the 4-neighbour gradients, and a diffusion
+    update. The stencil kernels form two-level nests with (R)/(C) traversal
+    variants; the image is stored flat so index arithmetic exposes the
+    stride-1 direction to the analysis. *)
+
+type order = R | C
+
+val app : ?n:int -> ?iters:int -> order -> App.t

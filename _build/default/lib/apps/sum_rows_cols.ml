@@ -1,0 +1,121 @@
+open Ppat_ir
+
+let gen params =
+  let r = List.assoc "R" params and c = List.assoc "C" params in
+  [ ("m", Host.F (Workloads.farray ~seed:11 (r * c))) ]
+
+let gen_weighted ~inner params =
+  let r = List.assoc "R" params and c = List.assoc "C" params in
+  let wn = if inner = `Cols then r else c in
+  [
+    ("m", Host.F (Workloads.farray ~seed:11 (r * c)));
+    ("v", Host.F (Workloads.farray ~seed:13 wn));
+  ]
+
+let matrix_buffers out_extent =
+  [
+    Pat.buffer "m" Ty.F64 [ Ty.Param "R"; Ty.Param "C" ] Pat.Input;
+    Pat.buffer "out" Ty.F64 [ Ty.Param out_extent ] Pat.Output;
+  ]
+
+let sum_rows ?(r = 4096) ?(c = 256) () =
+  let b = Builder.create () in
+  let top =
+    Builder.map b ~label:"sum_rows" ~size:(Pat.Sparam "R") (fun row ->
+        let red =
+          Builder.reduce b ~label:"row_sum" ~size:(Pat.Sparam "C") (fun col ->
+              ([], Exp.Read ("m", [ row; col ])))
+        in
+        ([ Builder.bind "s" red ], Exp.Var "s"))
+  in
+  let prog =
+    {
+      Pat.pname = "sum_rows";
+      defaults = [ ("R", r); ("C", c) ];
+      buffers = matrix_buffers "R";
+      steps = [ Pat.Launch { bind = Some "out"; pat = top } ];
+    }
+  in
+  App.make ~name:"sumRows" ~gen prog
+
+let sum_cols ?(r = 4096) ?(c = 256) () =
+  let b = Builder.create () in
+  let top =
+    Builder.map b ~label:"sum_cols" ~size:(Pat.Sparam "C") (fun col ->
+        let red =
+          Builder.reduce b ~label:"col_sum" ~size:(Pat.Sparam "R") (fun row ->
+              ([], Exp.Read ("m", [ row; col ])))
+        in
+        ([ Builder.bind "s" red ], Exp.Var "s"))
+  in
+  let prog =
+    {
+      Pat.pname = "sum_cols";
+      defaults = [ ("R", r); ("C", c) ];
+      buffers = matrix_buffers "C";
+      steps = [ Pat.Launch { bind = Some "out"; pat = top } ];
+    }
+  in
+  App.make ~name:"sumCols" ~gen prog
+
+(* weighted variants: a nested Map materialises the element-wise product
+   into a per-iteration temporary (Figure 15), then the reduce folds it *)
+let sum_weighted_rows ?(r = 2048) ?(c = 256) () =
+  let b = Builder.create () in
+  let top =
+    Builder.map b ~label:"swr" ~size:(Pat.Sparam "R") (fun row ->
+        let tmp =
+          Builder.map b ~label:"wprod" ~size:(Pat.Sparam "C") (fun col ->
+              ( [],
+                Exp.Bin
+                  ( Exp.Mul,
+                    Exp.Read ("m", [ row; col ]),
+                    Exp.Read ("v", [ col ]) ) ))
+        in
+        let red =
+          Builder.reduce b ~label:"wsum" ~size:(Pat.Sparam "C") (fun col ->
+              ([], Exp.Read ("tmp", [ col ])))
+        in
+        ([ Builder.bind "tmp" tmp; Builder.bind "s" red ], Exp.Var "s"))
+  in
+  let prog =
+    {
+      Pat.pname = "sum_weighted_rows";
+      defaults = [ ("R", r); ("C", c) ];
+      buffers =
+        Pat.buffer "v" Ty.F64 [ Ty.Param "C" ] Pat.Input
+        :: matrix_buffers "R";
+      steps = [ Pat.Launch { bind = Some "out"; pat = top } ];
+    }
+  in
+  App.make ~name:"sumWeightedRows" ~gen:(gen_weighted ~inner:`Rows) prog
+
+let sum_weighted_cols ?(r = 256) ?(c = 2048) () =
+  let b = Builder.create () in
+  let top =
+    Builder.map b ~label:"swc" ~size:(Pat.Sparam "C") (fun col ->
+        let tmp =
+          Builder.map b ~label:"wprod" ~size:(Pat.Sparam "R") (fun row ->
+              ( [],
+                Exp.Bin
+                  ( Exp.Mul,
+                    Exp.Read ("m", [ row; col ]),
+                    Exp.Read ("v", [ row ]) ) ))
+        in
+        let red =
+          Builder.reduce b ~label:"wsum" ~size:(Pat.Sparam "R") (fun row ->
+              ([], Exp.Read ("tmp", [ row ])))
+        in
+        ([ Builder.bind "tmp" tmp; Builder.bind "s" red ], Exp.Var "s"))
+  in
+  let prog =
+    {
+      Pat.pname = "sum_weighted_cols";
+      defaults = [ ("R", r); ("C", c) ];
+      buffers =
+        Pat.buffer "v" Ty.F64 [ Ty.Param "R" ] Pat.Input
+        :: matrix_buffers "C";
+      steps = [ Pat.Launch { bind = Some "out"; pat = top } ];
+    }
+  in
+  App.make ~name:"sumWeightedCols" ~gen:(gen_weighted ~inner:`Cols) prog

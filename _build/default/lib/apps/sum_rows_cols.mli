@@ -1,0 +1,19 @@
+(** The paper's running example (Figures 1-3): sum the rows or columns of a
+    row-major matrix, expressed as a Map over one axis with a nested Reduce
+    over the other; and the weighted variants of Figure 15 that introduce a
+    nested-Map temporary allocation (the dynamic-allocation micro-benchmark
+    of Figure 16). *)
+
+val sum_rows : ?r:int -> ?c:int -> unit -> App.t
+(** [out.(i) = sum_j m.(i).(j)]; inner accesses are stride-1 in the inner
+    (column) index, so MultiDim maps the reduce level to dimension x. *)
+
+val sum_cols : ?r:int -> ?c:int -> unit -> App.t
+(** [out.(j) = sum_i m.(i).(j)]; stride-1 in the {e outer} index, so
+    MultiDim flips the dimensions — the case fixed strategies lose. *)
+
+val sum_weighted_rows : ?r:int -> ?c:int -> unit -> App.t
+(** Each row is multiplied element-wise by a weight vector into a nested-Map
+    temporary before the reduction (Figure 15). *)
+
+val sum_weighted_cols : ?r:int -> ?c:int -> unit -> App.t

@@ -1,0 +1,1 @@
+lib/codegen/cuda_emit.ml: Array Buffer Exp Float Hashtbl List Pat Ppat_ir Ppat_kernel Printf String Ty

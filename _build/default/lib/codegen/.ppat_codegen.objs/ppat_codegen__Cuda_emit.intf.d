@@ -1,0 +1,1 @@
+lib/codegen/cuda_emit.mli: Ppat_ir Ppat_kernel

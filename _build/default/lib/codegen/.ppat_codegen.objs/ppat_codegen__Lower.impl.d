@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Access Array Exp Format Host Levels List Option Pat Ppat_core Ppat_gpu Ppat_ir Ppat_kernel Printf Scan String Ty

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Ppat_core Ppat_gpu Ppat_ir Ppat_kernel

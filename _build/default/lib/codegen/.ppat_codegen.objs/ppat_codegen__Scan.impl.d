@@ -1,0 +1,1 @@
+lib/codegen/scan.ml: Exp Ppat_ir Ppat_kernel Ty

@@ -1,0 +1,1 @@
+lib/codegen/scan.mli: Ppat_ir Ppat_kernel

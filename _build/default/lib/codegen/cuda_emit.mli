@@ -1,0 +1,16 @@
+(** CUDA C source emission from kernel IR (paper Figure 9).
+
+    The simulator executes the kernel IR directly; this module prints the
+    equivalent [__global__] function so the generated code can be inspected,
+    diffed against the paper's examples, and (outside this sandbox)
+    compiled with nvcc. Buffer parameters are typed from the program's
+    buffer table; registers use the types inferred during lowering. *)
+
+val kernel :
+  ?prog:Ppat_ir.Pat.prog -> Ppat_kernel.Kir.kernel -> string
+(** CUDA source of one kernel. When [prog] is given, pointer parameters of
+    program buffers get precise element types; unknown buffers (temps)
+    default to [double*]. *)
+
+val launch_comment : Ppat_kernel.Kir.launch -> string
+(** A [// kernel<<<grid, block>>>] line describing the launch geometry. *)

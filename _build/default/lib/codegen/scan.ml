@@ -1,0 +1,182 @@
+open Ppat_ir
+module Kir = Ppat_kernel.Kir
+
+let block_threads = 256
+
+let ik n = Kir.Int n
+let ( +: ) a b = Kir.Bin (Exp.Add, a, b)
+let ( -: ) a b = Kir.Bin (Exp.Sub, a, b)
+let ( *: ) a b = Kir.Bin (Exp.Mul, a, b)
+let ( <: ) a b = Kir.Cmp (Exp.Lt, a, b)
+let ( >=: ) a b = Kir.Cmp (Exp.Ge, a, b)
+let ( =: ) a b = Kir.Cmp (Exp.Eq, a, b)
+let tx = Kir.Tid Kir.X
+let bx = Kir.Bid Kir.X
+let cdiv a b = (a + b - 1) / b
+
+let mk_kernel name ~smem ~rb body =
+  {
+    Kir.kname = name;
+    nregs = Kir.Rb.count rb;
+    reg_names = Kir.Rb.names rb;
+    reg_types = Kir.Rb.types rb;
+    smem;
+    body;
+  }
+
+(* one block scans [block_threads] elements of [src] into exclusive [dst];
+   the block total goes to [sums.(blockIdx.x)] when [sums] is given *)
+let scan_block_kernel name ~src ~dst ~sums ~n =
+  let rb = Kir.Rb.create () in
+  let reg nm =
+    let r = Kir.Rb.fresh rb nm in
+    Kir.Rb.set_type rb r Ty.I32;
+    r
+  in
+  let g = reg "g" in
+  let x = reg "x" in
+  let v = reg "v" in
+  let b = block_threads in
+  let steps = ref [] in
+  let off = ref 1 in
+  (* Hillis-Steele inclusive scan in shared memory *)
+  while !off < b do
+    steps :=
+      !steps
+      @ [
+          Kir.If
+            ( tx >=: ik !off,
+              [ Kir.Set (v, Kir.Load_s ("sm", tx -: ik !off)) ],
+              [] );
+          Kir.Sync;
+          Kir.If
+            ( tx >=: ik !off,
+              [ Kir.Store_s ("sm", tx, Kir.Load_s ("sm", tx) +: Kir.Reg v) ],
+              [] );
+          Kir.Sync;
+        ];
+    off := !off * 2
+  done;
+  let body =
+    [
+      Kir.Set (g, (bx *: ik b) +: tx);
+      (* Select evaluates both arms, so the out-of-range load is clamped *)
+      Kir.Set
+        ( x,
+          Kir.Select
+            ( Kir.Reg g <: ik n,
+              Kir.Load_g
+                (src, Kir.Bin (Exp.Min, Kir.Reg g, ik (max 0 (n - 1)))),
+              ik 0 ) );
+    ]
+    @ [ Kir.Store_s ("sm", tx, Kir.Reg x); Kir.Sync ]
+    @ !steps
+    @ [
+        (* exclusive result: shift the inclusive scan right by one *)
+        Kir.If
+          ( Kir.Reg g <: ik n,
+            [
+              Kir.Store_g
+                ( dst,
+                  Kir.Reg g,
+                  Kir.Select
+                    ( tx =: ik 0,
+                      ik 0,
+                      Kir.Load_s ("sm", Kir.Bin (Exp.Max, tx -: ik 1, ik 0))
+                    ) );
+            ],
+            [] );
+      ]
+    @
+    match sums with
+    | None -> []
+    | Some sums ->
+      [
+        Kir.If
+          ( tx =: ik 0,
+            [ Kir.Store_g (sums, bx, Kir.Load_s ("sm", ik (b - 1))) ],
+            [] );
+      ]
+  in
+  mk_kernel name
+    ~smem:[ { Kir.sname = "sm"; selem = Ty.I32; selems = block_threads } ]
+    ~rb body
+
+(* dst.(g) += offsets.(blockIdx.x) for the add-back pass *)
+let add_offsets_kernel name ~dst ~offsets ~n =
+  let rb = Kir.Rb.create () in
+  let g = Kir.Rb.fresh rb "g" in
+  Kir.Rb.set_type rb g Ty.I32;
+  mk_kernel name ~smem:[] ~rb
+    [
+      Kir.Set (g, (bx *: ik block_threads) +: tx);
+      Kir.If
+        ( Kir.Reg g <: ik n,
+          [
+            Kir.Store_g
+              ( dst,
+                Kir.Reg g,
+                Kir.Load_g (dst, Kir.Reg g) +: Kir.Load_g (offsets, bx) );
+          ],
+          [] );
+    ]
+
+(* total.(0) = dst.(n-1) + src.(n-1) *)
+let total_kernel name ~src ~dst ~total ~n =
+  let rb = Kir.Rb.create () in
+  mk_kernel name ~smem:[] ~rb
+    [
+      Kir.If
+        ( Kir.Bin (Exp.And, tx =: ik 0, bx =: ik 0),
+          [
+            Kir.Store_g
+              ( total,
+                ik 0,
+                Kir.Load_g (src, ik (n - 1)) +: Kir.Load_g (dst, ik (n - 1))
+              );
+          ],
+          [] );
+    ]
+
+let rec exclusive ~name_prefix ~src ~dst ~total ~n ~kparams =
+  let b = block_threads in
+  let nb = cdiv n b in
+  let launch kernel grid =
+    { Kir.kernel; grid; block = (b, 1, 1); kparams }
+  in
+  if nb = 1 then
+    ( [
+        launch
+          (scan_block_kernel (name_prefix ^ "_scan") ~src ~dst ~sums:None ~n)
+          (1, 1, 1);
+        launch (total_kernel (name_prefix ^ "_total") ~src ~dst ~total ~n)
+          (1, 1, 1);
+      ],
+      [] )
+  else begin
+    let sums = name_prefix ^ "_sums" in
+    let sums_scanned = name_prefix ^ "_sums_x" in
+    let sums_total = name_prefix ^ "_sums_t" in
+    let sub_launches, sub_temps =
+      exclusive ~name_prefix:(name_prefix ^ "_s") ~src:sums ~dst:sums_scanned
+        ~total:sums_total ~n:nb ~kparams
+    in
+    ( [
+        launch
+          (scan_block_kernel (name_prefix ^ "_scan") ~src ~dst
+             ~sums:(Some sums) ~n)
+          (nb, 1, 1);
+      ]
+      @ sub_launches
+      @ [
+          launch
+            (add_offsets_kernel (name_prefix ^ "_add") ~dst
+               ~offsets:sums_scanned ~n)
+            (nb, 1, 1);
+          launch (total_kernel (name_prefix ^ "_total") ~src ~dst ~total ~n)
+            (1, 1, 1);
+        ],
+      [ (sums, Ty.I32, nb); (sums_scanned, Ty.I32, nb);
+        (sums_total, Ty.I32, 1) ]
+      @ sub_temps )
+  end

@@ -1,0 +1,1 @@
+lib/core/collect.ml: Access Array Constr Format Host Levels List Pat Ppat_gpu Ppat_ir String

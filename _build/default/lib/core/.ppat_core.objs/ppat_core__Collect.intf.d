@@ -1,0 +1,1 @@
+lib/core/collect.mli: Constr Format Ppat_gpu Ppat_ir

@@ -1,0 +1,1 @@
+lib/core/dop.ml: Array Mapping Ppat_gpu

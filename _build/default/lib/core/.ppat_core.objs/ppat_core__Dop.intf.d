@@ -1,0 +1,1 @@
+lib/core/dop.mli: Mapping Ppat_gpu

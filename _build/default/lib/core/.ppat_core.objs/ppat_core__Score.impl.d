@@ -1,0 +1,1 @@
+lib/core/score.ml: Array Constr List Mapping Ppat_gpu

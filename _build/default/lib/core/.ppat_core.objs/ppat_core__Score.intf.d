@@ -1,0 +1,1 @@
+lib/core/score.mli: Constr Mapping Ppat_gpu

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Collect Dop Float List Mapping Ppat_gpu Printf Score

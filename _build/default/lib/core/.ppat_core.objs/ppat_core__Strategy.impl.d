@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Collect List Mapping Printf Score Search

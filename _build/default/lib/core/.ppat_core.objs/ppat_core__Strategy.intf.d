@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Collect Mapping Ppat_gpu

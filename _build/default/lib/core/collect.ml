@@ -1,0 +1,148 @@
+open Ppat_ir
+
+type t = {
+  levels : Levels.t;
+  level_sizes : int array;
+  span_all_required : Constr.span_all_reason option array;
+  softs : Constr.soft list;
+  accesses : Access.access list;
+}
+
+let needs_global_sync (p : Pat.pattern) =
+  match p.kind with
+  | Pat.Reduce _ | Pat.Arg_min _ | Pat.Filter _ | Pat.Group_by _ -> true
+  | Pat.Map _ | Pat.Foreach -> false
+
+let collect ?(params = []) ?bind dev (prog : Pat.prog) (top : Pat.pattern) =
+  let params = Host.params_of prog params in
+  let levels = Levels.of_top top in
+  let nlevels = levels.depth in
+  let level_sizes =
+    Array.init nlevels (fun l -> Levels.level_size params levels l)
+  in
+  (* hard: span(all) requirements, merged per level *)
+  let span_all_required = Array.make nlevels None in
+  Array.iteri
+    (fun l pats ->
+      List.iter
+        (fun (p : Pat.pattern) ->
+          let set r =
+            if span_all_required.(l) = None then span_all_required.(l) <- Some r
+          in
+          if needs_global_sync p then set (Constr.Global_sync p.label);
+          match p.size with
+          | Pat.Sdyn _ -> set (Constr.Dynamic_size p.label)
+          | Pat.Sconst _ | Pat.Sparam _ | Pat.Sexp _ -> ())
+        pats)
+    levels.per_level;
+  (* soft: coalescing from stride-1 accesses *)
+  let accesses = Access.collect ~params prog top in
+  let coalesce =
+    List.filter_map
+      (fun (a : Access.access) ->
+        if a.alocal then None
+        else begin
+          let strides =
+            List.map
+              (fun (pid, s) ->
+                ( Levels.level_of levels pid,
+                  match s with
+                  | Access.Known v -> Some v
+                  | Access.Unknown -> None ))
+              a.strides
+          in
+          (* only accesses that can actually coalesce constrain the
+             mapping; everything else scores the same under any choice *)
+          if List.exists (fun (_, s) -> s = Some 1) strides then
+            Some
+              (Constr.Coalesce
+                 {
+                   strides;
+                   buf = a.abuf;
+                   weight = Constr.intrinsic_coalesce *. a.weight;
+                 })
+          else None
+        end)
+      accesses
+  in
+  let total_work =
+    Array.fold_left (fun acc s -> acc *. float_of_int s) 1. level_sizes
+  in
+  (* the implicit output store of a bound top-level Map writes out[i0]:
+     stride 1 in level 0 *)
+  let out_coalesce =
+    match top.kind, bind with
+    | Pat.Map _, Some out
+      when List.exists (fun (b : Pat.buffer) -> b.bname = out) prog.buffers
+      ->
+      [
+        Constr.Coalesce
+          {
+            strides =
+              List.init nlevels (fun l -> (l, if l = 0 then Some 1 else Some 0));
+            buf = out;
+            weight =
+              Constr.intrinsic_coalesce *. float_of_int level_sizes.(0);
+          };
+      ]
+    | _ -> []
+  in
+  (* a narrow reduction tree only pays off when the other levels supply
+     enough blocks to saturate the device; with scarce outer parallelism a
+     wide intra-block tree is the only source of occupancy *)
+  let outer_work_of l =
+    Array.to_list level_sizes
+    |> List.filteri (fun i _ -> i <> l)
+    |> List.fold_left ( * ) 1
+  in
+  let lean_threshold =
+    Ppat_gpu.Device.min_dop dev / dev.Ppat_gpu.Device.warp_size
+  in
+  let lean_reduces =
+    if nlevels < 2 then []
+    else
+      List.filter_map
+        (fun l ->
+          match span_all_required.(l) with
+          | Some (Constr.Global_sync _) when outer_work_of l >= lean_threshold
+            ->
+            Some
+              (Constr.Lean_reduce
+                 { level = l; weight = Constr.intrinsic_lean_reduce *. total_work })
+          | _ -> None)
+        (List.init nlevels (fun i -> i))
+  in
+  let min_block =
+    Constr.Min_block { weight = Constr.intrinsic_min_block *. total_work }
+  in
+  let fits =
+    List.init nlevels (fun l ->
+        Constr.Fit
+          {
+            level = l;
+            size = level_sizes.(l);
+            weight = Constr.intrinsic_fit *. total_work;
+          })
+  in
+  {
+    levels;
+    level_sizes;
+    span_all_required;
+    softs = coalesce @ out_coalesce @ lean_reduces @ (min_block :: fits);
+    accesses;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>levels: %d, sizes: [%s]@," t.levels.depth
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int t.level_sizes)));
+  Array.iteri
+    (fun l r ->
+      match r with
+      | Some reason ->
+        Format.fprintf ppf "hard: L%d span(all) — %a@," l Constr.pp_reason
+          reason
+      | None -> ())
+    t.span_all_required;
+  List.iter (fun s -> Format.fprintf ppf "soft: %a@," Constr.pp_soft s) t.softs;
+  Format.fprintf ppf "@]"

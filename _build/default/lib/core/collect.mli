@@ -1,0 +1,38 @@
+(** Constraint collection: traverse one top-level nest and derive the
+    constraint set the search optimises over (paper Section IV-C).
+
+    - Every Reduce / Arg_min / Filter / Group_by pattern adds a hard
+      Span(all) requirement at its level (its result needs combining across
+      all indices of the level); so does any pattern whose size is unknown
+      at launch. Requirements of patterns sharing a level are merged — the
+      conservative-span global hard constraint of Table II.
+    - Every stride-1 global-memory access adds a Coalesce soft constraint
+      for the level whose index advances the address by one element, with
+      derived weight [intrinsic x execution count] (Figure 8). Accesses to
+      pattern-local arrays are skipped: their physical layout is chosen
+      after mapping by the pre-allocation optimisation (Section V-A).
+    - A Min_block soft constraint and per-level Fit soft constraints model
+      resource utilisation. *)
+
+type t = {
+  levels : Ppat_ir.Levels.t;
+  level_sizes : int array;  (** resolved with launch parameters *)
+  span_all_required : Constr.span_all_reason option array;  (** per level *)
+  softs : Constr.soft list;
+  accesses : Ppat_ir.Access.access list;  (** raw analysis, for reporting *)
+}
+
+val collect :
+  ?params:(string * int) list ->
+  ?bind:string ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  Ppat_ir.Pat.pattern ->
+  t
+(** Analyse the nest rooted at the given top-level pattern. [params]
+    resolves sizes (defaults apply, then {!Ppat_ir.Levels.default_dyn_size}
+    for dynamic sizes). [bind] is the output buffer of a bound top-level
+    pattern; a Map's implicit store out[i0] contributes a level-0
+    coalescing constraint. *)
+
+val pp : Format.formatter -> t -> unit

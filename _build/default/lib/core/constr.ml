@@ -1,0 +1,43 @@
+type span_all_reason = Global_sync of string | Dynamic_size of string
+
+type soft =
+  | Coalesce of {
+      strides : (int * int option) list;
+      buf : string;
+      weight : float;
+    }
+  | Min_block of { weight : float }
+  | Fit of { level : int; size : int; weight : float }
+  | Lean_reduce of { level : int; weight : float }
+
+let intrinsic_coalesce = 10.
+let intrinsic_min_block = 0.2
+let intrinsic_fit = 0.3
+let intrinsic_lean_reduce = 0.15
+
+let soft_weight = function
+  | Coalesce { weight; _ }
+  | Min_block { weight }
+  | Fit { weight; _ }
+  | Lean_reduce { weight; _ } ->
+    weight
+
+let pp_soft ppf = function
+  | Coalesce { strides; buf; weight } ->
+    Format.fprintf ppf "coalesce(%s, [%s], w=%g)" buf
+      (String.concat "; "
+         (List.map
+            (fun (l, s) ->
+              Printf.sprintf "L%d:%s" l
+                (match s with Some v -> string_of_int v | None -> "?"))
+            strides))
+      weight
+  | Min_block { weight } -> Format.fprintf ppf "min_block(w=%g)" weight
+  | Fit { level; size; weight } ->
+    Format.fprintf ppf "fit(L%d, size=%d, w=%g)" level size weight
+  | Lean_reduce { level; weight } ->
+    Format.fprintf ppf "lean_reduce(L%d, w=%g)" level weight
+
+let pp_reason ppf = function
+  | Global_sync p -> Format.fprintf ppf "global sync (%s)" p
+  | Dynamic_size p -> Format.fprintf ppf "dynamic size (%s)" p

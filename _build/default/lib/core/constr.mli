@@ -1,0 +1,57 @@
+(** Mapping constraints (paper Section IV-C, Table II).
+
+    Constraints come in two orthogonal categories: scope (local to one
+    pattern / global across patterns of a level) and weight (hard — must
+    hold for correctness; soft — scored performance hints). Hard span
+    requirements are merged per level at collection time (the
+    "most conservative span" global hard constraint); the block-size limits
+    of the device are enforced during candidate generation; soft
+    constraints carry derived weights (intrinsic weight x execution count,
+    Figure 8) and are summed by {!Score}. *)
+
+(** Why a level is forced to Span(all). *)
+type span_all_reason =
+  | Global_sync of string
+      (** the named pattern needs cross-block synchronisation to produce its
+          result (Reduce, Arg_min, Filter, Group_by) *)
+  | Dynamic_size of string
+      (** the named pattern's size is unknown at launch time *)
+
+type soft =
+  | Coalesce of {
+      strides : (int * int option) list;
+          (** per level: [Some s] = known element stride of the access in
+              that level's index, [None] = data-dependent *)
+      buf : string;
+      weight : float;
+    }
+      (** one constraint per qualifying access: satisfied when the level on
+          dimension x steps the address by one element (true coalescing,
+          requiring a warp-multiple block size) or by zero (a warp
+          broadcast, a single transaction on real hardware) *)
+  | Min_block of { weight : float }
+      (** total threads per block at least {!Ppat_gpu.Device.min_block_size} *)
+  | Fit of { level : int; size : int; weight : float }
+      (** the level's block size should not overshoot the level's domain
+          (idle threads waste occupancy); satisfied when
+          bsize <= max(warp, next power of two of the size) *)
+  | Lean_reduce of { level : int; weight : float }
+      (** a level that needs intra-block combining (Reduce and friends)
+          pays one shared-memory tree round plus barrier per log2(bsize);
+          when outer parallelism is available the tree should stay narrow —
+          satisfied when bsize <= the warp size. This is what makes the
+          search reproduce the [DimY,64]/[DimX,32] choice of paper Figure 9
+          instead of a 1024-wide tree. Only emitted for nests with more
+          than one level. *)
+
+val intrinsic_coalesce : float
+(** Highest intrinsic weight — "applications written using parallel
+    patterns are often bandwidth limited" (Section IV-C). *)
+
+val intrinsic_min_block : float
+val intrinsic_fit : float
+val intrinsic_lean_reduce : float
+
+val soft_weight : soft -> float
+val pp_soft : Format.formatter -> soft -> unit
+val pp_reason : Format.formatter -> span_all_reason -> unit

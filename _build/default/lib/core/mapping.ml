@@ -1,0 +1,64 @@
+type dim = X | Y | Z
+type span = Span of int | Span_all | Split of int
+type decision = { dim : dim; bsize : int; span : span }
+type t = decision array
+
+let span1 = Span 1
+let dims = [ X; Y; Z ]
+let dim_index = function X -> 0 | Y -> 1 | Z -> 2
+let dim_name = function X -> "x" | Y -> "y" | Z -> "z"
+
+let threads_per_block (m : t) =
+  Array.fold_left (fun acc d -> acc * d.bsize) 1 m
+
+let cdiv a b = (a + b - 1) / b
+
+let dop ~sizes (m : t) =
+  let level l (d : decision) =
+    let size = sizes.(l) in
+    match d.span with
+    | Span n -> max 1 (cdiv size (max 1 n))
+    | Span_all -> min d.bsize (max 1 size)
+    | Split k -> min (d.bsize * k) (max 1 size)
+  in
+  let acc = ref 1 in
+  Array.iteri (fun l d -> acc := !acc * level l d) m;
+  !acc
+
+let level_of_dim (m : t) dim =
+  let found = ref None in
+  Array.iteri (fun l d -> if d.dim = dim && !found = None then found := Some l) m;
+  !found
+
+let block_extent (m : t) dim =
+  match level_of_dim m dim with None -> 1 | Some l -> m.(l).bsize
+
+let grid_extent ~sizes (m : t) dim =
+  match level_of_dim m dim with
+  | None -> 1
+  | Some l -> (
+    let size = max 1 sizes.(l) in
+    match m.(l).span with
+    | Span n -> max 1 (cdiv size (m.(l).bsize * max 1 n))
+    | Span_all -> 1
+    | Split k -> k)
+
+let equal (a : t) (b : t) = a = b
+
+let pp_span ppf = function
+  | Span 1 -> Format.pp_print_string ppf "span(1)"
+  | Span n -> Format.fprintf ppf "span(%d)" n
+  | Span_all -> Format.pp_print_string ppf "span(all)"
+  | Split k -> Format.fprintf ppf "split(%d)" k
+
+let pp ppf (m : t) =
+  Array.iteri
+    (fun l d ->
+      Format.fprintf ppf "%sL%d:[Dim%s, %d, %a]"
+        (if l = 0 then "" else " ")
+        l
+        (String.uppercase_ascii (dim_name d.dim))
+        d.bsize pp_span d.span)
+    m
+
+let to_string m = Format.asprintf "%a" pp m

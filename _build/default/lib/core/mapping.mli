@@ -1,0 +1,60 @@
+(** Mapping parameters for nested patterns (paper Section IV-A).
+
+    A mapping assigns to every nest level a {e logical dimension}, a
+    {e block size} and a {e degree-of-parallelism control} (Span/Split):
+
+    - the dimension orders levels by how fast their thread indices vary
+      (x fastest — the dimension whose adjacent indices are adjacent
+      hardware threads, hence the one that coalesces);
+    - the block size is the number of threads the CUDA block spends on the
+      level; the block's total threads is the product over levels;
+    - Span(1) parallelises every index; Span(n) makes each thread cover n
+      points; Span(all) covers the whole level with one block (required
+      when the level needs cross-block synchronisation or its size is
+      unknown at launch); Split(k) relaxes Span(all) into k blocks plus a
+      combiner kernel. *)
+
+type dim = X | Y | Z
+
+type span =
+  | Span of int  (** Span(n); Span(1) is full parallelisation *)
+  | Span_all
+  | Split of int  (** k >= 2 sections + combiner kernel *)
+
+type decision = { dim : dim; bsize : int; span : span }
+
+type t = decision array
+(** One decision per level, index 0 = outermost. *)
+
+val span1 : span
+
+val dims : dim list
+(** The logical dimensions in order: [x; y; z]. The code generator supports
+    three, matching CUDA's block dimensionality. *)
+
+val dim_index : dim -> int
+val dim_name : dim -> string
+
+val threads_per_block : t -> int
+(** Product of the block sizes of all levels. *)
+
+val dop : sizes:int array -> t -> int
+(** Degree of parallelism enabled by the mapping for the given level sizes:
+    Span(n) contributes [size/n], Span(all) contributes the level's block
+    size (paper Section IV-D: "span(all) contributes to DOP not in terms of
+    its loop size but in terms of the block size"), Split(k) contributes
+    [bsize * k]. *)
+
+val level_of_dim : t -> dim -> int option
+(** Which level (if any) the mapping assigns to a hardware dimension. *)
+
+val block_extent : t -> dim -> int
+(** Block size along a hardware dimension (1 when unused). *)
+
+val grid_extent : sizes:int array -> t -> dim -> int
+(** Number of blocks along a hardware dimension: ceil(size / (bsize * n))
+    for Span(n), 1 for Span(all), k for Split(k). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

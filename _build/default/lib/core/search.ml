@@ -1,0 +1,101 @@
+type result = {
+  mapping : Mapping.t;
+  raw_mapping : Mapping.t;
+  score : float;
+  dop : int;
+  candidates : int;
+}
+
+let block_size_candidates (dev : Ppat_gpu.Device.t) =
+  let rec go n = if n > dev.max_threads_per_block then [] else n :: go (2 * n) in
+  go 1
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let iter_candidates dev (c : Collect.t) f =
+  let nlevels = c.levels.depth in
+  if nlevels > List.length Mapping.dims then
+    invalid_arg
+      (Printf.sprintf "search: %d levels exceed the %d logical dimensions"
+         nlevels (List.length Mapping.dims));
+  let dim_assignments = permutations (take nlevels Mapping.dims) in
+  let bsizes = block_size_candidates dev in
+  let spans_for l =
+    match c.span_all_required.(l) with
+    | Some _ -> [ Mapping.Span_all ]
+    | None -> [ Mapping.span1; Mapping.Span_all ]
+  in
+  (* enumerate per-level (bsize, span) choices depth-first *)
+  let rec levels l acc dims =
+    if l = nlevels then begin
+      let m = Array.of_list (List.rev acc) in
+      if Mapping.threads_per_block m <= dev.max_threads_per_block then f m
+    end
+    else
+      match dims with
+      | [] -> assert false
+      | dim :: dims_rest ->
+        List.iter
+          (fun bsize ->
+            if bsize <= dev.max_block_dim then
+              List.iter
+                (fun span ->
+                  levels (l + 1)
+                    ({ Mapping.dim; bsize; span } :: acc)
+                    dims_rest)
+                (spans_for l))
+          bsizes
+  in
+  List.iter (fun dims -> levels 0 [] dims) dim_assignments
+
+let enumerate dev (c : Collect.t) =
+  let out = ref [] in
+  iter_candidates dev c (fun m ->
+      out := (Array.copy m, Score.score dev c.softs m) :: !out);
+  List.rev !out
+
+let search dev (c : Collect.t) =
+  let best = ref None in
+  let count = ref 0 in
+  iter_candidates dev c (fun m ->
+      incr count;
+      let s = Score.score dev c.softs m in
+      let d = Mapping.dop ~sizes:c.level_sizes m in
+      (* ties prefer blocks near 256 threads: large enough to fill an SM
+         with few blocks, small enough to spread across SMs on small
+         grids *)
+      let t =
+        let tpb = Mapping.threads_per_block m in
+        abs
+          (int_of_float (Float.round (Float.log2 (float_of_int tpb))) - 8)
+      in
+      match !best with
+      | None -> best := Some (Array.copy m, s, d, t)
+      | Some (_, bs, bd, bt) ->
+        if
+          s > bs
+          || (s = bs && d > bd)
+          || (s = bs && d = bd && t < bt)
+        then best := Some (Array.copy m, s, d, t));
+  match !best with
+  | None -> failwith "search: no hard-feasible mapping"
+  | Some (raw, score, _, _) ->
+    let mapping = Dop.control dev ~sizes:c.level_sizes raw in
+    {
+      mapping;
+      raw_mapping = raw;
+      score;
+      dop = Mapping.dop ~sizes:c.level_sizes mapping;
+      candidates = !count;
+    }

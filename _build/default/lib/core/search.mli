@@ -1,0 +1,29 @@
+(** Brute-force search for an efficient mapping (paper Algorithm 1).
+
+    Candidates combine a permutation of logical dimensions over levels,
+    per-level block sizes from powers of two up to the device block limit,
+    and Span(1)/Span(all) per level (Span(all) forced where hard
+    constraints require it). Hard block-size limits prune candidates; soft
+    constraints score them; ties break towards higher DOP, then towards
+    thread blocks closest to 256 threads, then towards the
+    first candidate in a deterministic enumeration order (the paper picks
+    randomly — determinism keeps tests stable). The winner finally goes
+    through {!Dop.control}. *)
+
+type result = {
+  mapping : Mapping.t;  (** after DOP control *)
+  raw_mapping : Mapping.t;  (** best candidate before DOP control *)
+  score : float;
+  dop : int;  (** of [mapping], with the analysed sizes *)
+  candidates : int;  (** hard-feasible candidates enumerated *)
+}
+
+val search : Ppat_gpu.Device.t -> Collect.t -> result
+
+val enumerate :
+  Ppat_gpu.Device.t -> Collect.t -> (Mapping.t * float) list
+(** Every hard-feasible candidate with its score, before DOP control — the
+    mapping-space scatter of paper Figure 17. *)
+
+val block_size_candidates : Ppat_gpu.Device.t -> int list
+(** 1, 2, 4, ..., max threads per block. *)

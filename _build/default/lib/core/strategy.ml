@@ -1,0 +1,86 @@
+type t =
+  | Auto
+  | One_d
+  | Thread_block_thread
+  | Warp_based
+  | Fixed of Mapping.t
+
+type decision = { mapping : Mapping.t; score : float; via : string }
+
+let name = function
+  | Auto -> "MultiDim"
+  | One_d -> "1D"
+  | Thread_block_thread -> "ThreadBlock/Thread"
+  | Warp_based -> "Warp-based"
+  | Fixed _ -> "Fixed"
+
+let all_fixed = [ One_d; Thread_block_thread; Warp_based ]
+
+(* overlay hard Span(all) requirements onto a preset *)
+let respect_hard (c : Collect.t) (m : Mapping.t) =
+  Array.mapi
+    (fun l (d : Mapping.decision) ->
+      match c.span_all_required.(l) with
+      | Some _ when d.span <> Mapping.Span_all && (match d.span with Mapping.Split _ -> false | _ -> true) ->
+        { d with span = Mapping.Span_all }
+      | _ -> d)
+    m
+
+let dim_of_level l = List.nth Mapping.dims l
+
+let preset (c : Collect.t) which =
+  let depth = c.levels.depth in
+  let open Mapping in
+  let m =
+    match which, depth with
+    | `One_d, _ ->
+      Array.init depth (fun l ->
+          if l = 0 then { dim = X; bsize = 256; span = span1 }
+          else { dim = dim_of_level l; bsize = 1; span = Span_all })
+    | (`Tbt | `Warp), 1 ->
+      (* fixed two-level strategies degenerate on flat patterns *)
+      [| { dim = X; bsize = 256; span = span1 } |]
+    | `Tbt, _ ->
+      Array.init depth (fun l ->
+          if l = 0 then { dim = Y; bsize = 1; span = span1 }
+          else if l = 1 then { dim = X; bsize = 1024; span = Span_all }
+          else { dim = Z; bsize = 1; span = Span_all })
+    | `Warp, _ ->
+      Array.init depth (fun l ->
+          if l = 0 then { dim = Y; bsize = 16; span = span1 }
+          else if l = 1 then { dim = X; bsize = 32; span = Span_all }
+          else { dim = Z; bsize = 1; span = Span_all })
+  in
+  respect_hard c m
+
+let decide dev (c : Collect.t) strat =
+  match strat with
+  | Auto ->
+    let r = Search.search dev c in
+    {
+      mapping = r.mapping;
+      score = r.score;
+      via =
+        Printf.sprintf "auto search (%d candidates, DOP %d)" r.candidates
+          r.dop;
+    }
+  | One_d ->
+    let m = preset c `One_d in
+    { mapping = m; score = Score.score dev c.softs m; via = "1D preset" }
+  | Thread_block_thread ->
+    let m = preset c `Tbt in
+    {
+      mapping = m;
+      score = Score.score dev c.softs m;
+      via = "thread-block/thread preset";
+    }
+  | Warp_based ->
+    let m = preset c `Warp in
+    {
+      mapping = m;
+      score = Score.score dev c.softs m;
+      via = "warp-based preset";
+    }
+  | Fixed m ->
+    let m = respect_hard c m in
+    { mapping = m; score = Score.score dev c.softs m; via = "fixed" }

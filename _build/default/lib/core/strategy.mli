@@ -1,0 +1,36 @@
+(** Mapping strategies: the paper's automatic analysis plus the fixed
+    strategies of previous work it is compared against (Section IV-B,
+    Figure 7).
+
+    The fixed strategies are expressed in the same mapping parameters:
+    - {e 1D}: parallelise only the outermost level (one thread per outer
+      index); inner levels run sequentially inside the thread;
+    - {e thread-block/thread} (Copperhead): one block per outer index,
+      inner level across the 1024 threads of the block;
+    - {e warp-based} (Hong et al.): one warp per outer index, inner level
+      across the 32 threads of the warp (outer block size 16).
+
+    Fixed strategies still honour hard Span(all) requirements (they must
+    produce correct code) but perform no DOP control — their fixedness is
+    exactly what Figures 3 and 13 measure. *)
+
+type t =
+  | Auto  (** the paper's locality-aware search ("MultiDim") *)
+  | One_d
+  | Thread_block_thread
+  | Warp_based
+  | Fixed of Mapping.t  (** externally supplied (mapping-space sweeps) *)
+
+type decision = {
+  mapping : Mapping.t;
+  score : float;
+  via : string;  (** provenance for reports *)
+}
+
+val name : t -> string
+
+val decide : Ppat_gpu.Device.t -> Collect.t -> t -> decision
+(** Resolve a strategy into a concrete mapping for an analysed nest. *)
+
+val all_fixed : t list
+(** [One_d; Thread_block_thread; Warp_based]. *)

@@ -1,0 +1,1 @@
+lib/cpu/cpu_cost.ml: Float Interp_ref

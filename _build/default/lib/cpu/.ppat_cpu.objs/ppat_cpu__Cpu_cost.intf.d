@@ -1,0 +1,1 @@
+lib/cpu/cpu_cost.mli: Interp_ref

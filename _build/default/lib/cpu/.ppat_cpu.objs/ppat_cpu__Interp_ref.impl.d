@@ -1,0 +1,1 @@
+lib/cpu/interp_ref.ml: Array Exp Float Format Hashtbl Host List Pat Ppat_ir Ty

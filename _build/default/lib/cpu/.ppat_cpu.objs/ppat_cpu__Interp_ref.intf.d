@@ -1,0 +1,1 @@
+lib/cpu/interp_ref.mli: Ppat_ir

@@ -1,0 +1,15 @@
+type t = {
+  cores : int;
+  clock_ghz : float;
+  ops_per_cycle : float;
+  mem_gbps : float;
+}
+
+let xeon_2x4 = { cores = 8; clock_ghz = 2.67; ops_per_cycle = 4.; mem_gbps = 24. }
+
+let seconds m (c : Interp_ref.counts) =
+  let compute =
+    c.ops /. (float_of_int m.cores *. m.ops_per_cycle *. m.clock_ghz *. 1e9)
+  in
+  let memory = c.bytes /. (m.mem_gbps *. 1e9) in
+  Float.max compute memory

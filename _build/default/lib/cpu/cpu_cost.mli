@@ -1,0 +1,19 @@
+(** Analytical multi-core CPU cost model — the baseline of paper Figure 14.
+
+    The reference machine is the paper's Dell Precision T7500n: two
+    quad-core Xeon X5550-class processors at 2.67 GHz. The model charges
+    the larger of a throughput bound (operations over cores x SIMD issue)
+    and a memory bound (bytes over socket bandwidth), taking the operation
+    and byte counts measured by the reference interpreter. *)
+
+type t = {
+  cores : int;
+  clock_ghz : float;
+  ops_per_cycle : float;  (** per-core scalar-op throughput (SSE-ish) *)
+  mem_gbps : float;
+}
+
+val xeon_2x4 : t
+(** 8 cores, 2.67 GHz, 4 ops/cycle/core, 24 GB/s. *)
+
+val seconds : t -> Interp_ref.counts -> float

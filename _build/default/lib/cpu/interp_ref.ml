@@ -1,0 +1,403 @@
+open Ppat_ir
+
+type counts = { ops : float; bytes : float }
+
+type v = VI of int | VF of float | VB of bool
+
+let die fmt = Format.kasprintf failwith fmt
+
+let v_name = function VI _ -> "int" | VF _ -> "float" | VB _ -> "bool"
+
+let as_int = function
+  | VI n -> n
+  | VB b -> if b then 1 else 0
+  | VF _ -> die "expected int, got float"
+
+let as_bool = function
+  | VB b -> b
+  | VI n -> n <> 0
+  | VF _ -> die "expected bool, got float"
+
+let bin op a b =
+  let open Exp in
+  match op, a, b with
+  | Add, VI x, VI y -> VI (x + y)
+  | Add, VF x, VF y -> VF (x +. y)
+  | Sub, VI x, VI y -> VI (x - y)
+  | Sub, VF x, VF y -> VF (x -. y)
+  | Mul, VI x, VI y -> VI (x * y)
+  | Mul, VF x, VF y -> VF (x *. y)
+  | Div, VI x, VI y -> if y = 0 then die "div by zero" else VI (x / y)
+  | Div, VF x, VF y -> VF (x /. y)
+  | Mod, VI x, VI y -> if y = 0 then die "mod by zero" else VI (x mod y)
+  | Min, VI x, VI y -> VI (min x y)
+  | Min, VF x, VF y -> VF (Float.min x y)
+  | Max, VI x, VI y -> VI (max x y)
+  | Max, VF x, VF y -> VF (Float.max x y)
+  | And, VB x, VB y -> VB (x && y)
+  | Or, VB x, VB y -> VB (x || y)
+  | op, a, b ->
+    die "binop %s on %s and %s" (binop_name op) (v_name a) (v_name b)
+
+let un op a =
+  let open Exp in
+  match op, a with
+  | Neg, VI x -> VI (-x)
+  | Neg, VF x -> VF (-.x)
+  | Not, VB x -> VB (not x)
+  | Sqrt, VF x -> VF (Float.sqrt x)
+  | Exp_, VF x -> VF (Float.exp x)
+  | Log_, VF x -> VF (Float.log x)
+  | Abs, VF x -> VF (Float.abs x)
+  | Abs, VI x -> VI (abs x)
+  | I2f, VI x -> VF (float_of_int x)
+  | F2i, VF x -> VI (int_of_float x)
+  | op, a -> die "unop %s on %s" (unop_name op) (v_name a)
+
+let cmp op a b =
+  let open Exp in
+  let c =
+    match a, b with
+    | VI x, VI y -> compare x y
+    | VF x, VF y -> compare x y
+    | VB x, VB y -> compare x y
+    | a, b -> die "compare %s with %s" (v_name a) (v_name b)
+  in
+  VB
+    (match op with
+     | Eq -> c = 0
+     | Ne -> c <> 0
+     | Lt -> c < 0
+     | Le -> c <= 0
+     | Gt -> c > 0
+     | Ge -> c >= 0)
+
+(* scoped interpreter context; [vars], [locals] and [idxs] are rebound
+   functionally, globals and counters are shared mutable state *)
+type counters = { mutable ops : float; mutable bytes : float }
+
+type ctx = {
+  prog : Pat.prog;
+  params : (string * int) list;
+  globals : (string, Host.buf) Hashtbl.t;
+  c : counters;  (* shared across scope copies of the context *)
+  vars : (string * v ref) list;
+  locals : (string * v array) list;
+  idxs : (int * int) list;
+}
+
+let buffer_of ctx name =
+  match Hashtbl.find_opt ctx.globals name with
+  | Some b -> Some b
+  | None -> None
+
+let dims_of ctx name =
+  let b = Pat.find_buffer ctx.prog name in
+  List.map (Ty.extent_value ctx.params) b.dims, b.blayout
+
+let linear ctx name idxs =
+  let dims, layout = dims_of ctx name in
+  if List.length dims <> List.length idxs then
+    die "buffer %s: %d dims, %d indices" name (List.length dims)
+      (List.length idxs);
+  let pairs =
+    match layout with
+    | Pat.Row_major -> List.combine idxs dims
+    | Pat.Col_major -> List.rev (List.combine idxs dims)
+  in
+  match pairs with
+  | [] -> 0
+  | (i0, _) :: rest ->
+    List.fold_left (fun acc (i, d) -> (acc * d) + i) i0 rest
+
+let read_global ctx name idxs =
+  match buffer_of ctx name with
+  | None -> die "read of unknown buffer %S" name
+  | Some buf ->
+    let li = linear ctx name idxs in
+    ctx.c.bytes <- ctx.c.bytes +. 8.;
+    (match buf with
+     | Host.F a ->
+       if li < 0 || li >= Array.length a then
+         die "read out of bounds: %s[%d]" name li;
+       VF a.(li)
+     | Host.I a ->
+       if li < 0 || li >= Array.length a then
+         die "read out of bounds: %s[%d]" name li;
+       VI a.(li))
+
+let write_global ctx name idxs v =
+  match buffer_of ctx name with
+  | None -> die "write to unknown buffer %S" name
+  | Some buf ->
+    let li = linear ctx name idxs in
+    ctx.c.bytes <- ctx.c.bytes +. 8.;
+    (match buf, v with
+     | Host.F a, VF x ->
+       if li < 0 || li >= Array.length a then
+         die "write out of bounds: %s[%d]" name li;
+       a.(li) <- x
+     | Host.I a, (VI _ | VB _) ->
+       if li < 0 || li >= Array.length a then
+         die "write out of bounds: %s[%d]" name li;
+       a.(li) <- as_int v
+     | Host.F _, x -> die "write of %s into float buffer %s" (v_name x) name
+     | Host.I _, x -> die "write of %s into int buffer %s" (v_name x) name)
+
+let rec eval ctx (e : Exp.t) : v =
+  match e with
+  | Exp.Int n -> VI n
+  | Exp.Float x -> VF x
+  | Exp.Bool b -> VB b
+  | Exp.Idx pid -> (
+    match List.assoc_opt pid ctx.idxs with
+    | Some i -> VI i
+    | None -> die "free pattern index i%d" pid)
+  | Exp.Param p -> (
+    match List.assoc_opt p ctx.params with
+    | Some v -> VI v
+    | None -> die "unbound parameter %S" p)
+  | Exp.Var x -> (
+    match List.assoc_opt x ctx.vars with
+    | Some v -> !v
+    | None -> die "unbound variable %S" x)
+  | Exp.Len name -> (
+    match List.assoc_opt name ctx.locals with
+    | Some a -> VI (Array.length a)
+    | None -> die "len of unknown local array %S" name)
+  | Exp.Read (name, idxs) -> (
+    ctx.c.ops <- ctx.c.ops +. 1.;
+    let ivals = List.map (fun i -> as_int (eval ctx i)) idxs in
+    match List.assoc_opt name ctx.locals with
+    | Some arr -> (
+      match ivals with
+      | [ i ] ->
+        if i < 0 || i >= Array.length arr then
+          die "local read out of bounds: %s[%d]" name i;
+        arr.(i)
+      | _ -> die "local array %S read with %d indices" name (List.length ivals))
+    | None -> read_global ctx name ivals)
+  | Exp.Bin (op, a, b) ->
+    ctx.c.ops <- ctx.c.ops +. 1.;
+    bin op (eval ctx a) (eval ctx b)
+  | Exp.Un (op, a) ->
+    ctx.c.ops <- ctx.c.ops +. 1.;
+    un op (eval ctx a)
+  | Exp.Cmp (op, a, b) ->
+    ctx.c.ops <- ctx.c.ops +. 1.;
+    cmp op (eval ctx a) (eval ctx b)
+  | Exp.Select (c, a, b) ->
+    ctx.c.ops <- ctx.c.ops +. 1.;
+    if as_bool (eval ctx c) then eval ctx a else eval ctx b
+
+let size_of ctx (p : Pat.pattern) =
+  match p.size with
+  | Pat.Sconst n -> n
+  | Pat.Sparam s -> (
+    match List.assoc_opt s ctx.params with
+    | Some v -> v
+    | None -> die "unbound size parameter %S" s)
+  | Pat.Sexp e -> as_int (eval ctx e)
+  | Pat.Sdyn e -> as_int (eval ctx e)
+
+(* run body statements, returning the extended context *)
+let rec run_stmts ctx stmts = List.fold_left run_stmt ctx stmts
+
+and run_stmt ctx (s : Pat.stmt) =
+  match s with
+  | Pat.Let (x, e) -> { ctx with vars = (x, ref (eval ctx e)) :: ctx.vars }
+  | Pat.Assign (x, e) -> (
+    match List.assoc_opt x ctx.vars with
+    | Some cell ->
+      cell := eval ctx e;
+      ctx
+    | None -> die "assignment to unbound variable %S" x)
+  | Pat.Store (name, idxs, e) ->
+    let v = eval ctx e in
+    (match List.assoc_opt name ctx.locals with
+     | Some arr -> (
+       match List.map (fun i -> as_int (eval ctx i)) idxs with
+       | [ i ] ->
+         if i < 0 || i >= Array.length arr then
+           die "local store out of bounds: %s[%d]" name i;
+         arr.(i) <- v
+       | l -> die "local array %S written with %d indices" name (List.length l))
+     | None ->
+       write_global ctx name (List.map (fun i -> as_int (eval ctx i)) idxs) v);
+    ctx
+  | Pat.Atomic_add (name, idxs, e) ->
+    let v = eval ctx e in
+    let ivals = List.map (fun i -> as_int (eval ctx i)) idxs in
+    (match List.assoc_opt name ctx.locals with
+     | Some arr -> (
+       match ivals with
+       | [ i ] -> arr.(i) <- bin Exp.Add arr.(i) v
+       | _ -> die "local atomic with multiple indices")
+     | None ->
+       let old = read_global ctx name ivals in
+       write_global ctx name ivals (bin Exp.Add old v));
+    ctx
+  | Pat.Nested n -> run_nested ctx n
+  | Pat.If (c, t, e) ->
+    if as_bool (eval ctx c) then ignore (run_stmts ctx t)
+    else ignore (run_stmts ctx e);
+    ctx
+  | Pat.For (x, lo, hi, body) ->
+    let l = as_int (eval ctx lo) and h = as_int (eval ctx hi) in
+    for i = l to h - 1 do
+      ignore (run_stmts { ctx with vars = (x, ref (VI i)) :: ctx.vars } body)
+    done;
+    ctx
+  | Pat.While (c, body) ->
+    (* sequential while: body must act through stores/atomics since lets
+       are scoped; loop-carried state lives in locals or globals *)
+    let guard = ref 0 in
+    while as_bool (eval ctx c) do
+      ignore (run_stmts ctx body);
+      incr guard;
+      if !guard > 100_000_000 then die "runaway while loop"
+    done;
+    ctx
+
+and run_nested ctx (n : Pat.nested) =
+  let p = n.pat in
+  let size = size_of ctx p in
+  let at i = { ctx with idxs = (p.pid, i) :: ctx.idxs } in
+  let yield_at i y =
+    let c = run_stmts (at i) p.body in
+    eval c y
+  in
+  match p.kind, n.bind with
+  | Pat.Foreach, _ ->
+    for i = 0 to size - 1 do
+      ignore (run_stmts (at i) p.body)
+    done;
+    ctx
+  | Pat.Map { yield }, Some name ->
+    if is_global ctx name then begin
+      for i = 0 to size - 1 do
+        write_global ctx name [ i ] (yield_at i yield)
+      done;
+      ctx
+    end
+    else begin
+      let arr = Array.make size (VF 0.) in
+      for i = 0 to size - 1 do
+        arr.(i) <- yield_at i yield
+      done;
+      { ctx with locals = (name, arr) :: ctx.locals }
+    end
+  | Pat.Reduce { yield; r }, Some name ->
+    let acc = ref (eval ctx r.init) in
+    for i = 0 to size - 1 do
+      let v = yield_at i yield in
+      let cctx =
+        { ctx with vars = (r.a, ref !acc) :: (r.b, ref v) :: ctx.vars }
+      in
+      acc := eval cctx r.combine
+    done;
+    bind_scalar ctx name !acc
+  | Pat.Arg_min { yield }, Some name ->
+    let best = ref infinity and best_i = ref 0 in
+    for i = 0 to size - 1 do
+      match yield_at i yield with
+      | VF x -> if x < !best then (best := x; best_i := i)
+      | VI x ->
+        if float_of_int x < !best then (best := float_of_int x; best_i := i)
+      | VB _ -> die "argmin over booleans"
+    done;
+    bind_scalar ctx name (VI !best_i)
+  | Pat.Filter { pred; yield }, Some name ->
+    let out = ref [] and count = ref 0 in
+    for i = 0 to size - 1 do
+      let c = run_stmts (at i) p.body in
+      if as_bool (eval c pred) then begin
+        out := eval c yield :: !out;
+        incr count
+      end
+    done;
+    let vals = List.rev !out in
+    if is_global ctx name then begin
+      List.iteri (fun i v -> write_global ctx name [ i ] v) vals;
+      write_global ctx (name ^ "_count") [ 0 ] (VI !count);
+      ctx
+    end
+    else die "nested filter %s must bind a global output" p.label
+  | Pat.Group_by { key; value; num_keys }, Some name ->
+    let nk = Ty.extent_value ctx.params num_keys in
+    let buckets = Array.make nk [] in
+    for i = 0 to size - 1 do
+      let c = run_stmts (at i) p.body in
+      let k = as_int (eval c key) in
+      if k < 0 || k >= nk then die "group key %d out of range [0,%d)" k nk;
+      buckets.(k) <- eval c value :: buckets.(k)
+    done;
+    if not (is_global ctx name) then
+      die "nested group_by %s must bind a global output" p.label;
+    (* counts, exclusive-scan offsets, then values segment by segment *)
+    let off = ref 0 in
+    Array.iteri
+      (fun k b ->
+        let c = List.length b in
+        write_global ctx (name ^ "_counts") [ k ] (VI c);
+        write_global ctx (name ^ "_offsets") [ k ] (VI !off);
+        List.iteri
+          (fun j v -> write_global ctx name [ !off + j ] v)
+          (List.rev b);
+        off := !off + c)
+      buckets;
+    ctx
+  | (Pat.Map _ | Pat.Reduce _ | Pat.Arg_min _ | Pat.Filter _ | Pat.Group_by _),
+    None ->
+    die "pattern %s produces a value but has no binding" p.label
+
+and is_global ctx name = Hashtbl.mem ctx.globals name
+
+and bind_scalar ctx name v =
+  if is_global ctx name then begin
+    write_global ctx name [ 0 ] v;
+    ctx
+  end
+  else { ctx with vars = (name, ref v) :: ctx.vars }
+
+let rec run_step ctx (s : Pat.step) =
+  match s with
+  | Pat.Launch n -> ignore (run_nested ctx n)
+  | Pat.Host_loop { var; count; body } ->
+    let n = Ty.extent_value ctx.params count in
+    for i = 0 to n - 1 do
+      let ctx' = { ctx with params = (var, i) :: ctx.params } in
+      List.iter (run_step ctx') body
+    done
+  | Pat.Swap (a, b) ->
+    let ba = Hashtbl.find ctx.globals a and bb = Hashtbl.find ctx.globals b in
+    Hashtbl.replace ctx.globals a bb;
+    Hashtbl.replace ctx.globals b ba
+  | Pat.While_flag { flag; max_iter; body } ->
+    let continue_ = ref true and iters = ref 0 in
+    while !continue_ && !iters < max_iter do
+      (match Hashtbl.find ctx.globals flag with
+       | Host.I a -> a.(0) <- 0
+       | Host.F a -> a.(0) <- 0.);
+      List.iter (run_step ctx) body;
+      (match Hashtbl.find ctx.globals flag with
+       | Host.I a -> continue_ := a.(0) <> 0
+       | Host.F a -> continue_ := a.(0) <> 0.);
+      incr iters
+    done
+
+let run ?(params = []) (prog : Pat.prog) (data : Host.data) =
+  let params = Host.params_of prog params in
+  let globals = Hashtbl.create 16 in
+  List.iter (fun (k, b) -> Hashtbl.replace globals k b)
+    (Host.alloc_all prog params data);
+  let ctx =
+    { prog; params; globals; c = { ops = 0.; bytes = 0. }; vars = [];
+      locals = []; idxs = [] }
+  in
+  List.iter (run_step ctx) prog.steps;
+  let out =
+    List.map (fun (b : Pat.buffer) -> (b.bname, Hashtbl.find globals b.bname))
+      prog.buffers
+  in
+  (out, ({ ops = ctx.c.ops; bytes = ctx.c.bytes } : counts))

@@ -1,0 +1,1 @@
+lib/gpu/memory.ml: Array Hashtbl List Ppat_ir Printf

@@ -1,0 +1,1 @@
+lib/gpu/timing.ml: Device Float Format Stats

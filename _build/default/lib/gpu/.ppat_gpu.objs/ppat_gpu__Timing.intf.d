@@ -1,0 +1,1 @@
+lib/gpu/timing.mli: Device Format Stats

@@ -1,0 +1,83 @@
+type t = {
+  dname : string;
+  sm_count : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_threads_per_block : int;
+  max_block_dim : int;
+  warp_size : int;
+  clock_ghz : float;
+  dram_gbps : float;
+  mem_latency : float;
+  issue_rate : float;
+  transaction_bytes : int;
+  departure_cycles : float;
+  smem_banks : int;
+  kernel_launch_us : float;
+  block_dispatch_cycles : float;
+  malloc_cycles : float;
+  atomic_extra_cycles : float;
+  barrier_cycles : float;
+  l2_bytes : int;
+  l2_gbps : float;
+}
+
+let k20c =
+  {
+    dname = "Tesla K20c (simulated)";
+    sm_count = 13;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+    max_threads_per_block = 1024;
+    max_block_dim = 1024;
+    warp_size = 32;
+    clock_ghz = 0.706;
+    dram_gbps = 208.;
+    mem_latency = 400.;
+    issue_rate = 4.;
+    transaction_bytes = 128;
+    departure_cycles = 2.;
+    smem_banks = 32;
+    kernel_launch_us = 5.;
+    block_dispatch_cycles = 50.;
+    malloc_cycles = 400.;
+    atomic_extra_cycles = 8.;
+    barrier_cycles = 16.;
+    l2_bytes = 1_310_720;
+    l2_gbps = 512.;
+  }
+
+let c2050 =
+  {
+    dname = "Tesla C2050 (simulated)";
+    sm_count = 14;
+    max_threads_per_sm = 1536;
+    max_blocks_per_sm = 8;
+    max_threads_per_block = 1024;
+    max_block_dim = 1024;
+    warp_size = 32;
+    clock_ghz = 1.15;
+    dram_gbps = 144.;
+    mem_latency = 500.;
+    issue_rate = 2.;
+    transaction_bytes = 128;
+    departure_cycles = 2.;
+    smem_banks = 32;
+    kernel_launch_us = 6.;
+    block_dispatch_cycles = 60.;
+    malloc_cycles = 500.;
+    atomic_extra_cycles = 16.;
+    barrier_cycles = 20.;
+    l2_bytes = 786_432;
+    l2_gbps = 384.;
+  }
+
+let min_dop d = d.sm_count * d.max_threads_per_sm
+let max_dop d = 100 * min_dop d
+let min_block_size = 64
+
+let pp ppf d =
+  Format.fprintf ppf
+    "%s: %d SMs, %d thr/SM, %d blk/SM, warp %d, %.3f GHz, %.0f GB/s"
+    d.dname d.sm_count d.max_threads_per_sm d.max_blocks_per_sm d.warp_size
+    d.clock_ghz d.dram_gbps

@@ -1,0 +1,81 @@
+type entry = { base : int; elem_bytes : int; data : Ppat_ir.Host.buf }
+
+type t = {
+  mutable next_base : int;
+  bufs : (string, entry) Hashtbl.t;
+  (* approximate-LRU L2: line id -> last-touch tick *)
+  l2 : (int, int) Hashtbl.t;
+  mutable l2_tick : int;
+}
+
+let create () =
+  { next_base = 256; bufs = Hashtbl.create 32; l2 = Hashtbl.create 4096;
+    l2_tick = 0 }
+
+let align n a = (n + a - 1) / a * a
+
+let install t name elem_bytes data nbytes =
+  let base = align t.next_base 256 in
+  t.next_base <- base + nbytes;
+  let e = { base; elem_bytes; data } in
+  Hashtbl.replace t.bufs name e;
+  e
+
+let load t name (buf : Ppat_ir.Host.buf) =
+  match buf with
+  | Ppat_ir.Host.F a ->
+    install t name 8 (Ppat_ir.Host.F (Array.copy a)) (8 * Array.length a)
+  | Ppat_ir.Host.I a ->
+    install t name 4 (Ppat_ir.Host.I (Array.copy a)) (4 * Array.length a)
+
+let alloc_f t name n =
+  install t name 8 (Ppat_ir.Host.F (Array.make n 0.)) (8 * n)
+
+let alloc_i t name n =
+  install t name 4 (Ppat_ir.Host.I (Array.make n 0)) (4 * n)
+
+let find t name =
+  match Hashtbl.find_opt t.bufs name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Memory.find: no buffer %S" name)
+
+let mem t name = Hashtbl.mem t.bufs name
+
+let swap t a b =
+  let ea = find t a and eb = find t b in
+  Hashtbl.replace t.bufs a eb;
+  Hashtbl.replace t.bufs b ea
+
+let to_host t name =
+  match (find t name).data with
+  | Ppat_ir.Host.F a -> Ppat_ir.Host.F (Array.copy a)
+  | Ppat_ir.Host.I a -> Ppat_ir.Host.I (Array.copy a)
+
+let addr e i = e.base + (i * e.elem_bytes)
+
+let segments ~transaction_bytes addrs =
+  let segs = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace segs (a / transaction_bytes) ()) addrs;
+  Hashtbl.fold (fun line () acc -> line :: acc) segs []
+
+let coalesce ~transaction_bytes addrs =
+  List.length (segments ~transaction_bytes addrs)
+
+let cache_access t ~cap_lines ~lines =
+  let hits = ref 0 in
+  List.iter
+    (fun line ->
+      t.l2_tick <- t.l2_tick + 1;
+      if Hashtbl.mem t.l2 line then incr hits;
+      Hashtbl.replace t.l2 line t.l2_tick)
+    lines;
+  (* amortised eviction: when 25% over capacity, keep the newest lines *)
+  if Hashtbl.length t.l2 > cap_lines + (cap_lines / 4) then begin
+    let all = Hashtbl.fold (fun line tick acc -> (tick, line) :: acc) t.l2 [] in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) all in
+    Hashtbl.reset t.l2;
+    List.iteri
+      (fun i (tick, line) -> if i < cap_lines then Hashtbl.replace t.l2 line tick)
+      sorted
+  end;
+  !hits

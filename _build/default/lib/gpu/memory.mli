@@ -1,0 +1,53 @@
+(** Simulated device global memory.
+
+    Buffers live in a single flat byte-address space so the interpreter can
+    coalesce a warp's accesses exactly the way the hardware memory
+    controller does: the 32 lane addresses of one warp instruction are
+    grouped into distinct aligned [transaction_bytes] segments and each
+    segment costs one DRAM transaction (Section II, "GPU Hardware"). *)
+
+type t
+
+type entry = {
+  base : int;  (** byte address of element 0, 256-byte aligned *)
+  elem_bytes : int;
+  data : Ppat_ir.Host.buf;  (** mutable contents *)
+}
+
+val create : unit -> t
+
+val load : t -> string -> Ppat_ir.Host.buf -> entry
+(** Allocate a named buffer and copy host contents in. Re-loading an
+    existing name rebinds it to a fresh allocation. *)
+
+val alloc_f : t -> string -> int -> entry
+(** Allocate a zero-filled float buffer of [n] elements. *)
+
+val alloc_i : t -> string -> int -> entry
+
+val find : t -> string -> entry
+(** @raise Invalid_argument on unknown names. *)
+
+val mem : t -> string -> bool
+
+val swap : t -> string -> string -> unit
+(** Exchange the storage bound to two names (host-side pointer swap). *)
+
+val to_host : t -> string -> Ppat_ir.Host.buf
+(** Copy a buffer's current contents back out. *)
+
+val addr : entry -> int -> int
+(** Byte address of element [i]. *)
+
+val coalesce : transaction_bytes:int -> int list -> int
+(** Number of aligned transactions covering the given byte addresses — the
+    coalescing rule applied per warp memory instruction. *)
+
+val segments : transaction_bytes:int -> int list -> int list
+(** The distinct aligned transaction (cache line) ids behind those
+    addresses. *)
+
+val cache_access : t -> cap_lines:int -> lines:int list -> int
+(** Run transaction lines through the device-lifetime L2 model (an
+    approximate-LRU set of line ids, shared across kernel launches like the
+    real unified L2); returns how many of them hit. *)

@@ -1,0 +1,73 @@
+type t = {
+  mutable warp_insts : float;
+  mutable mem_insts : float;
+  mutable transactions : float;
+  mutable bytes : float;
+  mutable l2_bytes : float;
+  mutable smem_insts : float;
+  mutable smem_conflict_extra : float;
+  mutable syncs : float;
+  mutable divergent_branches : float;
+  mutable atomics : float;
+  mutable atomic_serial_extra : float;
+  mutable mallocs : float;
+}
+
+let create () =
+  {
+    warp_insts = 0.;
+    mem_insts = 0.;
+    transactions = 0.;
+    bytes = 0.;
+    l2_bytes = 0.;
+    smem_insts = 0.;
+    smem_conflict_extra = 0.;
+    syncs = 0.;
+    divergent_branches = 0.;
+    atomics = 0.;
+    atomic_serial_extra = 0.;
+    mallocs = 0.;
+  }
+
+let add acc s =
+  acc.warp_insts <- acc.warp_insts +. s.warp_insts;
+  acc.mem_insts <- acc.mem_insts +. s.mem_insts;
+  acc.transactions <- acc.transactions +. s.transactions;
+  acc.bytes <- acc.bytes +. s.bytes;
+  acc.l2_bytes <- acc.l2_bytes +. s.l2_bytes;
+  acc.smem_insts <- acc.smem_insts +. s.smem_insts;
+  acc.smem_conflict_extra <- acc.smem_conflict_extra +. s.smem_conflict_extra;
+  acc.syncs <- acc.syncs +. s.syncs;
+  acc.divergent_branches <- acc.divergent_branches +. s.divergent_branches;
+  acc.atomics <- acc.atomics +. s.atomics;
+  acc.atomic_serial_extra <- acc.atomic_serial_extra +. s.atomic_serial_extra;
+  acc.mallocs <- acc.mallocs +. s.mallocs
+
+let reset s =
+  s.warp_insts <- 0.;
+  s.mem_insts <- 0.;
+  s.transactions <- 0.;
+  s.bytes <- 0.;
+  s.l2_bytes <- 0.;
+  s.smem_insts <- 0.;
+  s.smem_conflict_extra <- 0.;
+  s.syncs <- 0.;
+  s.divergent_branches <- 0.;
+  s.atomics <- 0.;
+  s.atomic_serial_extra <- 0.;
+  s.mallocs <- 0.
+
+let copy s =
+  let c = create () in
+  add c s;
+  c
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>warp insts: %.0f@,global mem insts: %.0f (transactions: %.0f, \
+     dram %.0f B, l2 %.0f B)@,smem insts: %.0f (+%.0f conflict)@,syncs: \
+     %.0f@,divergent branches: %.0f@,atomics: %.0f (+%.0f serial)@,mallocs: \
+     %.0f@]"
+    s.warp_insts s.mem_insts s.transactions s.bytes s.l2_bytes s.smem_insts
+    s.smem_conflict_extra s.syncs s.divergent_branches s.atomics
+    s.atomic_serial_extra s.mallocs

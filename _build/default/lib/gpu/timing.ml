@@ -1,0 +1,97 @@
+type geometry = { grid : int * int * int; block : int * int * int }
+
+type breakdown = {
+  seconds : float;
+  compute_cycles : float;
+  bandwidth_cycles : float;
+  latency_cycles : float;
+  overhead_cycles : float;
+  resident_warps : int;
+  active_sms : int;
+  bound : [ `Compute | `Bandwidth | `Latency ];
+}
+
+let estimate (d : Device.t) g (s : Stats.t) =
+  let gx, gy, gz = g.grid and bx, by, bz = g.block in
+  let blocks = gx * gy * gz in
+  let tpb = bx * by * bz in
+  let warps_per_block = (tpb + d.warp_size - 1) / d.warp_size in
+  let blocks_per_sm =
+    max 1 (min d.max_blocks_per_sm (d.max_threads_per_sm / max 1 tpb))
+  in
+  let max_warps_per_sm = d.max_threads_per_sm / d.warp_size in
+  let active_sms = max 1 (min d.sm_count blocks) in
+  let blocks_per_active_sm = (blocks + active_sms - 1) / active_sms in
+  let resident_warps =
+    min max_warps_per_sm
+      (min blocks_per_sm blocks_per_active_sm * warps_per_block)
+  in
+  let fa = float_of_int active_sms in
+  (* compute bound: issue throughput over the SMs that have work *)
+  let eff_insts =
+    s.warp_insts +. s.smem_conflict_extra
+    +. (s.atomic_serial_extra *. d.atomic_extra_cycles /. 4.)
+    +. (s.syncs *. d.barrier_cycles /. 4.)
+  in
+  let compute_cycles = eff_insts /. d.issue_rate /. fa in
+  (* bandwidth bound: DRAM for misses, the faster L2 for hits *)
+  let bytes_per_cycle = d.dram_gbps /. d.clock_ghz in
+  let l2_bytes_per_cycle = d.l2_gbps /. d.clock_ghz in
+  let bandwidth_cycles =
+    (s.bytes /. bytes_per_cycle) +. (s.l2_bytes /. l2_bytes_per_cycle)
+  in
+  (* latency bound: memory latency overlapped across MWP warps per SM *)
+  let latency_cycles =
+    if s.mem_insts <= 0. then 0.
+    else begin
+      let trans_per_mem = s.transactions /. s.mem_insts in
+      let departure = d.departure_cycles *. Float.max 1. trans_per_mem in
+      let mwp =
+        Float.max 1.
+          (Float.min (float_of_int resident_warps) (d.mem_latency /. departure))
+      in
+      s.mem_insts /. fa *. d.mem_latency /. mwp
+    end
+  in
+  let overhead_cycles =
+    (float_of_int blocks *. d.block_dispatch_cycles /. fa)
+    +. (s.mallocs *. d.malloc_cycles)
+  in
+  let core = Float.max compute_cycles (Float.max bandwidth_cycles latency_cycles) in
+  let bound =
+    if core = compute_cycles then `Compute
+    else if core = bandwidth_cycles then `Bandwidth
+    else `Latency
+  in
+  let cycles = core +. overhead_cycles in
+  let seconds = cycles /. (d.clock_ghz *. 1e9) in
+  {
+    seconds;
+    compute_cycles;
+    bandwidth_cycles;
+    latency_cycles;
+    overhead_cycles;
+    resident_warps;
+    active_sms;
+    bound;
+  }
+
+let kernel_seconds d g s =
+  (estimate d g s).seconds +. (d.kernel_launch_us *. 1e-6)
+
+let pcie_gbps = 6.
+
+let transfer_seconds _d ~bytes = float_of_int bytes /. (pcie_gbps *. 1e9)
+
+let pp_breakdown ppf b =
+  let bound =
+    match b.bound with
+    | `Compute -> "compute"
+    | `Bandwidth -> "bandwidth"
+    | `Latency -> "latency"
+  in
+  Format.fprintf ppf
+    "%.3g s (%s-bound; cycles: comp %.3g / bw %.3g / lat %.3g / ovh %.3g; \
+     %d warps/SM on %d SMs)"
+    b.seconds bound b.compute_cycles b.bandwidth_cycles b.latency_cycles
+    b.overhead_cycles b.resident_warps b.active_sms

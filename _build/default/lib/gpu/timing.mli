@@ -1,0 +1,44 @@
+(** Analytical kernel timing model in the style of Hong & Kim [ISCA'09],
+    the class of model the paper proposes integrating (Section VI-G).
+
+    Given the exact execution counts collected by the SIMT interpreter and
+    the launch geometry, the model combines three bounds and takes the
+    dominating one:
+
+    - {b compute}: total warp instructions (plus bank-conflict and atomic
+      serialisation) over the device issue throughput, restricted to the
+      SMs that actually receive blocks;
+    - {b bandwidth}: DRAM transactions times the transaction size over
+      device bandwidth — this is where poor coalescing hurts;
+    - {b latency}: each global-memory instruction exposes [mem_latency]
+      cycles, overlapped across the memory warp parallelism
+      MWP = min(resident warps, latency / departure delay), which is where
+      a low degree of parallelism (too few blocks or tiny blocks) hurts.
+
+    Per-block dispatch cost and the per-launch host overhead are added on
+    top, and device-side mallocs serialise globally. *)
+
+type geometry = { grid : int * int * int; block : int * int * int }
+
+type breakdown = {
+  seconds : float;  (** total estimated kernel time *)
+  compute_cycles : float;
+  bandwidth_cycles : float;
+  latency_cycles : float;
+  overhead_cycles : float;  (** block dispatch + malloc serialisation *)
+  resident_warps : int;  (** per-SM occupancy achieved *)
+  active_sms : int;
+  bound : [ `Compute | `Bandwidth | `Latency ];
+}
+
+val estimate : Device.t -> geometry -> Stats.t -> breakdown
+
+val kernel_seconds : Device.t -> geometry -> Stats.t -> float
+(** [estimate] plus the fixed per-launch overhead; the quantity the
+    experiment harness accumulates across launches. *)
+
+val transfer_seconds : Device.t -> bytes:int -> float
+(** Host-to-device PCIe transfer estimate (6 GB/s effective, as for the
+    paper's data-transfer bars in Figure 14). *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

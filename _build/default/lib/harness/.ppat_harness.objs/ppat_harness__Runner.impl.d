@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Host List Pat Ppat_codegen Ppat_core Ppat_cpu Ppat_gpu Ppat_ir Ppat_kernel Printf String Ty

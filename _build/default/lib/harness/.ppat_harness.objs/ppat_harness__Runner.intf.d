@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Ppat_codegen Ppat_core Ppat_cpu Ppat_gpu Ppat_ir

@@ -1,0 +1,203 @@
+open Ppat_ir
+module Strategy = Ppat_core.Strategy
+module Collect = Ppat_core.Collect
+module Mapping = Ppat_core.Mapping
+module Lower = Ppat_codegen.Lower
+module Interp = Ppat_kernel.Interp
+module Device = Ppat_gpu.Device
+module Memory = Ppat_gpu.Memory
+module Stats = Ppat_gpu.Stats
+module Timing = Ppat_gpu.Timing
+
+type gpu_result = {
+  seconds : float;
+  kernels : int;
+  stats : Stats.t;
+  data : Host.data;
+  decisions : (string * Strategy.decision) list;
+  notes : string list;
+}
+
+type cpu_result = {
+  cpu_seconds : float;
+  cpu_data : Host.data;
+  counts : Ppat_cpu.Interp_ref.counts;
+}
+
+let analysis_params (prog : Pat.prog) params =
+  let params = Host.params_of prog params in
+  let extra = ref [] in
+  let rec step = function
+    | Pat.Launch _ | Pat.Swap _ -> ()
+    | Pat.Host_loop { var; count; body } ->
+      let n = Ty.extent_value params count in
+      extra := (var, max 0 (n / 2)) :: !extra;
+      List.iter step body
+    | Pat.While_flag { body; _ } -> List.iter step body
+  in
+  List.iter step prog.steps;
+  !extra @ params
+
+(* one mapping decision per top-level pattern of the program *)
+let decide_all dev (prog : Pat.prog) params strategy =
+  let ap = analysis_params prog params in
+  let decisions = ref [] in
+  let rec step = function
+    | Pat.Launch n ->
+      if not (List.mem_assoc n.pat.Pat.pid !decisions) then begin
+        let c = Collect.collect ~params:ap ?bind:n.bind dev prog n.pat in
+        decisions := (n.pat.Pat.pid, Strategy.decide dev c strategy)
+                     :: !decisions
+      end
+    | Pat.Host_loop { body; _ } | Pat.While_flag { body; _ } ->
+      List.iter step body
+    | Pat.Swap _ -> ()
+  in
+  List.iter step prog.steps;
+  !decisions
+
+let exec_steps dev prog ~opts ~params ~mapping_of (data : Host.data) =
+  (match Pat.validate prog with
+   | Ok () -> ()
+   | Error e -> failwith ("invalid program: " ^ e));
+  let params = Host.params_of prog params in
+  let mem = Memory.create () in
+  List.iter (fun (name, buf) -> ignore (Memory.load mem name buf))
+    (Host.alloc_all prog params data);
+  let total_time = ref 0. in
+  let kernels = ref 0 in
+  let agg = Stats.create () in
+  let notes = ref [] in
+  let rec step cur_params (s : Pat.step) =
+    match s with
+    | Pat.Launch n ->
+      let mapping = mapping_of n.pat.Pat.pid in
+      let lowered =
+        Lower.lower dev ~opts ~params:cur_params prog n mapping
+      in
+      List.iter
+        (fun (t : Lower.temp) ->
+          ignore
+            (match t.telem with
+             | Ty.F64 -> Memory.alloc_f mem t.tname t.telems
+             | Ty.I32 | Ty.Bool -> Memory.alloc_i mem t.tname t.telems))
+        lowered.temps;
+      List.iter
+        (fun (l : Ppat_kernel.Kir.launch) ->
+          let s = Interp.run dev mem l in
+          Stats.add agg s;
+          total_time :=
+            !total_time +. Timing.kernel_seconds dev (Ppat_kernel.Kir.geometry l) s;
+          incr kernels)
+        lowered.launches;
+      notes := lowered.notes @ !notes
+    | Pat.Host_loop { var; count; body } ->
+      let n = Ty.extent_value cur_params count in
+      for i = 0 to n - 1 do
+        List.iter (step ((var, i) :: cur_params)) body
+      done
+    | Pat.Swap (a, b) -> Memory.swap mem a b
+    | Pat.While_flag { flag; max_iter; body } ->
+      let continue_ = ref true and iters = ref 0 in
+      while !continue_ && !iters < max_iter do
+        (match (Memory.find mem flag).data with
+         | Host.I a -> a.(0) <- 0
+         | Host.F a -> a.(0) <- 0.);
+        List.iter (step cur_params) body;
+        (match (Memory.find mem flag).data with
+         | Host.I a -> continue_ := a.(0) <> 0
+         | Host.F a -> continue_ := a.(0) <> 0.);
+        incr iters
+      done
+  in
+  List.iter (step params) prog.steps;
+  let out =
+    List.map
+      (fun (b : Pat.buffer) -> (b.bname, Memory.to_host mem b.bname))
+      prog.buffers
+  in
+  (!total_time, !kernels, agg, out, List.rev !notes)
+
+let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
+    data =
+  let decisions = decide_all dev prog params strategy in
+  let mapping_of pid =
+    (List.assoc pid decisions).Strategy.mapping
+  in
+  let seconds, kernels, stats, out, notes =
+    exec_steps dev prog ~opts ~params ~mapping_of data
+  in
+  let label_of pid =
+    let found = ref "" in
+    Pat.iter_patterns
+      (fun lvl p -> if lvl = 0 && p.Pat.pid = pid then found := p.Pat.label)
+      prog;
+    !found
+  in
+  {
+    seconds;
+    kernels;
+    stats;
+    data = out;
+    decisions = List.map (fun (pid, d) -> (label_of pid, d)) decisions;
+    notes;
+  }
+
+let run_gpu_mapped ?(opts = Lower.default_options) ?(params = []) dev prog
+    mapping_of data =
+  let seconds, kernels, stats, out, notes =
+    exec_steps dev prog ~opts ~params ~mapping_of data
+  in
+  { seconds; kernels; stats; data = out; decisions = []; notes }
+
+let run_cpu ?(params = []) prog data =
+  let cpu_data, counts = Ppat_cpu.Interp_ref.run ~params prog data in
+  let cpu_seconds = Ppat_cpu.Cpu_cost.seconds Ppat_cpu.Cpu_cost.xeon_2x4 counts in
+  { cpu_seconds; cpu_data; counts }
+
+let input_bytes ?(params = []) (prog : Pat.prog) =
+  let params = Host.params_of prog params in
+  List.fold_left
+    (fun acc (b : Pat.buffer) ->
+      match b.bkind with
+      | Pat.Input ->
+        acc + (Host.buffer_elems params b * Ty.scalar_bytes b.elem)
+      | Pat.Output | Pat.Temp -> acc)
+    0 prog.buffers
+
+let sort_buf = function
+  | Host.F a ->
+    let c = Array.copy a in
+    Array.sort compare c;
+    Host.F c
+  | Host.I a ->
+    let c = Array.copy a in
+    Array.sort compare c;
+    Host.I c
+
+let check ?(eps = 1e-6) ?(unordered = []) ?only (prog : Pat.prog) ~expected
+    ~actual =
+  let errors = ref [] in
+  let selected (b : Pat.buffer) =
+    match only with None -> true | Some names -> List.mem b.bname names
+  in
+  List.iter
+    (fun (b : Pat.buffer) ->
+      if selected b then
+      begin
+        (* inputs are compared too: iterative programs mutate them *)
+        let e = List.assoc b.bname expected
+        and a = List.assoc b.bname actual in
+        let e, a =
+          if List.mem b.bname unordered then (sort_buf e, sort_buf a)
+          else (e, a)
+        in
+        if not (Host.approx_equal ~eps e a) then errors := b.bname :: !errors
+      end)
+    prog.buffers;
+  match !errors with
+  | [] -> Ok ()
+  | bs ->
+    Error
+      (Printf.sprintf "mismatched buffers: %s"
+         (String.concat ", " (List.rev bs)))

@@ -1,0 +1,77 @@
+(** End-to-end experiment runner.
+
+    For one program and one mapping strategy this module performs the whole
+    paper pipeline: analyse each top-level nest (Section IV-C), pick a
+    mapping (Section IV-D or a fixed preset), lower to kernels at each
+    launch with the actual parameter values (Section IV-E), execute on the
+    SIMT simulator, and price the run with the timing model. The CPU
+    reference interpreter provides both the golden outputs every GPU run is
+    validated against and the op counts for the multi-core baseline. *)
+
+type gpu_result = {
+  seconds : float;  (** summed simulated kernel time incl. launch overhead *)
+  kernels : int;  (** kernels launched *)
+  stats : Ppat_gpu.Stats.t;  (** aggregated over all launches *)
+  data : Ppat_ir.Host.data;  (** final contents of all program buffers *)
+  decisions : (string * Ppat_core.Strategy.decision) list;
+      (** mapping per top-level pattern label *)
+  notes : string list;  (** codegen fallbacks *)
+}
+
+val run_gpu :
+  ?opts:Ppat_codegen.Lower.options ->
+  ?params:(string * int) list ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  Ppat_core.Strategy.t ->
+  Ppat_ir.Host.data ->
+  gpu_result
+(** Simulate the program under a strategy. [params] override program
+    defaults. @raise Failure on invalid programs. *)
+
+val run_gpu_mapped :
+  ?opts:Ppat_codegen.Lower.options ->
+  ?params:(string * int) list ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  (int -> Ppat_core.Mapping.t) ->
+  Ppat_ir.Host.data ->
+  gpu_result
+(** Like {!run_gpu} with an explicit mapping per top-level pattern pid —
+    used by the mapping-space sweep of Figure 17. *)
+
+type cpu_result = {
+  cpu_seconds : float;  (** multi-core cost-model estimate *)
+  cpu_data : Ppat_ir.Host.data;
+  counts : Ppat_cpu.Interp_ref.counts;
+}
+
+val run_cpu :
+  ?params:(string * int) list ->
+  Ppat_ir.Pat.prog ->
+  Ppat_ir.Host.data ->
+  cpu_result
+
+val input_bytes :
+  ?params:(string * int) list -> Ppat_ir.Pat.prog -> int
+(** Bytes of input buffers, for the PCIe-transfer bars of Figure 14. *)
+
+val check :
+  ?eps:float ->
+  ?unordered:string list ->
+  ?only:string list ->
+  Ppat_ir.Pat.prog ->
+  expected:Ppat_ir.Host.data ->
+  actual:Ppat_ir.Host.data ->
+  (unit, string) result
+(** Compare GPU outputs against the CPU oracle buffer by buffer. Buffers
+    named in [unordered] (filter/group-by outputs, whose element order is
+    nondeterministic under atomics) are compared as sorted multisets.
+    [only] restricts the comparison (used for hand-written baselines that
+    stage differently but agree on the designated results). *)
+
+val analysis_params :
+  Ppat_ir.Pat.prog -> (string * int) list -> (string * int) list
+(** The parameter environment used for mapping analysis: caller params over
+    program defaults, plus every host-loop variable bound to the midpoint
+    of its range (a representative iteration). *)

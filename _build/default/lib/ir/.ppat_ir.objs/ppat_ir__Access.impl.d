@@ -1,0 +1,1 @@
+lib/ir/access.ml: Exp Format Levels List Option Pat Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/access.mli: Exp Format Pat

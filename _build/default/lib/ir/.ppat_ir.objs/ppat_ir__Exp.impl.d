@@ -1,0 +1,1 @@
+lib/ir/exp.ml: Format List Option String

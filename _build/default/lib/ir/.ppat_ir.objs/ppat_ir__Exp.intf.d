@@ -1,0 +1,1 @@
+lib/ir/exp.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/host.ml: Array Float Format List Pat Printf Ty

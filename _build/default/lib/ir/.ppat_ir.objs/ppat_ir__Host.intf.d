@@ -1,0 +1,1 @@
+lib/ir/host.mli: Format Pat

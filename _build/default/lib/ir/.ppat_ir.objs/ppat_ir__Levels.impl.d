@@ -1,0 +1,1 @@
+lib/ir/levels.ml: Array Exp List Pat

@@ -1,0 +1,1 @@
+lib/ir/levels.mli: Pat

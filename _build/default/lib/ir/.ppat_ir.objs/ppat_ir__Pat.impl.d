@@ -1,0 +1,1 @@
+lib/ir/pat.ml: Exp Format Hashtbl List Printf String Ty

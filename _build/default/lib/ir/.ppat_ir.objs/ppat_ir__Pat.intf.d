@@ -1,0 +1,1 @@
+lib/ir/pat.mli: Exp Format Ty

@@ -1,0 +1,53 @@
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh_pid b =
+  let n = b.next in
+  b.next <- n + 1;
+  n
+
+let with_idx b f =
+  let pid = fresh_pid b in
+  let body, yield = f (Exp.Idx pid) in
+  (pid, body, yield)
+
+let map b ?label ~size f =
+  let pid, body, yield = with_idx b f in
+  Pat.pattern ?label ~pid ~size ~kind:(Pat.Map { yield }) body
+
+let zip_with b ?label ~size arr1 arr2 f =
+  let pid = fresh_pid b in
+  let i = Exp.Idx pid in
+  let yield = f (Exp.Read (arr1, [ i ])) (Exp.Read (arr2, [ i ])) in
+  Pat.pattern ?label ~pid ~size ~kind:(Pat.Map { yield }) []
+
+let reduce b ?label ?(r = Pat.sum_reducer) ~size f =
+  let pid, body, yield = with_idx b f in
+  Pat.pattern ?label ~pid ~size ~kind:(Pat.Reduce { yield; r }) body
+
+let arg_min b ?label ~size f =
+  let pid, body, yield = with_idx b f in
+  Pat.pattern ?label ~pid ~size ~kind:(Pat.Arg_min { yield }) body
+
+let foreach b ?label ~size f =
+  let pid = fresh_pid b in
+  let body = f (Exp.Idx pid) in
+  Pat.pattern ?label ~pid ~size ~kind:Pat.Foreach body
+
+let filter b ?label ~size ~pred f =
+  let pid = fresh_pid b in
+  let i = Exp.Idx pid in
+  Pat.pattern ?label ~pid ~size
+    ~kind:(Pat.Filter { pred = pred i; yield = f i })
+    []
+
+let group_by b ?label ~size ~num_keys ~key f =
+  let pid = fresh_pid b in
+  let i = Exp.Idx pid in
+  Pat.pattern ?label ~pid ~size
+    ~kind:(Pat.Group_by { key = key i; value = f i; num_keys })
+    []
+
+let bind x p = Pat.Nested { bind = Some x; pat = p }
+let nest p = Pat.Nested { bind = None; pat = p }

@@ -1,0 +1,80 @@
+(** Thin eDSL for writing pattern-IR programs — the "data parallel language
+    that provides a thin wrapper around the IR" of paper Section III.
+
+    A builder owns a pattern-id counter so applications never hand-pick ids.
+    Typical use:
+    {[
+      let b = Builder.create () in
+      let sum_rows =
+        Builder.map b ~label:"rows" ~size:(Sparam "R") (fun r ->
+          `Yield (Builder.reduce_exp b ~size:(Sparam "C")
+                    (fun c -> Exp.Read ("m", [r; c]))))
+    ]} *)
+
+type t
+
+val create : unit -> t
+val fresh_pid : t -> int
+
+val map :
+  t ->
+  ?label:string ->
+  size:Pat.psize ->
+  (Exp.t -> Pat.stmt list * Exp.t) ->
+  Pat.pattern
+(** [map b ~size f] builds a Map pattern; [f] receives the index variable and
+    returns the body statements and the yield expression. *)
+
+val zip_with :
+  t ->
+  ?label:string ->
+  size:Pat.psize ->
+  string ->
+  string ->
+  (Exp.t -> Exp.t -> Exp.t) ->
+  Pat.pattern
+(** [zip_with b ~size a c f] is Table I's zipWith: a Map whose element i is
+    [f a.(i) c.(i)]. *)
+
+val reduce :
+  t ->
+  ?label:string ->
+  ?r:Pat.reducer ->
+  size:Pat.psize ->
+  (Exp.t -> Pat.stmt list * Exp.t) ->
+  Pat.pattern
+(** Reduce with combiner [r] (default {!Pat.sum_reducer}). *)
+
+val arg_min :
+  t ->
+  ?label:string ->
+  size:Pat.psize ->
+  (Exp.t -> Pat.stmt list * Exp.t) ->
+  Pat.pattern
+
+val foreach :
+  t -> ?label:string -> size:Pat.psize -> (Exp.t -> Pat.stmt list) ->
+  Pat.pattern
+
+val filter :
+  t ->
+  ?label:string ->
+  size:Pat.psize ->
+  pred:(Exp.t -> Exp.t) ->
+  (Exp.t -> Exp.t) ->
+  Pat.pattern
+
+val group_by :
+  t ->
+  ?label:string ->
+  size:Pat.psize ->
+  num_keys:Ty.extent ->
+  key:(Exp.t -> Exp.t) ->
+  (Exp.t -> Exp.t) ->
+  Pat.pattern
+
+val bind : string -> Pat.pattern -> Pat.stmt
+(** [bind x p] nests pattern [p] in an enclosing body, binding its result. *)
+
+val nest : Pat.pattern -> Pat.stmt
+(** Nest an effectful (Foreach) pattern. *)

@@ -1,0 +1,156 @@
+type binop = Add | Sub | Mul | Div | Mod | Min | Max | And | Or
+type unop = Neg | Not | Sqrt | Exp_ | Log_ | Abs | I2f | F2i
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Idx of int
+  | Param of string
+  | Var of string
+  | Read of string * t list
+  | Len of string
+  | Bin of binop * t * t
+  | Un of unop * t
+  | Cmp of cmpop * t * t
+  | Select of t * t * t
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_name = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Sqrt -> "sqrt"
+  | Exp_ -> "exp"
+  | Log_ -> "log"
+  | Abs -> "abs"
+  | I2f -> "(float)"
+  | F2i -> "(int)"
+
+let cmpop_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float x -> Format.fprintf ppf "%g" x
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Idx p -> Format.fprintf ppf "i%d" p
+  | Param s -> Format.fprintf ppf "$%s" s
+  | Var s -> Format.pp_print_string ppf s
+  | Read (b, idxs) ->
+    Format.fprintf ppf "%s[%a]" b
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      idxs
+  | Len b -> Format.fprintf ppf "len(%s)" b
+  | Bin ((Min | Max) as op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (binop_name op) pp a pp b
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Un (op, a) -> Format.fprintf ppf "%s(%a)" (unop_name op) pp a
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmpop_name op) pp b
+  | Select (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Float _ | Bool _ | Idx _ | Param _ | Var _ | Len _ -> acc
+  | Read (_, idxs) -> List.fold_left (fold f) acc idxs
+  | Bin (_, a, b) | Cmp (_, a, b) -> fold f (fold f acc a) b
+  | Un (_, a) -> fold f acc a
+  | Select (c, a, b) -> fold f (fold f (fold f acc c) a) b
+
+let exists p e = fold (fun acc e -> acc || p e) false e
+
+let reads e =
+  List.rev
+    (fold (fun acc e -> match e with Read (b, i) -> (b, i) :: acc | _ -> acc)
+       [] e)
+
+let rec map_subtree f e =
+  match f e with
+  | Some e' -> e'
+  | None -> (
+    match e with
+    | Int _ | Float _ | Bool _ | Idx _ | Param _ | Var _ | Len _ -> e
+    | Read (b, idxs) -> Read (b, List.map (map_subtree f) idxs)
+    | Bin (op, a, b) -> Bin (op, map_subtree f a, map_subtree f b)
+    | Un (op, a) -> Un (op, map_subtree f a)
+    | Cmp (op, a, b) -> Cmp (op, map_subtree f a, map_subtree f b)
+    | Select (c, a, b) ->
+      Select (map_subtree f c, map_subtree f a, map_subtree f b))
+
+let subst_var x v =
+  map_subtree (function Var y when String.equal x y -> Some v | _ -> None)
+
+let subst_idx pid v =
+  map_subtree (function Idx q when q = pid -> Some v | _ -> None)
+
+let rec eval_int ~params (e : t) =
+  let both f a b =
+    match eval_int ~params a, eval_int ~params b with
+    | Some x, Some y -> f x y
+    | _ -> None
+  in
+  match e with
+  | Int n -> Some n
+  | Param p -> List.assoc_opt p params
+  | Bin (Add, a, b) -> both (fun x y -> Some (x + y)) a b
+  | Bin (Sub, a, b) -> both (fun x y -> Some (x - y)) a b
+  | Bin (Mul, a, b) -> both (fun x y -> Some (x * y)) a b
+  | Bin (Div, a, b) -> both (fun x y -> if y = 0 then None else Some (x / y)) a b
+  | Bin (Mod, a, b) ->
+    both (fun x y -> if y = 0 then None else Some (x mod y)) a b
+  | Bin (Min, a, b) -> both (fun x y -> Some (min x y)) a b
+  | Bin (Max, a, b) -> both (fun x y -> Some (max x y)) a b
+  | Un (Neg, a) -> Option.map (fun x -> -x) (eval_int ~params a)
+  | _ -> None
+
+module Infix = struct
+  let i n = Int n
+  let f x = Float x
+  let ( + ) a b = Bin (Add, a, b)
+  let ( - ) a b = Bin (Sub, a, b)
+  let ( * ) a b = Bin (Mul, a, b)
+  let ( / ) a b = Bin (Div, a, b)
+  let ( % ) a b = Bin (Mod, a, b)
+  let ( < ) a b = Cmp (Lt, a, b)
+  let ( <= ) a b = Cmp (Le, a, b)
+  let ( > ) a b = Cmp (Gt, a, b)
+  let ( >= ) a b = Cmp (Ge, a, b)
+  let ( = ) a b = Cmp (Eq, a, b)
+  let ( <> ) a b = Cmp (Ne, a, b)
+  let ( && ) a b = Bin (And, a, b)
+  let ( || ) a b = Bin (Or, a, b)
+  let not_ a = Un (Not, a)
+  let min_ a b = Bin (Min, a, b)
+  let max_ a b = Bin (Max, a, b)
+  let sqrt_ a = Un (Sqrt, a)
+  let abs_ a = Un (Abs, a)
+  let exp_ a = Un (Exp_, a)
+  let log_ a = Un (Log_, a)
+  let i2f a = Un (I2f, a)
+  let f2i a = Un (F2i, a)
+  let v s = Var s
+  let p s = Param s
+  let idx n = Idx n
+  let read b idxs = Read (b, idxs)
+  let select c a b = Select (c, a, b)
+end

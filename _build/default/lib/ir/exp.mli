@@ -1,0 +1,112 @@
+(** Scalar expressions of the pattern IR.
+
+    Expressions appear inside pattern bodies: index arithmetic, arithmetic on
+    loaded values, predicates of branches and filters. Array reads use
+    {e logical} multi-dimensional indices; the physical linearisation (row-
+    versus column-major) is a property of the buffer and is resolved by the
+    code generator, which is what lets the layout optimisation of paper
+    Section V-A re-map accesses without rewriting the program. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** float division, or truncating division on integers *)
+  | Mod
+  | Min
+  | Max
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  | Sqrt
+  | Exp_
+  | Log_
+  | Abs
+  | I2f  (** integer to float conversion *)
+  | F2i  (** float to integer truncation *)
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Idx of int
+      (** The index variable of the enclosing pattern with this pattern id. *)
+  | Param of string  (** Runtime integer parameter (host-supplied). *)
+  | Var of string  (** A [Let]-bound local of the enclosing body. *)
+  | Read of string * t list
+      (** [Read (buf, idxs)]: element of a global buffer or of a pattern-local
+          array at a logical multi-dimensional index. *)
+  | Len of string
+      (** Number of elements of a pattern-local array (its pattern size). *)
+  | Bin of binop * t * t
+  | Un of unop * t
+  | Cmp of cmpop * t * t
+  | Select of t * t * t  (** [Select (c, a, b)] = if [c] then [a] else [b]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val binop_name : binop -> string
+(** C-style spelling of an operator ("+", "min", ...). *)
+
+val unop_name : unop -> string
+val cmpop_name : cmpop -> string
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over an expression tree, visiting every sub-expression. *)
+
+val exists : (t -> bool) -> t -> bool
+(** [exists p e] is true when any sub-expression of [e] satisfies [p]. *)
+
+val reads : t -> (string * t list) list
+(** All [Read] nodes of the expression, outermost first. *)
+
+val subst_var : string -> t -> t -> t
+(** [subst_var x v e] replaces every [Var x] in [e] by [v]. *)
+
+val subst_idx : int -> t -> t -> t
+(** [subst_idx pid v e] replaces every [Idx pid] in [e] by [v]. *)
+
+val eval_int : params:(string * int) list -> t -> int option
+(** Constant-fold an integer expression over literals and parameters.
+    [None] when the expression mentions indices, variables, reads, or
+    floats. *)
+
+(** Convenience constructors used by application code. In expression-heavy
+    app modules, [open Ppat_ir.Exp.Infix] locally. *)
+module Infix : sig
+  val i : int -> t
+  val f : float -> t
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( % ) : t -> t -> t
+  val ( < ) : t -> t -> t
+  val ( <= ) : t -> t -> t
+  val ( > ) : t -> t -> t
+  val ( >= ) : t -> t -> t
+  val ( = ) : t -> t -> t
+  val ( <> ) : t -> t -> t
+  val ( && ) : t -> t -> t
+  val ( || ) : t -> t -> t
+  val not_ : t -> t
+  val min_ : t -> t -> t
+  val max_ : t -> t -> t
+  val sqrt_ : t -> t
+  val abs_ : t -> t
+  val exp_ : t -> t
+  val log_ : t -> t
+  val i2f : t -> t
+  val f2i : t -> t
+  val v : string -> t
+  val p : string -> t
+  val idx : int -> t
+  val read : string -> t list -> t
+  val select : t -> t -> t -> t
+end

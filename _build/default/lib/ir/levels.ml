@@ -1,0 +1,65 @@
+type t = {
+  top : Pat.pattern;
+  depth : int;
+  per_level : Pat.pattern list array;
+  level_of_pid : (int * int) list;
+}
+
+let of_top (top : Pat.pattern) =
+  let acc = ref [] in
+  let depth = ref 0 in
+  let rec visit level (p : Pat.pattern) =
+    acc := (level, p) :: !acc;
+    if level + 1 > !depth then depth := level + 1;
+    let rec stmt = function
+      | Pat.Let _ | Pat.Assign _ | Pat.Store _ | Pat.Atomic_add _ -> ()
+      | Pat.Nested n -> visit (level + 1) n.pat
+      | Pat.If (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+      | Pat.For (_, _, _, b) | Pat.While (_, b) -> List.iter stmt b
+    in
+    List.iter stmt p.body
+  in
+  visit 0 top;
+  let per_level = Array.make !depth [] in
+  List.iter
+    (fun (lvl, p) -> per_level.(lvl) <- p :: per_level.(lvl))
+    !acc;
+  let level_of_pid = List.map (fun (lvl, p) -> (p.Pat.pid, lvl)) !acc in
+  { top; depth = !depth; per_level; level_of_pid }
+
+let level_of t pid = List.assoc pid t.level_of_pid
+
+let default_dyn_size = 1000
+
+let size_value params = function
+  | Pat.Sconst n -> n
+  | Pat.Sparam p -> (
+    match List.assoc_opt p params with
+    | Some v -> v
+    | None -> default_dyn_size)
+  | Pat.Sexp e -> (
+    match Exp.eval_int ~params e with
+    | Some v -> v
+    | None -> default_dyn_size)
+  | Pat.Sdyn _ -> default_dyn_size
+
+let pattern_size params (p : Pat.pattern) =
+  match p.size with
+  | Pat.Sdyn _ -> (
+    match List.assoc_opt ("HINT_" ^ p.label) params with
+    | Some v -> v
+    | None -> default_dyn_size)
+  | s -> size_value params s
+
+let level_size params t lvl =
+  List.fold_left
+    (fun acc (p : Pat.pattern) -> max acc (pattern_size params p))
+    1 t.per_level.(lvl)
+
+let has_dynamic_size t lvl =
+  List.exists
+    (fun (p : Pat.pattern) ->
+      match p.size with Pat.Sdyn _ -> true | _ -> false)
+    t.per_level.(lvl)

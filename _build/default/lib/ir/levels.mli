@@ -1,0 +1,41 @@
+(** Nest-level structure of one top-level pattern (paper Section IV).
+
+    A {e level} is the depth of a pattern from the outermost enclosing
+    pattern: the launched pattern is level 0 and each nesting increments it.
+    Several patterns can share a level (e.g. the inner map and inner reduce
+    of PageRank, Figure 5), in which case the mapping analysis must pick the
+    most conservative span for the level (global hard constraint,
+    Table II). *)
+
+type t = {
+  top : Pat.pattern;
+  depth : int;  (** number of levels (1 for a flat pattern) *)
+  per_level : Pat.pattern list array;  (** patterns at each level *)
+  level_of_pid : (int * int) list;
+}
+
+val of_top : Pat.pattern -> t
+
+val level_of : t -> int -> int
+(** Level of the pattern with the given pid. @raise Not_found if unknown. *)
+
+val default_dyn_size : int
+(** Assumed domain size when a pattern size is not known during analysis
+    (1000, as in paper Section IV-C). *)
+
+val size_value : (string * int) list -> Pat.psize -> int
+(** Resolve a pattern size against the parameter environment; dynamic sizes
+    resolve to {!default_dyn_size}. *)
+
+val pattern_size : (string * int) list -> Pat.pattern -> int
+(** Like {!size_value}, but a dynamically-sized pattern first consults the
+    parameter ["HINT_<label>"] — the paper's "users can provide the size
+    information from the application" (Section IV-C). *)
+
+val level_size : (string * int) list -> t -> int -> int
+(** Representative domain size of a level: the maximum resolved
+    {!pattern_size} of the patterns at that level. *)
+
+val has_dynamic_size : t -> int -> bool
+(** True when any pattern at the level has an [Sdyn] size, which forces
+    Span(all) for the level (paper Section IV-A, first Span(all) case). *)

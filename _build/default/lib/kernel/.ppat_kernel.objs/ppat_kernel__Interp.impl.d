@@ -1,0 +1,1 @@
+lib/kernel/interp.ml: Array Device Effect Float Format Hashtbl Kir List Memory Option Ppat_gpu Ppat_ir Stats

@@ -1,0 +1,1 @@
+lib/kernel/interp.mli: Kir Ppat_gpu

@@ -1,0 +1,1 @@
+lib/kernel/kir.ml: Array Format Hashtbl List Ppat_gpu Ppat_ir Printf String

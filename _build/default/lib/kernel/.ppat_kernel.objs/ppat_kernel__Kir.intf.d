@@ -1,0 +1,1 @@
+lib/kernel/kir.mli: Format Ppat_gpu Ppat_ir

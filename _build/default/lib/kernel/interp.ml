@@ -1,0 +1,527 @@
+open Ppat_gpu
+
+exception Trap of string
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+let max_loop_iters = 1 lsl 24
+
+(* ----- values ----- *)
+
+type v = VU | VI of int | VF of float | VB of bool
+
+let v_name = function
+  | VU -> "undef"
+  | VI _ -> "int"
+  | VF _ -> "float"
+  | VB _ -> "bool"
+
+let as_int = function
+  | VI n -> n
+  | VB b -> if b then 1 else 0
+  | v -> trap "expected an integer, got %s" (v_name v)
+
+let as_bool = function
+  | VB b -> b
+  | VI n -> n <> 0
+  | v -> trap "expected a boolean, got %s" (v_name v)
+
+let eval_bin op a b =
+  let open Ppat_ir.Exp in
+  match op, a, b with
+  | Add, VI x, VI y -> VI (x + y)
+  | Add, VF x, VF y -> VF (x +. y)
+  | Sub, VI x, VI y -> VI (x - y)
+  | Sub, VF x, VF y -> VF (x -. y)
+  | Mul, VI x, VI y -> VI (x * y)
+  | Mul, VF x, VF y -> VF (x *. y)
+  | Div, VI x, VI y -> if y = 0 then trap "division by zero" else VI (x / y)
+  | Div, VF x, VF y -> VF (x /. y)
+  | Mod, VI x, VI y -> if y = 0 then trap "modulo by zero" else VI (x mod y)
+  | Min, VI x, VI y -> VI (min x y)
+  | Min, VF x, VF y -> VF (Float.min x y)
+  | Max, VI x, VI y -> VI (max x y)
+  | Max, VF x, VF y -> VF (Float.max x y)
+  | And, VB x, VB y -> VB (x && y)
+  | Or, VB x, VB y -> VB (x || y)
+  | (Add | Sub | Mul | Div | Mod | Min | Max | And | Or), x, y ->
+    trap "binop %s applied to %s and %s" (binop_name op) (v_name x) (v_name y)
+
+let eval_un op a =
+  let open Ppat_ir.Exp in
+  match op, a with
+  | Neg, VI x -> VI (-x)
+  | Neg, VF x -> VF (-.x)
+  | Not, VB x -> VB (not x)
+  | Sqrt, VF x -> VF (Float.sqrt x)
+  | Exp_, VF x -> VF (Float.exp x)
+  | Log_, VF x -> VF (Float.log x)
+  | Abs, VF x -> VF (Float.abs x)
+  | Abs, VI x -> VI (abs x)
+  | I2f, VI x -> VF (float_of_int x)
+  | F2i, VF x -> VI (int_of_float x)
+  | (Neg | Not | Sqrt | Exp_ | Log_ | Abs | I2f | F2i), x ->
+    trap "unop %s applied to %s" (unop_name op) (v_name x)
+
+let eval_cmp op a b =
+  let open Ppat_ir.Exp in
+  let c =
+    match a, b with
+    | VI x, VI y -> compare x y
+    | VF x, VF y -> compare x y
+    | VB x, VB y -> compare x y
+    | x, y -> trap "comparison of %s and %s" (v_name x) (v_name y)
+  in
+  VB
+    (match op with
+     | Eq -> c = 0
+     | Ne -> c <> 0
+     | Lt -> c < 0
+     | Le -> c <= 0
+     | Gt -> c > 0
+     | Ge -> c >= 0)
+
+(* ----- buffers ----- *)
+
+let read_buf (e : Memory.entry) name idx =
+  match e.data with
+  | Ppat_ir.Host.F a ->
+    if idx < 0 || idx >= Array.length a then
+      trap "load out of bounds: %s[%d] (len %d)" name idx (Array.length a)
+    else VF a.(idx)
+  | Ppat_ir.Host.I a ->
+    if idx < 0 || idx >= Array.length a then
+      trap "load out of bounds: %s[%d] (len %d)" name idx (Array.length a)
+    else VI a.(idx)
+
+let write_buf (e : Memory.entry) name idx v =
+  match e.data, v with
+  | Ppat_ir.Host.F a, VF x ->
+    if idx < 0 || idx >= Array.length a then
+      trap "store out of bounds: %s[%d] (len %d)" name idx (Array.length a)
+    else a.(idx) <- x
+  | Ppat_ir.Host.I a, (VI _ | VB _) ->
+    if idx < 0 || idx >= Array.length a then
+      trap "store out of bounds: %s[%d] (len %d)" name idx (Array.length a)
+    else a.(idx) <- as_int v
+  | Ppat_ir.Host.F _, w -> trap "store of %s into float buffer %s" (v_name w) name
+  | Ppat_ir.Host.I _, w -> trap "store of %s into int buffer %s" (v_name w) name
+
+type sarr = SF of float array | SI of int array
+
+let read_smem name sa idx =
+  match sa with
+  | SF a ->
+    if idx < 0 || idx >= Array.length a then
+      trap "shared load out of bounds: %s[%d]" name idx
+    else VF a.(idx)
+  | SI a ->
+    if idx < 0 || idx >= Array.length a then
+      trap "shared load out of bounds: %s[%d]" name idx
+    else VI a.(idx)
+
+let write_smem name sa idx v =
+  match sa, v with
+  | SF a, VF x ->
+    if idx < 0 || idx >= Array.length a then
+      trap "shared store out of bounds: %s[%d]" name idx
+    else a.(idx) <- x
+  | SI a, (VI _ | VB _) ->
+    if idx < 0 || idx >= Array.length a then
+      trap "shared store out of bounds: %s[%d]" name idx
+    else a.(idx) <- as_int v
+  | SF _, w | SI _, w -> trap "shared store of %s into %s" (v_name w) name
+
+(* ----- sync effect ----- *)
+
+type _ Effect.t += Sync_eff : unit Effect.t
+
+(* ----- the interpreter ----- *)
+
+let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
+  let stats = Stats.create () in
+  let k = l.kernel in
+  let ws = dev.warp_size in
+  let bx, by, bz = l.block in
+  let gx, gy, gz = l.grid in
+  let tpb = bx * by * bz in
+  if tpb <= 0 || gx <= 0 || gy <= 0 || gz <= 0 then
+    trap "kernel %s: empty launch %dx%dx%d / %dx%dx%d" k.kname gx gy gz bx by
+      bz;
+  if tpb > dev.max_threads_per_block then
+    trap "kernel %s: block of %d threads exceeds device limit %d" k.kname tpb
+      dev.max_threads_per_block;
+  let param name =
+    match List.assoc_opt name l.kparams with
+    | Some v -> v
+    | None -> trap "kernel %s: unbound parameter %S" k.kname name
+  in
+  let warps_per_block = (tpb + ws - 1) / ws in
+
+  (* memory-access slots: one slot per memory instruction in the currently
+     executing warp statement; lanes append their byte addresses (global) or
+     word indices (shared). *)
+  let max_slots = 128 in
+  let slot_addrs = Array.make max_slots [] in
+  let slot_kind = Array.make max_slots `G in
+  let nslots = ref 0 in
+  let lane_slot = ref 0 in
+  let record kind addr =
+    let s = !lane_slot in
+    if s >= max_slots then trap "too many memory accesses in one statement";
+    if s = !nslots then begin
+      slot_kind.(s) <- kind;
+      slot_addrs.(s) <- [];
+      incr nslots
+    end;
+    slot_addrs.(s) <- addr :: slot_addrs.(s);
+    incr lane_slot
+  in
+  let l2_cap_lines = dev.l2_bytes / dev.transaction_bytes in
+  let tb = float_of_int dev.transaction_bytes in
+  let flush_slots () =
+    for s = 0 to !nslots - 1 do
+      let addrs = slot_addrs.(s) in
+      (match slot_kind.(s) with
+       | `G ->
+         let lines =
+           Memory.segments ~transaction_bytes:dev.transaction_bytes addrs
+         in
+         let trans = float_of_int (List.length lines) in
+         let hits =
+           float_of_int (Memory.cache_access mem ~cap_lines:l2_cap_lines ~lines)
+         in
+         stats.mem_insts <- stats.mem_insts +. 1.;
+         stats.transactions <- stats.transactions +. trans;
+         stats.bytes <- stats.bytes +. ((trans -. hits) *. tb);
+         stats.l2_bytes <- stats.l2_bytes +. (hits *. tb)
+       | `S ->
+         (* bank conflicts: words spread over [smem_banks] banks; the warp
+            replays the access once per extra word mapped to the same bank
+            (same-word broadcast is free). *)
+         let banks = Hashtbl.create 16 in
+         List.iter
+           (fun w ->
+             let b = ((w mod dev.smem_banks) + dev.smem_banks)
+                     mod dev.smem_banks in
+             let words =
+               match Hashtbl.find_opt banks b with
+               | None -> [ w ]
+               | Some ws' -> if List.mem w ws' then ws' else w :: ws'
+             in
+             Hashtbl.replace banks b words)
+           addrs;
+         let factor =
+           Hashtbl.fold (fun _ ws' acc -> max acc (List.length ws')) banks 1
+         in
+         stats.smem_insts <- stats.smem_insts +. 1.;
+         stats.smem_conflict_extra <-
+           stats.smem_conflict_extra +. float_of_int (factor - 1));
+      slot_addrs.(s) <- []
+    done;
+    nslots := 0
+  in
+
+  (* shared memory per block *)
+  let make_smem () =
+    List.map
+      (fun (d : Kir.smem_decl) ->
+        ( d.sname,
+          match d.selem with
+          | Ppat_ir.Ty.F64 -> SF (Array.make d.selems 0.)
+          | Ppat_ir.Ty.I32 | Ppat_ir.Ty.Bool -> SI (Array.make d.selems 0) ))
+      k.smem
+  in
+
+  let count_inst () = stats.warp_insts <- stats.warp_insts +. 1. in
+
+  (* per-warp execution *)
+  let exec_warp ~smem ~bid ~lane0 =
+    let regs = Array.init ws (fun _ -> Array.make k.nregs VU) in
+    let exists = Array.init ws (fun lane -> lane0 + lane < tpb) in
+    let n_exist = Array.fold_left (fun n e -> if e then n + 1 else n) 0 exists in
+    let tid lane =
+      let t = lane0 + lane in
+      (t mod bx, t / bx mod by, t / (bx * by))
+    in
+    let smem_of name =
+      match List.assoc_opt name smem with
+      | Some sa -> sa
+      | None -> trap "kernel %s: undeclared shared array %S" k.kname name
+    in
+    let rec eval lane counting (e : Kir.exp) : v =
+      let bin_ct () = if counting then count_inst () in
+      match e with
+      | Kir.Int n -> VI n
+      | Kir.Float x -> VF x
+      | Kir.Bool b -> VB b
+      | Kir.Reg r ->
+        let v = regs.(lane).(r) in
+        if v = VU then
+          trap "kernel %s: read of undefined register %s" k.kname
+            k.reg_names.(r)
+        else v
+      | Kir.Tid d ->
+        let x, y, z = tid lane in
+        VI (match d with Kir.X -> x | Kir.Y -> y | Kir.Z -> z)
+      | Kir.Bid d ->
+        let x, y, z = bid in
+        VI (match d with Kir.X -> x | Kir.Y -> y | Kir.Z -> z)
+      | Kir.Bdim d ->
+        VI (match d with Kir.X -> bx | Kir.Y -> by | Kir.Z -> bz)
+      | Kir.Gdim d ->
+        VI (match d with Kir.X -> gx | Kir.Y -> gy | Kir.Z -> gz)
+      | Kir.Param p -> VI (param p)
+      | Kir.Bin (op, a, b) ->
+        bin_ct ();
+        eval_bin op (eval lane counting a) (eval lane counting b)
+      | Kir.Un (op, a) ->
+        bin_ct ();
+        eval_un op (eval lane counting a)
+      | Kir.Cmp (op, a, b) ->
+        bin_ct ();
+        eval_cmp op (eval lane counting a) (eval lane counting b)
+      | Kir.Select (c, a, b) ->
+        bin_ct ();
+        let cv = as_bool (eval lane counting c) in
+        let av = eval lane counting a in
+        let bv = eval lane counting b in
+        if cv then av else bv
+      | Kir.Load_g (name, i) ->
+        bin_ct ();
+        let idx = as_int (eval lane counting i) in
+        let entry = Memory.find mem name in
+        record `G (Memory.addr entry idx);
+        read_buf entry name idx
+      | Kir.Load_s (name, i) ->
+        bin_ct ();
+        let idx = as_int (eval lane counting i) in
+        let sa = smem_of name in
+        (* banks are tracked at element granularity: Kepler's 8-byte bank
+           mode makes consecutive f64 accesses conflict-free, and 4-byte
+           ints bank the same way *)
+        record `S idx;
+        read_smem name sa idx
+    in
+    (* run [f] per active lane as one warp instruction group *)
+    let group mask f =
+      let first = ref true in
+      for lane = 0 to ws - 1 do
+        if mask.(lane) then begin
+          lane_slot := 0;
+          f lane !first;
+          first := false
+        end
+      done;
+      flush_slots ()
+    in
+    let any mask = Array.exists (fun x -> x) mask in
+    let rec exec mask (stmts : Kir.stmt list) = List.iter (stmt mask) stmts
+    and stmt mask (s : Kir.stmt) =
+      match s with
+      | Kir.Set (r, e) ->
+        group mask (fun lane counting ->
+            regs.(lane).(r) <- eval lane counting e)
+      | Kir.Store_g (name, i, e) ->
+        let entry = Memory.find mem name in
+        group mask (fun lane counting ->
+            if counting then count_inst ();
+            let idx = as_int (eval lane counting i) in
+            let v = eval lane counting e in
+            record `G (Memory.addr entry idx);
+            write_buf entry name idx v)
+      | Kir.Store_s (name, i, e) ->
+        group mask (fun lane counting ->
+            if counting then count_inst ();
+            let idx = as_int (eval lane counting i) in
+            let v = eval lane counting e in
+            let sa = smem_of name in
+            record `S idx;
+            write_smem name sa idx v)
+      | Kir.Atomic_add_g (name, i, e) ->
+        let entry = Memory.find mem name in
+        let addrs = ref [] in
+        group mask (fun lane counting ->
+            if counting then count_inst ();
+            let idx = as_int (eval lane counting i) in
+            let v = eval lane counting e in
+            addrs := idx :: !addrs;
+            (match read_buf entry name idx, v with
+             | VF old, VF x -> write_buf entry name idx (VF (old +. x))
+             | VI old, (VI _ | VB _) ->
+               write_buf entry name idx (VI (old + as_int v))
+             | a, b ->
+               trap "atomicAdd type mismatch on %s: %s += %s" name (v_name a)
+                 (v_name b)));
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun a ->
+            Hashtbl.replace tbl a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
+          !addrs;
+        let distinct = Hashtbl.length tbl in
+        let worst = Hashtbl.fold (fun _ c acc -> max acc c) tbl 0 in
+        if distinct > 0 then begin
+          stats.atomics <- stats.atomics +. 1.;
+          stats.transactions <- stats.transactions +. float_of_int distinct;
+          (* atomics resolve in the L2 *)
+          stats.l2_bytes <-
+            stats.l2_bytes +. float_of_int (distinct * 2 * entry.elem_bytes);
+          stats.atomic_serial_extra <-
+            stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
+        end
+      | Kir.Atomic_add_ret { reg; buf; idx; value } ->
+        let entry = Memory.find mem buf in
+        let addrs = ref [] in
+        group mask (fun lane counting ->
+            if counting then count_inst ();
+            let i = as_int (eval lane counting idx) in
+            let v = eval lane counting value in
+            addrs := i :: !addrs;
+            let old = read_buf entry buf i in
+            regs.(lane).(reg) <- old;
+            match old, v with
+            | VF o, VF x -> write_buf entry buf i (VF (o +. x))
+            | VI o, (VI _ | VB _) ->
+              write_buf entry buf i (VI (o + as_int v))
+            | a, b ->
+              trap "atomicAdd type mismatch on %s: %s += %s" buf (v_name a)
+                (v_name b));
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun a ->
+            Hashtbl.replace tbl a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
+          !addrs;
+        let distinct = Hashtbl.length tbl in
+        let worst = Hashtbl.fold (fun _ c acc -> max acc c) tbl 0 in
+        if distinct > 0 then begin
+          stats.atomics <- stats.atomics +. 1.;
+          stats.transactions <- stats.transactions +. float_of_int distinct;
+          stats.l2_bytes <-
+            stats.l2_bytes +. float_of_int (distinct * 2 * entry.elem_bytes);
+          stats.atomic_serial_extra <-
+            stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
+        end
+      | Kir.If (c, t, e) ->
+        let taken = Array.make ws false in
+        let fallthrough = Array.make ws false in
+        group mask (fun lane counting ->
+            if as_bool (eval lane counting c) then taken.(lane) <- true
+            else fallthrough.(lane) <- true);
+        let bt = any taken and bf = any fallthrough in
+        if bt && bf && (t <> [] || e <> []) then
+          stats.divergent_branches <- stats.divergent_branches +. 1.;
+        if bt then exec taken t;
+        if bf && e <> [] then exec fallthrough e
+      | Kir.For { reg; lo; hi; step; body } ->
+        group mask (fun lane counting ->
+            regs.(lane).(reg) <- eval lane counting lo);
+        let active = Array.copy mask in
+        let iters = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let next = Array.make ws false in
+          group active (fun lane counting ->
+              let cond =
+                eval_cmp Ppat_ir.Exp.Lt regs.(lane).(reg)
+                  (eval lane counting hi)
+              in
+              if counting then count_inst ();
+              if as_bool cond then next.(lane) <- true);
+          if not (any next) then continue_ := false
+          else begin
+            if Array.exists2 (fun a n -> a && not n) active next then
+              stats.divergent_branches <- stats.divergent_branches +. 1.;
+            Array.blit next 0 active 0 ws;
+            exec active body;
+            group active (fun lane counting ->
+                let s = eval lane counting step in
+                if counting then count_inst ();
+                regs.(lane).(reg) <- eval_bin Ppat_ir.Exp.Add regs.(lane).(reg) s);
+            incr iters;
+            if !iters > max_loop_iters then
+              trap "kernel %s: loop exceeded %d iterations" k.kname
+                max_loop_iters
+          end
+        done
+      | Kir.While (c, body) ->
+        let active = Array.copy mask in
+        let iters = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let next = Array.make ws false in
+          group active (fun lane counting ->
+              if as_bool (eval lane counting c) then next.(lane) <- true);
+          if not (any next) then continue_ := false
+          else begin
+            if Array.exists2 (fun a n -> a && not n) active next then
+              stats.divergent_branches <- stats.divergent_branches +. 1.;
+            Array.blit next 0 active 0 ws;
+            exec active body;
+            incr iters;
+            if !iters > max_loop_iters then
+              trap "kernel %s: loop exceeded %d iterations" k.kname
+                max_loop_iters
+          end
+        done
+      | Kir.Sync ->
+        let full =
+          Array.for_all2 (fun m e -> m = e) mask exists
+        in
+        if not full then
+          trap "kernel %s: __syncthreads under divergent control flow"
+            k.kname;
+        stats.syncs <- stats.syncs +. 1.;
+        count_inst ();
+        Effect.perform Sync_eff
+      | Kir.Malloc_event ->
+        let active =
+          Array.fold_left (fun n m -> if m then n + 1 else n) 0 mask
+        in
+        stats.mallocs <- stats.mallocs +. float_of_int active;
+        count_inst ()
+    in
+    if n_exist > 0 then exec (Array.copy exists) k.body
+  in
+
+  (* block scheduler: warps are fibers; Sync suspends until all alive warps
+     of the block reach the barrier *)
+  let run_block bid =
+    let smem = make_smem () in
+    let waiting = ref [] in
+    let handler =
+      {
+        Effect.Deep.retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sync_eff ->
+              Some
+                (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                  waiting := (fun () -> Effect.Deep.continue cont ()) :: !waiting)
+            | _ -> None);
+      }
+    in
+    for w = 0 to warps_per_block - 1 do
+      Effect.Deep.match_with
+        (fun () -> exec_warp ~smem ~bid ~lane0:(w * ws))
+        () handler
+    done;
+    (* a resumed continuation still runs under its original handler, so a
+       subsequent Sync lands back in [waiting] *)
+    while !waiting <> [] do
+      let batch = List.rev !waiting in
+      waiting := [];
+      List.iter (fun resume -> resume ()) batch
+    done
+  in
+  for z = 0 to gz - 1 do
+    for y = 0 to gy - 1 do
+      for x = 0 to gx - 1 do
+        run_block (x, y, z)
+      done
+    done
+  done;
+  stats

@@ -1,0 +1,35 @@
+(** Warp-accurate SIMT interpreter for the kernel IR.
+
+    Execution model (paper Section II): a launch runs [grid] thread blocks;
+    each block's threads are linearised (x fastest) and grouped into 32-wide
+    warps, exactly as CUDA maps multidimensional blocks onto warps
+    (Figure 4b). A warp executes statements in lockstep under an active-lane
+    mask; divergent branches run both sides serially with complementary
+    masks; [__syncthreads] suspends a warp until every warp of the block
+    reaches the barrier (implemented with OCaml effects).
+
+    While executing, the interpreter collects the statistics that drive the
+    timing model:
+    - every warp instruction issued (both sides of divergent branches);
+    - per warp memory instruction, the number of aligned
+      [transaction_bytes] segments covering the active lanes' addresses
+      (the coalescing rule);
+    - shared-memory bank conflicts (extra serialised accesses);
+    - atomic contention and device-malloc events.
+
+    Functional results are exact: the harness compares every output buffer
+    against the CPU reference interpreter. *)
+
+exception Trap of string
+(** Raised on out-of-bounds accesses, type confusion, use of undefined
+    registers, divergent barriers, or runaway loops — all indicate code
+    generation bugs and fail tests loudly. *)
+
+val run :
+  Ppat_gpu.Device.t -> Ppat_gpu.Memory.t -> Kir.launch -> Ppat_gpu.Stats.t
+(** Execute a launch against device memory, mutating buffers in place, and
+    return the collected statistics. *)
+
+val max_loop_iters : int
+(** Safety cap on per-thread loop trip counts (defends tests against
+    non-terminating generated code). *)

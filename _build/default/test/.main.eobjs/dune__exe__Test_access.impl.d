@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Builder Exp Format List Pat Ppat_apps Ppat_ir String Ty

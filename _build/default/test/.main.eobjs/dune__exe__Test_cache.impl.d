@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Exp Host List Ppat_gpu Ppat_ir Ppat_kernel Ty

@@ -1,0 +1,1 @@
+test/test_codegen_opts.ml: Alcotest Array Builder Exp Host List Option Pat Ppat_apps Ppat_codegen Ppat_core Ppat_gpu Ppat_harness Ppat_ir Ppat_kernel Printf Ty

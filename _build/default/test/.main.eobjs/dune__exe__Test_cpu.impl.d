@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Builder Exp Host List Pat Ppat_apps Ppat_cpu Ppat_ir Ty

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Exp List Ppat_ir

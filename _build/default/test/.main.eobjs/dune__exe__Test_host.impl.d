@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Fun Host List Pat Ppat_apps Ppat_ir Ty

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Ppat_apps Ppat_codegen Ppat_core Ppat_gpu Ppat_harness Ppat_ir

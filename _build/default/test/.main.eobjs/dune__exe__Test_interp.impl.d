@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Exp Host Ppat_gpu Ppat_ir Ppat_kernel Printf Ty

@@ -1,0 +1,1 @@
+test/test_kir.ml: Alcotest Array Astring_like Exp Format Pat Ppat_codegen Ppat_gpu Ppat_ir Ppat_kernel Printf Ty

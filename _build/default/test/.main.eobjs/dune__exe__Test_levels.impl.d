@@ -1,0 +1,1 @@
+test/test_levels.ml: Alcotest Array Levels List Option Pat Ppat_apps Ppat_ir Printf

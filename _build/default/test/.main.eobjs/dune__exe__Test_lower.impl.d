@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Astring_like Builder Exp List Pat Ppat_apps Ppat_codegen Ppat_core Ppat_gpu Ppat_ir Ppat_kernel Ty

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Ppat_core

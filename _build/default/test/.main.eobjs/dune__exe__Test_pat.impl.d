@@ -1,0 +1,1 @@
+test/test_pat.ml: Alcotest Astring_like Exp Format List Pat Ppat_apps Ppat_ir Ty

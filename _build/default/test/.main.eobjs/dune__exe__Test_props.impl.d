@@ -1,0 +1,1 @@
+test/test_props.ml: Access Array Builder Exp Host List Pat Ppat_apps Ppat_codegen Ppat_core Ppat_gpu Ppat_harness Ppat_ir QCheck2 QCheck_alcotest Ty

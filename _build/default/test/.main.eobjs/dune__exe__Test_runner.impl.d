@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Builder Exp Host List Pat Ppat_apps Ppat_core Ppat_gpu Ppat_harness Ppat_ir Ty

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array List Ppat_apps Ppat_core Ppat_gpu Ppat_harness Ppat_ir

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest List Ppat_gpu Ppat_ir

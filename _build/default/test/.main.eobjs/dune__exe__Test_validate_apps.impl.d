@@ -1,0 +1,1 @@
+test/test_validate_apps.ml: Alcotest List Ppat_apps Ppat_core Ppat_gpu Ppat_harness Ppat_ir Printf

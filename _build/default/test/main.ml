@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "ppat"
+    [
+      ("exp", Test_exp.tests);
+      ("access", Test_access.tests);
+      ("pat", Test_pat.tests);
+      ("levels", Test_levels.tests);
+      ("mapping", Test_mapping.tests);
+      ("search", Test_search.tests);
+      ("interp", Test_interp.tests);
+      ("timing", Test_timing.tests);
+      ("cache", Test_cache.tests);
+      ("device", Test_device.tests);
+      ("lower", Test_lower.tests);
+      ("cpu", Test_cpu.tests);
+      ("host", Test_host.tests);
+      ("validate-apps", Test_validate_apps.tests);
+      ("integration", Test_integration.tests);
+      ("kir", Test_kir.tests);
+      ("runner", Test_runner.tests);
+      ("codegen-opts", Test_codegen_opts.tests);
+      ("properties", Test_props.tests);
+    ]

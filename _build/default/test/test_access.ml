@@ -1,0 +1,154 @@
+(* Stride analysis and access-weight tests: the inputs to the soft
+   constraints of the mapping analysis. *)
+open Ppat_ir
+
+let stride =
+  Alcotest.testable
+    (fun ppf -> function
+      | Access.Known n -> Format.fprintf ppf "Known %d" n
+      | Access.Unknown -> Format.fprintf ppf "Unknown")
+    ( = )
+
+let s ?(params = []) ?(env = []) ~wrt e = Access.stride_of ~params ~env ~wrt e
+
+let test_stride_basic () =
+  let open Exp.Infix in
+  Alcotest.check stride "own index" (Access.Known 1) (s ~wrt:0 (idx 0));
+  Alcotest.check stride "other index" (Access.Known 0) (s ~wrt:1 (idx 0));
+  Alcotest.check stride "const" (Access.Known 0) (s ~wrt:0 (i 5));
+  Alcotest.check stride "i*C + j"
+    (Access.Known 64)
+    (s ~params:[ ("C", 64) ] ~wrt:0 ((idx 0 * p "C") + idx 1));
+  Alcotest.check stride "i*C + j wrt j"
+    (Access.Known 1)
+    (s ~params:[ ("C", 64) ] ~wrt:1 ((idx 0 * p "C") + idx 1));
+  Alcotest.check stride "scaled" (Access.Known (-3))
+    (s ~wrt:0 (i 10 - (i 3 * idx 0)))
+
+let test_stride_nonaffine () =
+  let open Exp.Infix in
+  Alcotest.check stride "index read" Access.Unknown
+    (s ~wrt:0 (read "perm" [ idx 0 ]));
+  Alcotest.check stride "idx-independent read" (Access.Known 0)
+    (s ~wrt:0 (read "perm" [ idx 1 ]));
+  Alcotest.check stride "div" Access.Unknown (s ~wrt:0 (idx 0 / i 2));
+  Alcotest.check stride "mod" Access.Unknown (s ~wrt:0 (idx 0 % i 2));
+  Alcotest.check stride "i*i" Access.Unknown (s ~wrt:0 (idx 0 * idx 0))
+
+let test_stride_env () =
+  let open Exp.Infix in
+  Alcotest.check stride "let-bound affine" (Access.Known 1)
+    (s ~env:[ ("r", `E (idx 0 + i 1)) ] ~wrt:0 (v "r"));
+  Alcotest.check stride "opaque var" Access.Unknown
+    (s ~env:[ ("r", `Opaque) ] ~wrt:0 (v "r"));
+  Alcotest.check stride "unbound var" Access.Unknown (s ~wrt:0 (v "zz"))
+
+let mk_prog buffers steps =
+  { Pat.pname = "t"; defaults = [ ("R", 8); ("C", 16) ]; buffers; steps }
+
+let sum_rows_app () = Ppat_apps.Sum_rows_cols.sum_rows ~r:8 ~c:16 ()
+
+let top_of (prog : Pat.prog) =
+  match prog.steps with
+  | Pat.Launch n :: _ -> n.pat
+  | _ -> assert false
+
+let test_collect_sum_rows () =
+  let app = sum_rows_app () in
+  let accs = Access.collect ~params:[] app.prog (top_of app.prog) in
+  (* the matrix read: weight R*C, stride C wrt rows, 1 wrt cols *)
+  let m = List.find (fun (a : Access.access) -> a.abuf = "m") accs in
+  Alcotest.(check (float 1e-9)) "weight R*C" 128. m.weight;
+  (match m.strides with
+   | [ (_, Access.Known 16); (_, Access.Known 1) ] -> ()
+   | _ -> Alcotest.fail "unexpected strides for m");
+  Alcotest.(check bool) "m is load" false m.is_store
+
+let test_collect_hoisting () =
+  (* a read invariant in the inner loop is weighted at the outer count *)
+  let b = Builder.create () in
+  let open Exp.Infix in
+  let top =
+    Builder.foreach b ~label:"outer" ~size:(Pat.Sconst 8) (fun i0 ->
+        [
+          Builder.nest
+            (Builder.foreach b ~label:"inner" ~size:(Pat.Sconst 16) (fun j ->
+                 [ Pat.Store ("out", [ j ], read "vec" [ i0 ] + i2f j) ]));
+        ])
+  in
+  let prog =
+    mk_prog
+      [
+        Pat.buffer "vec" Ty.F64 [ Ty.Const 8 ] Pat.Input;
+        Pat.buffer "out" Ty.F64 [ Ty.Const 16 ] Pat.Output;
+      ]
+      [ Pat.Launch { bind = None; pat = top } ]
+  in
+  let accs = Access.collect ~params:[] prog top in
+  let vec =
+    List.find (fun (a : Access.access) -> String.equal a.abuf "vec") accs
+  in
+  let out =
+    List.find (fun (a : Access.access) -> String.equal a.abuf "out") accs
+  in
+  Alcotest.(check (float 1e-9)) "invariant read hoisted" 8. vec.weight;
+  Alcotest.(check (float 1e-9)) "varying store full weight" 128. out.weight
+
+let test_collect_branch_discount () =
+  let b = Builder.create () in
+  let open Exp.Infix in
+  let top =
+    Builder.foreach b ~label:"o" ~size:(Pat.Sconst 8) (fun i0 ->
+        [
+          Pat.If
+            ( i0 < i 4,
+              [ Pat.Store ("out", [ i0 ], f 1.) ],
+              [] );
+        ])
+  in
+  let prog =
+    mk_prog
+      [ Pat.buffer "out" Ty.F64 [ Ty.Const 8 ] Pat.Output ]
+      [ Pat.Launch { bind = None; pat = top } ]
+  in
+  let accs = Access.collect ~params:[] prog top in
+  let out =
+    List.find (fun (a : Access.access) -> String.equal a.abuf "out") accs
+  in
+  Alcotest.(check (float 1e-9)) "branch halves weight" 4. out.weight;
+  Alcotest.(check int) "branch depth" 1 out.branch_depth
+
+let test_collect_local_flexible () =
+  let app = Ppat_apps.Sum_rows_cols.sum_weighted_rows ~r:8 ~c:16 () in
+  let accs = Access.collect ~params:[] app.prog (top_of app.prog) in
+  let tmp = List.filter (fun (a : Access.access) -> a.abuf = "tmp") accs in
+  Alcotest.(check bool) "tmp accesses exist" true (tmp <> []);
+  List.iter
+    (fun (a : Access.access) ->
+      Alcotest.(check bool) "tmp is local" true a.alocal)
+    tmp
+
+let test_linearize () =
+  let open Exp.Infix in
+  let buf k = Pat.buffer "m" Ty.F64 [ Ty.Const 4; Ty.Const 8 ] ~layout:k Pat.Input in
+  let lin l = Access.linearize ~params:[] (buf l) [ idx 0; idx 1 ] in
+  Alcotest.check stride "row-major wrt rows" (Access.Known 8)
+    (s ~wrt:0 (lin Pat.Row_major));
+  Alcotest.check stride "row-major wrt cols" (Access.Known 1)
+    (s ~wrt:1 (lin Pat.Row_major));
+  Alcotest.check stride "col-major wrt rows" (Access.Known 1)
+    (s ~wrt:0 (lin Pat.Col_major));
+  Alcotest.check stride "col-major wrt cols" (Access.Known 4)
+    (s ~wrt:1 (lin Pat.Col_major))
+
+let tests =
+  [
+    Alcotest.test_case "stride basics" `Quick test_stride_basic;
+    Alcotest.test_case "stride non-affine" `Quick test_stride_nonaffine;
+    Alcotest.test_case "stride through lets" `Quick test_stride_env;
+    Alcotest.test_case "collect sumRows" `Quick test_collect_sum_rows;
+    Alcotest.test_case "loop-invariant hoisting" `Quick test_collect_hoisting;
+    Alcotest.test_case "branch discount" `Quick test_collect_branch_discount;
+    Alcotest.test_case "local arrays flexible" `Quick test_collect_local_flexible;
+    Alcotest.test_case "linearize layouts" `Quick test_linearize;
+  ]

@@ -1,0 +1,151 @@
+(* The L2 cache model: hit/miss accounting and its effect on the
+   bandwidth bound. *)
+open Ppat_ir
+module Kir = Ppat_kernel.Kir
+module Memory = Ppat_gpu.Memory
+module Interp = Ppat_kernel.Interp
+
+let dev = Ppat_gpu.Device.k20c
+
+let test_cache_access_direct () =
+  let mem = Memory.create () in
+  let cap = 8 in
+  (* cold: all miss *)
+  Alcotest.(check int) "cold misses" 0
+    (Memory.cache_access mem ~cap_lines:cap ~lines:[ 1; 2; 3 ]);
+  (* warm: all hit *)
+  Alcotest.(check int) "warm hits" 3
+    (Memory.cache_access mem ~cap_lines:cap ~lines:[ 1; 2; 3 ]);
+  (* stream past capacity: early lines evicted *)
+  ignore
+    (Memory.cache_access mem ~cap_lines:cap
+       ~lines:(List.init 40 (fun i -> 100 + i)));
+  Alcotest.(check int) "evicted" 0
+    (Memory.cache_access mem ~cap_lines:cap ~lines:[ 1; 2; 3 ])
+
+let test_segments () =
+  Alcotest.(check (list int)) "one line"
+    [ 0 ]
+    (List.sort compare (Memory.segments ~transaction_bytes:128 [ 0; 64; 127 ]));
+  Alcotest.(check (list int)) "two lines"
+    [ 0; 1 ]
+    (List.sort compare (Memory.segments ~transaction_bytes:128 [ 0; 128 ]))
+
+let repeated_read_kernel n =
+  (* every thread reads the same small vector: first warp misses, the rest
+     hit in L2 *)
+  let rb = Kir.Rb.create () in
+  let acc = Kir.Rb.fresh rb "acc" in
+  Kir.Rb.set_type rb acc Ty.F64;
+  let k = Kir.Rb.fresh rb "k" in
+  Kir.Rb.set_type rb k Ty.I32;
+  {
+    Kir.kname = "rep";
+    nregs = Kir.Rb.count rb;
+    reg_names = Kir.Rb.names rb;
+    reg_types = Kir.Rb.types rb;
+    smem = [];
+    body =
+      [
+        Kir.Set (acc, Kir.Float 0.);
+        Kir.For
+          {
+            reg = k;
+            lo = Kir.Int 0;
+            hi = Kir.Int n;
+            step = Kir.Int 1;
+            body =
+              [
+                Kir.Set
+                  ( acc,
+                    Kir.Bin (Exp.Add, Kir.Reg acc, Kir.Load_g ("v", Kir.Reg k))
+                  );
+              ];
+          };
+        Kir.Store_g ("o", Kir.Tid Kir.X, Kir.Reg acc);
+      ];
+  }
+
+let test_l2_reuse () =
+  let mem = Memory.create () in
+  ignore (Memory.load mem "v" (Host.F (Array.make 64 1.)));
+  ignore (Memory.load mem "o" (Host.F (Array.make 256 0.)));
+  let stats =
+    Interp.run dev mem
+      {
+        Kir.kernel = repeated_read_kernel 64;
+        grid = (8, 1, 1);
+        block = (32, 1, 1);
+        kparams = [];
+      }
+  in
+  Alcotest.(check bool) "mostly hits" true (stats.l2_bytes > 5. *. stats.bytes);
+  (* functional result unaffected *)
+  (match Memory.to_host mem "o" with
+   | Host.F o -> Alcotest.(check (float 0.)) "sum" 64. o.(0)
+   | _ -> assert false)
+
+let test_l2_streaming () =
+  (* a buffer far larger than L2, touched once: hits are rare *)
+  let n = 400_000 in
+  let mem = Memory.create () in
+  ignore (Memory.load mem "v" (Host.F (Array.make n 1.)));
+  ignore (Memory.load mem "o" (Host.F (Array.make n 0.)));
+  let rb = Kir.Rb.create () in
+  let g = Kir.Rb.fresh rb "g" in
+  Kir.Rb.set_type rb g Ty.I32;
+  let k =
+    {
+      Kir.kname = "stream";
+      nregs = 1;
+      reg_names = Kir.Rb.names rb;
+      reg_types = Kir.Rb.types rb;
+      smem = [];
+      body =
+        [
+          Kir.Set
+            (g, Kir.Bin (Exp.Add,
+                         Kir.Bin (Exp.Mul, Kir.Bid Kir.X, Kir.Bdim Kir.X),
+                         Kir.Tid Kir.X));
+          Kir.If
+            ( Kir.Cmp (Exp.Lt, Kir.Reg g, Kir.Int n),
+              [ Kir.Store_g ("o", Kir.Reg g, Kir.Load_g ("v", Kir.Reg g)) ],
+              [] );
+        ];
+    }
+  in
+  let stats =
+    Interp.run dev mem
+      { Kir.kernel = k; grid = ((n + 255) / 256, 1, 1); block = (256, 1, 1);
+        kparams = [] }
+  in
+  Alcotest.(check bool) "mostly misses" true (stats.bytes > 5. *. stats.l2_bytes)
+
+let test_timing_l2_cheaper () =
+  let mk ~dram ~l2 =
+    let s = Ppat_gpu.Stats.create () in
+    s.Ppat_gpu.Stats.warp_insts <- 1e4;
+    s.Ppat_gpu.Stats.mem_insts <- 1e5;
+    s.Ppat_gpu.Stats.transactions <- 1e6;
+    s.Ppat_gpu.Stats.bytes <- dram;
+    s.Ppat_gpu.Stats.l2_bytes <- l2;
+    s
+  in
+  let g : Ppat_gpu.Timing.geometry =
+    { grid = (1000, 1, 1); block = (256, 1, 1) }
+  in
+  let all_dram = Ppat_gpu.Timing.estimate dev g (mk ~dram:1.28e8 ~l2:0.) in
+  let all_l2 = Ppat_gpu.Timing.estimate dev g (mk ~dram:0. ~l2:1.28e8) in
+  Alcotest.(check bool) "L2 traffic is cheaper" true
+    (all_l2.seconds < all_dram.seconds /. 1.5)
+
+let tests =
+  [
+    Alcotest.test_case "cache hit/miss/eviction" `Quick
+      test_cache_access_direct;
+    Alcotest.test_case "segment extraction" `Quick test_segments;
+    Alcotest.test_case "L2 captures reuse" `Quick test_l2_reuse;
+    Alcotest.test_case "L2 does not capture streams" `Quick test_l2_streaming;
+    Alcotest.test_case "timing prices L2 below DRAM" `Quick
+      test_timing_l2_cheaper;
+  ]

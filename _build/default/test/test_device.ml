@@ -1,0 +1,55 @@
+(* Device descriptions and DOP windows. *)
+module D = Ppat_gpu.Device
+
+let test_k20c () =
+  let d = D.k20c in
+  Alcotest.(check int) "min dop" (13 * 2048) (D.min_dop d);
+  Alcotest.(check int) "max dop" (100 * 13 * 2048) (D.max_dop d);
+  Alcotest.(check int) "warp" 32 d.warp_size;
+  Alcotest.(check int) "min block" 64 D.min_block_size;
+  Alcotest.(check bool) "L2 smaller than DRAM-sized working sets" true
+    (d.l2_bytes < 16 * 1024 * 1024)
+
+let test_c2050 () =
+  let d = D.c2050 in
+  Alcotest.(check int) "min dop" (14 * 1536) (D.min_dop d);
+  Alcotest.(check bool) "distinct devices" true (D.min_dop d <> D.min_dop D.k20c);
+  let s = Format.asprintf "%a" D.pp d in
+  Alcotest.(check bool) "pp mentions SMs" true
+    (Astring_like.contains s "14 SMs")
+
+let test_breakdown_pp () =
+  let s = Ppat_gpu.Stats.create () in
+  s.Ppat_gpu.Stats.warp_insts <- 100.;
+  s.Ppat_gpu.Stats.mem_insts <- 10.;
+  s.Ppat_gpu.Stats.transactions <- 10.;
+  s.Ppat_gpu.Stats.bytes <- 1280.;
+  let b =
+    Ppat_gpu.Timing.estimate D.k20c
+      { grid = (4, 1, 1); block = (128, 1, 1) }
+      s
+  in
+  let txt = Format.asprintf "%a" Ppat_gpu.Timing.pp_breakdown b in
+  Alcotest.(check bool) "breakdown names a bound" true
+    (Astring_like.contains txt "bound");
+  Alcotest.(check bool) "positive time" true (b.seconds > 0.);
+  Alcotest.(check int) "resident warps" 4 b.resident_warps
+
+let test_stats_roundtrip () =
+  let s = Ppat_gpu.Stats.create () in
+  s.Ppat_gpu.Stats.warp_insts <- 5.;
+  s.Ppat_gpu.Stats.l2_bytes <- 7.;
+  let c = Ppat_gpu.Stats.copy s in
+  Ppat_gpu.Stats.reset s;
+  Alcotest.(check (float 0.)) "reset" 0. s.Ppat_gpu.Stats.warp_insts;
+  Alcotest.(check (float 0.)) "copy independent" 5. c.Ppat_gpu.Stats.warp_insts;
+  Ppat_gpu.Stats.add c c;
+  Alcotest.(check (float 0.)) "add doubles" 14. c.Ppat_gpu.Stats.l2_bytes
+
+let tests =
+  [
+    Alcotest.test_case "k20c constants" `Quick test_k20c;
+    Alcotest.test_case "c2050 constants" `Quick test_c2050;
+    Alcotest.test_case "timing breakdown printer" `Quick test_breakdown_pp;
+    Alcotest.test_case "stats lifecycle" `Quick test_stats_roundtrip;
+  ]

@@ -1,0 +1,92 @@
+(* Unit tests for the expression language: constant folding, substitution,
+   pretty-printing, and the infix builders. *)
+open Ppat_ir
+
+let check_int_opt = Alcotest.(check (option int))
+let e = Exp.Infix.( + ) (Exp.Param "N") (Exp.Int 1)
+
+let test_eval_const () =
+  check_int_opt "literal" (Some 42) (Exp.eval_int ~params:[] (Exp.Int 42));
+  check_int_opt "param" (Some 7)
+    (Exp.eval_int ~params:[ ("N", 7) ] (Exp.Param "N"));
+  check_int_opt "unbound param" None (Exp.eval_int ~params:[] (Exp.Param "N"))
+
+let test_eval_arith () =
+  let ps = [ ("N", 10) ] in
+  let open Exp.Infix in
+  check_int_opt "add" (Some 11) (Exp.eval_int ~params:ps e);
+  check_int_opt "sub" (Some 9) (Exp.eval_int ~params:ps (Exp.Param "N" - i 1));
+  check_int_opt "mul" (Some 30) (Exp.eval_int ~params:ps (Exp.Param "N" * i 3));
+  check_int_opt "div" (Some 3) (Exp.eval_int ~params:ps (Exp.Param "N" / i 3));
+  check_int_opt "div0" None (Exp.eval_int ~params:ps (Exp.Param "N" / i 0));
+  check_int_opt "mod" (Some 1) (Exp.eval_int ~params:ps (Exp.Param "N" % i 3));
+  check_int_opt "min" (Some 5)
+    (Exp.eval_int ~params:ps (min_ (Exp.Param "N") (i 5)));
+  check_int_opt "max" (Some 10)
+    (Exp.eval_int ~params:ps (max_ (Exp.Param "N") (i 5)));
+  check_int_opt "neg" (Some (-10))
+    (Exp.eval_int ~params:ps (Exp.Un (Exp.Neg, Exp.Param "N")))
+
+let test_eval_non_const () =
+  check_int_opt "index" None (Exp.eval_int ~params:[] (Exp.Idx 0));
+  check_int_opt "read" None
+    (Exp.eval_int ~params:[] (Exp.Read ("a", [ Exp.Int 0 ])));
+  check_int_opt "float" None (Exp.eval_int ~params:[] (Exp.Float 1.))
+
+let test_subst () =
+  let open Exp.Infix in
+  let e = v "x" + idx 3 in
+  Alcotest.(check string)
+    "subst var" "(7 + i3)"
+    (Exp.to_string (Exp.subst_var "x" (i 7) e));
+  Alcotest.(check string)
+    "subst idx" "(x + 9)"
+    (Exp.to_string (Exp.subst_idx 3 (i 9) e));
+  Alcotest.(check string)
+    "subst miss" "(x + i3)"
+    (Exp.to_string (Exp.subst_var "y" (i 7) e))
+
+let test_reads () =
+  let open Exp.Infix in
+  let e = read "a" [ idx 0 ] + read "b" [ read "c" [ i 1 ] ] in
+  let names = List.map fst (Exp.reads e) in
+  (* nested reads (inside indices) are reported too *)
+  Alcotest.(check (list string)) "reads" [ "a"; "b"; "c" ] names
+
+let test_exists_fold () =
+  let e =
+    Exp.Infix.(select (v "c") (i 1) (read "a" [ i 0 ]))
+  in
+  Alcotest.(check bool)
+    "exists read" true
+    (Exp.exists (function Exp.Read _ -> true | _ -> false) e);
+  Alcotest.(check bool)
+    "exists idx" false
+    (Exp.exists (function Exp.Idx _ -> true | _ -> false) e);
+  let count = Exp.fold (fun n _ -> n + 1) 0 e in
+  Alcotest.(check bool) "fold visits all" true (count >= 4)
+
+let test_pp () =
+  let open Exp.Infix in
+  Alcotest.(check string)
+    "binop" "(a + 1)"
+    (Exp.to_string (v "a" + i 1));
+  Alcotest.(check string)
+    "min as call" "min(a, b)"
+    (Exp.to_string (min_ (v "a") (v "b")));
+  Alcotest.(check string) "read" "m[i0,i1]"
+    (Exp.to_string (read "m" [ idx 0; idx 1 ]));
+  Alcotest.(check string)
+    "cmp" "(x < 3)"
+    (Exp.to_string (v "x" < i 3))
+
+let tests =
+  [
+    Alcotest.test_case "eval_int constants" `Quick test_eval_const;
+    Alcotest.test_case "eval_int arithmetic" `Quick test_eval_arith;
+    Alcotest.test_case "eval_int non-constants" `Quick test_eval_non_const;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "reads extraction" `Quick test_reads;
+    Alcotest.test_case "exists / fold" `Quick test_exists_fold;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

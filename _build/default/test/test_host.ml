@@ -1,0 +1,95 @@
+(* Host data plumbing: allocation, parameter merging, comparison. *)
+open Ppat_ir
+
+let prog =
+  {
+    Pat.pname = "t";
+    defaults = [ ("N", 4); ("M", 2) ];
+    buffers =
+      [
+        Pat.buffer "a" Ty.F64 [ Ty.Param "N" ] Pat.Input;
+        Pat.buffer "b" Ty.I32 [ Ty.Param "N"; Ty.Param "M" ] Pat.Temp;
+      ];
+    steps = [];
+  }
+
+let test_params_of () =
+  Alcotest.(check (list (pair string int)))
+    "defaults kept" [ ("N", 4); ("M", 2) ] (Host.params_of prog []);
+  Alcotest.(check (list (pair string int)))
+    "override wins"
+    [ ("N", 9); ("M", 2) ]
+    (Host.params_of prog [ ("N", 9) ])
+
+let test_alloc_all () =
+  let data = Host.alloc_all prog [ ("N", 4); ("M", 2) ] [ ("a", Host.F [| 1.; 2.; 3.; 4. |]) ] in
+  Alcotest.(check (array (float 0.))) "provided kept" [| 1.; 2.; 3.; 4. |]
+    (Host.get_f data "a");
+  Alcotest.(check int) "zero alloc" 8 (Array.length (Host.get_i data "b"));
+  (* provided data is copied, not aliased *)
+  (Host.get_f data "a").(0) <- 99.;
+  let data2 = Host.alloc_all prog [ ("N", 4); ("M", 2) ] data in
+  Alcotest.(check bool) "copied" true ((Host.get_f data2 "a").(0) = 99.);
+  (match Host.alloc_all prog [ ("N", 5); ("M", 2) ] [ ("a", Host.F [| 0. |]) ] with
+   | _ -> Alcotest.fail "expected shape error"
+   | exception Invalid_argument _ -> ())
+
+let test_buffer_elems () =
+  Alcotest.(check int) "2d" 8
+    (Host.buffer_elems [ ("N", 4); ("M", 2) ] (Pat.find_buffer prog "b"))
+
+let test_approx_equal () =
+  Alcotest.(check bool) "exact" true
+    (Host.approx_equal (Host.F [| 1.; 2. |]) (Host.F [| 1.; 2. |]));
+  Alcotest.(check bool) "close" true
+    (Host.approx_equal ~eps:1e-6 (Host.F [| 1e9 |]) (Host.F [| 1e9 +. 1. |]));
+  Alcotest.(check bool) "far" false
+    (Host.approx_equal ~eps:1e-6 (Host.F [| 1. |]) (Host.F [| 1.001 |]));
+  Alcotest.(check bool) "int exact" true
+    (Host.approx_equal (Host.I [| 3 |]) (Host.I [| 3 |]));
+  Alcotest.(check bool) "int differ" false
+    (Host.approx_equal (Host.I [| 3 |]) (Host.I [| 4 |]));
+  Alcotest.(check bool) "length mismatch" false
+    (Host.approx_equal (Host.F [| 1. |]) (Host.F [| 1.; 2. |]));
+  Alcotest.(check bool) "type mismatch" false
+    (Host.approx_equal (Host.F [| 1. |]) (Host.I [| 1 |]))
+
+let test_workloads () =
+  let a = Ppat_apps.Workloads.farray ~seed:5 100 in
+  let b = Ppat_apps.Workloads.farray ~seed:5 100 in
+  Alcotest.(check (array (float 0.))) "deterministic" a b;
+  Alcotest.(check bool) "in range" true
+    (Array.for_all (fun x -> x >= 0. && x < 1.) a);
+  let p = Ppat_apps.Workloads.permutation ~seed:7 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  let row_ptr, cols = Ppat_apps.Workloads.csr_graph ~seed:3 ~nodes:100 ~avg_degree:4 in
+  Alcotest.(check int) "row_ptr length" 101 (Array.length row_ptr);
+  Alcotest.(check bool) "monotone" true
+    (Array.for_all2 (fun a b -> a <= b)
+       (Array.sub row_ptr 0 100)
+       (Array.sub row_ptr 1 100));
+  Alcotest.(check bool) "cols in range" true
+    (Array.for_all (fun c -> c >= 0 && c < 100) cols);
+  let spd = Ppat_apps.Workloads.spd_matrix ~seed:9 8 in
+  Alcotest.(check bool) "diagonally dominant" true
+    (List.for_all
+       (fun i ->
+         let diag = spd.((i * 8) + i) in
+         let off =
+           List.fold_left
+             (fun acc j -> if j = i then acc else acc +. abs_float spd.((i * 8) + j))
+             0. (List.init 8 Fun.id)
+         in
+         diag > off)
+       (List.init 8 Fun.id))
+
+let tests =
+  [
+    Alcotest.test_case "params_of" `Quick test_params_of;
+    Alcotest.test_case "alloc_all" `Quick test_alloc_all;
+    Alcotest.test_case "buffer_elems" `Quick test_buffer_elems;
+    Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+    Alcotest.test_case "workload generators" `Quick test_workloads;
+  ]

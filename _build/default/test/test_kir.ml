@@ -1,0 +1,132 @@
+(* Kernel IR plumbing: register builder, validation, CUDA emission. *)
+open Ppat_ir
+module Kir = Ppat_kernel.Kir
+module Cuda = Ppat_codegen.Cuda_emit
+
+let contains = Astring_like.contains
+
+let test_rb () =
+  let rb = Kir.Rb.create () in
+  let a = Kir.Rb.reg rb "a" in
+  let a' = Kir.Rb.reg rb "a" in
+  Alcotest.(check int) "intern reuses" a a';
+  let b = Kir.Rb.fresh rb "a" in
+  Alcotest.(check bool) "fresh differs" true (b <> a);
+  let c = Kir.Rb.fresh rb "a" in
+  Alcotest.(check bool) "fresh again differs" true (c <> b && c <> a);
+  Alcotest.(check int) "count" 3 (Kir.Rb.count rb);
+  Kir.Rb.set_type rb b Ty.F64;
+  Alcotest.(check bool) "types recorded" true
+    ((Kir.Rb.types rb).(b) = Ty.F64 && (Kir.Rb.types rb).(a) = Ty.I32);
+  let names = Kir.Rb.names rb in
+  Alcotest.(check int) "names length" 3 (Array.length names);
+  Alcotest.(check bool) "fresh names distinct" true
+    (names.(0) <> names.(1) && names.(1) <> names.(2))
+
+let kernel ?(nregs = 2) ?(smem = []) body =
+  {
+    Kir.kname = "k";
+    nregs;
+    reg_names = Array.init nregs (fun i -> Printf.sprintf "r%d" i);
+    reg_types = Array.make nregs Ty.I32;
+    smem;
+    body;
+  }
+
+let test_validate () =
+  (match Kir.validate (kernel [ Kir.Set (0, Kir.Int 1) ]) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Kir.validate (kernel [ Kir.Set (5, Kir.Int 1) ]) with
+   | Ok () -> Alcotest.fail "register out of range accepted"
+   | Error _ -> ());
+  (match
+     Kir.validate (kernel [ Kir.Store_s ("ghost", Kir.Int 0, Kir.Int 1) ])
+   with
+   | Ok () -> Alcotest.fail "undeclared shared array accepted"
+   | Error _ -> ());
+  match
+    Kir.validate
+      (kernel
+         ~smem:[ { Kir.sname = "sm"; selem = Ty.F64; selems = 4 } ]
+         [ Kir.Store_s ("sm", Kir.Int 0, Kir.Float 1.) ])
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_geometry_helpers () =
+  let l =
+    {
+      Kir.kernel = kernel [];
+      grid = (4, 2, 1);
+      block = (32, 8, 1);
+      kparams = [];
+    }
+  in
+  Alcotest.(check int) "tpb" 256 (Kir.threads_per_block l);
+  Alcotest.(check int) "blocks" 8 (Kir.blocks l);
+  let g = Kir.geometry l in
+  Alcotest.(check bool) "geometry" true
+    (g.Ppat_gpu.Timing.grid = (4, 2, 1) && g.Ppat_gpu.Timing.block = (32, 8, 1))
+
+let test_cuda_types () =
+  let k =
+    {
+      (kernel
+         [
+           Kir.Set (0, Kir.Int 1);
+           Kir.Set (1, Kir.Float 2.);
+           Kir.Store_g ("buf_i", Kir.Reg 0, Kir.Reg 0);
+           Kir.Store_g ("buf_f", Kir.Reg 0, Kir.Reg 1);
+           Kir.Atomic_add_g ("buf_f", Kir.Reg 0, Kir.Float 1.);
+           Kir.Malloc_event;
+         ])
+      with
+      Kir.reg_types = [| Ty.I32; Ty.F64 |];
+    }
+  in
+  let prog =
+    {
+      Pat.pname = "p";
+      defaults = [];
+      buffers =
+        [
+          Pat.buffer "buf_i" Ty.I32 [ Ty.Const 4 ] Pat.Output;
+          Pat.buffer "buf_f" Ty.F64 [ Ty.Const 4 ] Pat.Output;
+        ];
+      steps = [];
+    }
+  in
+  let src = Cuda.kernel ~prog k in
+  Alcotest.(check bool) "int pointer" true (contains src "int* buf_i");
+  Alcotest.(check bool) "double pointer" true (contains src "double* buf_f");
+  Alcotest.(check bool) "int register" true (contains src "int r0;");
+  Alcotest.(check bool) "double register" true (contains src "double r1;");
+  Alcotest.(check bool) "atomicAdd" true (contains src "atomicAdd(&buf_f");
+  Alcotest.(check bool) "malloc comment" true (contains src "malloc");
+  Alcotest.(check bool) "float literal shape" true (contains src "2.0")
+
+let test_cuda_params () =
+  let k =
+    kernel ~nregs:1
+      [ Kir.Set (0, Kir.Bin (Exp.Add, Kir.Param "N", Kir.Param "t")) ]
+  in
+  let src = Cuda.kernel k in
+  Alcotest.(check bool) "int N param" true (contains src "int N");
+  Alcotest.(check bool) "int t param" true (contains src "int t")
+
+let test_pp_kernel () =
+  let k = kernel [ Kir.Sync; Kir.While (Kir.Bool false, []) ] in
+  let s = Format.asprintf "%a" Kir.pp_kernel k in
+  Alcotest.(check bool) "syncthreads shown" true
+    (contains s "__syncthreads")
+
+let tests =
+  [
+    Alcotest.test_case "register builder" `Quick test_rb;
+    Alcotest.test_case "kernel validation" `Quick test_validate;
+    Alcotest.test_case "geometry helpers" `Quick test_geometry_helpers;
+    Alcotest.test_case "CUDA typing" `Quick test_cuda_types;
+    Alcotest.test_case "CUDA parameters" `Quick test_cuda_params;
+    Alcotest.test_case "kernel printer" `Quick test_pp_kernel;
+  ]

@@ -1,0 +1,65 @@
+(* Nest-level structure and size resolution. *)
+open Ppat_ir
+
+let top_of (prog : Pat.prog) =
+  let found = ref None in
+  Pat.iter_patterns (fun lvl p -> if lvl = 0 && !found = None then found := Some p) prog;
+  Option.get !found
+
+let test_depths () =
+  let check name app expected =
+    let lv = Levels.of_top (top_of app.Ppat_apps.App.prog) in
+    Alcotest.(check int) name expected lv.Levels.depth
+  in
+  check "nearest neighbor is flat" (Ppat_apps.Nearest_neighbor.app ~n:16 ()) 1;
+  check "sumRows has two levels" (Ppat_apps.Sum_rows_cols.sum_rows ()) 2;
+  check "clustering has three levels"
+    (Ppat_apps.Msm_cluster.app ~frames:8 ~centers:4 ~dims:4 ())
+    3
+
+let test_siblings_share_level () =
+  (* sumWeightedRows: the temporary map and the reduce are both level 1 *)
+  let app = Ppat_apps.Sum_rows_cols.sum_weighted_rows ~r:8 ~c:8 () in
+  let lv = Levels.of_top (top_of app.prog) in
+  Alcotest.(check int) "depth" 2 lv.Levels.depth;
+  Alcotest.(check int) "two siblings at level 1" 2
+    (List.length lv.Levels.per_level.(1))
+
+let test_sizes () =
+  let app = Ppat_apps.Sum_rows_cols.sum_rows ~r:32 ~c:64 () in
+  let lv = Levels.of_top (top_of app.prog) in
+  let params = app.prog.Pat.defaults in
+  Alcotest.(check int) "level 0 size" 32 (Levels.level_size params lv 0);
+  Alcotest.(check int) "level 1 size" 64 (Levels.level_size params lv 1);
+  (* unbound size parameters fall back to the paper's default *)
+  Alcotest.(check int) "default size" Levels.default_dyn_size
+    (Levels.level_size [] lv 0)
+
+let test_dynamic_and_hints () =
+  let app = Ppat_apps.Pagerank.app ~nodes:64 ~avg_degree:4 ~iters:1 () in
+  let lv = Levels.of_top (top_of app.prog) in
+  Alcotest.(check bool) "level 1 dynamic" true (Levels.has_dynamic_size lv 1);
+  Alcotest.(check bool) "level 0 static" false (Levels.has_dynamic_size lv 0);
+  (* the app supplies HINT_nbr_weights = avg_degree *)
+  Alcotest.(check int) "hinted size" 4
+    (Levels.level_size app.prog.Pat.defaults lv 1);
+  Alcotest.(check int) "unhinted default" Levels.default_dyn_size
+    (Levels.level_size [] lv 1)
+
+let test_level_of () =
+  let app = Ppat_apps.Msm_cluster.app ~frames:8 ~centers:4 ~dims:4 () in
+  let lv = Levels.of_top (top_of app.prog) in
+  List.iter
+    (fun (pid, l) ->
+      Alcotest.(check int) (Printf.sprintf "pid %d" pid) l
+        (Levels.level_of lv pid))
+    lv.Levels.level_of_pid
+
+let tests =
+  [
+    Alcotest.test_case "nest depths" `Quick test_depths;
+    Alcotest.test_case "siblings share a level" `Quick test_siblings_share_level;
+    Alcotest.test_case "size resolution" `Quick test_sizes;
+    Alcotest.test_case "dynamic sizes and hints" `Quick test_dynamic_and_hints;
+    Alcotest.test_case "level_of consistency" `Quick test_level_of;
+  ]

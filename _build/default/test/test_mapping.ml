@@ -1,0 +1,55 @@
+(* Mapping parameters: DOP, geometry, printing (paper Section IV-A). *)
+module M = Ppat_core.Mapping
+
+let d dim bsize span = { M.dim; bsize; span }
+
+let test_threads_per_block () =
+  Alcotest.(check int) "product" 512
+    (M.threads_per_block [| d M.X 32 M.span1; d M.Y 16 M.span1 |]);
+  Alcotest.(check int) "single" 256
+    (M.threads_per_block [| d M.X 256 M.span1 |])
+
+let test_dop () =
+  let sizes = [| 1024; 64 |] in
+  (* Span(1) contributes the level size *)
+  Alcotest.(check int) "span1 x span1" (1024 * 64)
+    (M.dop ~sizes [| d M.X 32 M.span1; d M.Y 16 M.span1 |]);
+  (* Span(all) contributes the block size, not the loop size (paper IV-D) *)
+  Alcotest.(check int) "span_all uses bsize" (1024 * 16)
+    (M.dop ~sizes [| d M.Y 32 M.span1; d M.X 16 M.Span_all |]);
+  (* Span(n) divides *)
+  Alcotest.(check int) "span(4)" (256 * 64)
+    (M.dop ~sizes [| d M.X 32 (M.Span 4); d M.Y 16 M.span1 |]);
+  (* Split(k) multiplies the block size *)
+  Alcotest.(check int) "split(3)" (1024 * 48)
+    (M.dop ~sizes [| d M.Y 32 M.span1; d M.X 16 (M.Split 3) |]);
+  (* contributions never exceed the domain *)
+  Alcotest.(check int) "span_all capped by size" (1024 * 64)
+    (M.dop ~sizes [| d M.Y 32 M.span1; d M.X 128 M.Span_all |])
+
+let test_geometry () =
+  let sizes = [| 1000; 64 |] in
+  let m = [| d M.Y 16 M.span1; d M.X 32 M.Span_all |] in
+  Alcotest.(check int) "block x" 32 (M.block_extent m M.X);
+  Alcotest.(check int) "block y" 16 (M.block_extent m M.Y);
+  Alcotest.(check int) "block z unused" 1 (M.block_extent m M.Z);
+  Alcotest.(check int) "grid y = ceil(1000/16)" 63
+    (M.grid_extent ~sizes m M.Y);
+  Alcotest.(check int) "grid x span_all" 1 (M.grid_extent ~sizes m M.X);
+  let msplit = [| d M.Y 16 M.span1; d M.X 32 (M.Split 5) |] in
+  Alcotest.(check int) "grid x split" 5 (M.grid_extent ~sizes msplit M.X);
+  let mspan = [| d M.Y 16 (M.Span 4); d M.X 32 M.Span_all |] in
+  Alcotest.(check int) "grid y span(4)" 16 (M.grid_extent ~sizes mspan M.Y)
+
+let test_pp () =
+  let s = M.to_string [| d M.Y 64 M.span1; d M.X 32 M.Span_all |] in
+  Alcotest.(check string) "figure 9 style"
+    "L0:[DimY, 64, span(1)] L1:[DimX, 32, span(all)]" s
+
+let tests =
+  [
+    Alcotest.test_case "threads per block" `Quick test_threads_per_block;
+    Alcotest.test_case "degree of parallelism" `Quick test_dop;
+    Alcotest.test_case "launch geometry" `Quick test_geometry;
+    Alcotest.test_case "printing" `Quick test_pp;
+  ]

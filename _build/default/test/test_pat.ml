@@ -1,0 +1,95 @@
+(* Program structure: validation rules, traversal, printing. *)
+open Ppat_ir
+
+let buf n = Pat.buffer n Ty.F64 [ Ty.Const 8 ] Pat.Output
+
+let mk ?(buffers = [ buf "out" ]) steps =
+  { Pat.pname = "t"; defaults = []; buffers; steps }
+
+let map_pat ?(pid = 0) () =
+  Pat.pattern ~pid ~size:(Pat.Sconst 8)
+    ~kind:(Pat.Map { yield = Exp.Float 1. })
+    []
+
+let expect_error name prog =
+  match Pat.validate prog with
+  | Ok () -> Alcotest.failf "%s: expected a validation error" name
+  | Error _ -> ()
+
+let test_valid () =
+  let prog = mk [ Pat.Launch { bind = Some "out"; pat = map_pat () } ] in
+  (match Pat.validate prog with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "unexpected error: %s" e)
+
+let test_duplicate_buffer () =
+  expect_error "dup buffer"
+    (mk
+       ~buffers:[ buf "out"; buf "out" ]
+       [ Pat.Launch { bind = Some "out"; pat = map_pat () } ])
+
+let test_duplicate_pid () =
+  let p =
+    Pat.pattern ~pid:0 ~size:(Pat.Sconst 4) ~kind:Pat.Foreach
+      [ Pat.Nested { bind = None; pat = Pat.pattern ~pid:0 ~size:(Pat.Sconst 4) ~kind:Pat.Foreach [] } ]
+  in
+  expect_error "dup pid" (mk [ Pat.Launch { bind = None; pat = p } ])
+
+let test_unbound_output () =
+  expect_error "missing bind"
+    (mk [ Pat.Launch { bind = None; pat = map_pat () } ]);
+  expect_error "unknown bind"
+    (mk [ Pat.Launch { bind = Some "nope"; pat = map_pat () } ])
+
+let test_store_unknown_buffer () =
+  let p =
+    Pat.pattern ~pid:0 ~size:(Pat.Sconst 4) ~kind:Pat.Foreach
+      [ Pat.Store ("ghost", [ Exp.Idx 0 ], Exp.Float 0.) ]
+  in
+  expect_error "ghost store" (mk [ Pat.Launch { bind = None; pat = p } ])
+
+let test_too_deep () =
+  let rec nest pid depth =
+    let body =
+      if depth = 0 then []
+      else [ Pat.Nested { bind = None; pat = nest (pid + 1) (depth - 1) } ]
+    in
+    Pat.pattern ~pid ~size:(Pat.Sconst 2) ~kind:Pat.Foreach body
+  in
+  expect_error "4-deep nest" (mk [ Pat.Launch { bind = None; pat = nest 0 3 } ])
+
+let test_dyn_top () =
+  let p =
+    Pat.pattern ~pid:0 ~size:(Pat.Sdyn (Exp.Int 4)) ~kind:Pat.Foreach []
+  in
+  expect_error "dynamic top size" (mk [ Pat.Launch { bind = None; pat = p } ])
+
+let test_iter_patterns () =
+  let app = Ppat_apps.Sum_rows_cols.sum_rows () in
+  let seen = ref [] in
+  Pat.iter_patterns (fun lvl p -> seen := (lvl, p.Pat.label) :: !seen) app.prog;
+  Alcotest.(check (list (pair int string)))
+    "levels and labels"
+    [ (0, "sum_rows"); (1, "row_sum") ]
+    (List.rev !seen)
+
+let test_pp_smoke () =
+  let app = Ppat_apps.Pagerank.app ~nodes:16 ~avg_degree:2 ~iters:1 () in
+  let s = Format.asprintf "%a" Pat.pp_prog app.prog in
+  Alcotest.(check bool) "mentions reduce" true
+    (Astring_like.contains s "reduce");
+  Alcotest.(check bool) "mentions host loop" true
+    (Astring_like.contains s "host for")
+
+let tests =
+  [
+    Alcotest.test_case "valid program" `Quick test_valid;
+    Alcotest.test_case "duplicate buffer" `Quick test_duplicate_buffer;
+    Alcotest.test_case "duplicate pattern id" `Quick test_duplicate_pid;
+    Alcotest.test_case "output binding" `Quick test_unbound_output;
+    Alcotest.test_case "store to unknown buffer" `Quick test_store_unknown_buffer;
+    Alcotest.test_case "nesting depth limit" `Quick test_too_deep;
+    Alcotest.test_case "dynamic top-level size" `Quick test_dyn_top;
+    Alcotest.test_case "iter_patterns order" `Quick test_iter_patterns;
+    Alcotest.test_case "pretty-printer smoke" `Quick test_pp_smoke;
+  ]

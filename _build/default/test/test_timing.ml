@@ -1,0 +1,107 @@
+(* Timing model: the three bounds and their qualitative behaviour, plus the
+   memory helpers it depends on. *)
+module Timing = Ppat_gpu.Timing
+module Stats = Ppat_gpu.Stats
+module Memory = Ppat_gpu.Memory
+
+let dev = Ppat_gpu.Device.k20c
+
+let stats ?(warp_insts = 0.) ?(mem_insts = 0.) ?(transactions = 0.)
+    ?(bytes = 0.) ?(mallocs = 0.) () =
+  let s = Stats.create () in
+  s.Stats.warp_insts <- warp_insts;
+  s.Stats.mem_insts <- mem_insts;
+  s.Stats.transactions <- transactions;
+  s.Stats.bytes <- bytes;
+  s.Stats.mallocs <- mallocs;
+  s
+
+let g ?(grid = (64, 1, 1)) ?(block = (256, 1, 1)) () : Timing.geometry =
+  { grid; block }
+
+let test_bandwidth_bound () =
+  (* plenty of parallelism, huge traffic: bandwidth must dominate *)
+  let s =
+    stats ~warp_insts:1e5 ~mem_insts:1e5 ~transactions:1e6 ~bytes:1.28e8 ()
+  in
+  let b = Timing.estimate dev (g ~grid:(1000, 1, 1) ()) s in
+  Alcotest.(check bool) "bandwidth bound" true (b.bound = `Bandwidth);
+  (* 128 MB at 208 GB/s is about 0.6 ms *)
+  Alcotest.(check bool) "plausible" true
+    (b.seconds > 3e-4 && b.seconds < 3e-3)
+
+let test_more_transactions_cost_more () =
+  let mk t =
+    stats ~warp_insts:1e5 ~mem_insts:1e5 ~transactions:t
+      ~bytes:(t *. 128.) ()
+  in
+  let fast = Timing.estimate dev (g ()) (mk 1e5) in
+  let slow = Timing.estimate dev (g ()) (mk 1.6e6) in
+  Alcotest.(check bool) "16x transactions slower" true
+    (slow.seconds > 4. *. fast.seconds)
+
+let test_latency_bound_low_occupancy () =
+  (* a single tiny block cannot hide latency *)
+  let s = stats ~warp_insts:1e4 ~mem_insts:1e4 ~transactions:1e4 ~bytes:1.28e6 () in
+  let low = Timing.estimate dev (g ~grid:(1, 1, 1) ~block:(32, 1, 1) ()) s in
+  let high = Timing.estimate dev (g ~grid:(256, 1, 1) ~block:(256, 1, 1) ()) s in
+  Alcotest.(check bool) "low occupancy slower" true
+    (low.seconds > 2. *. high.seconds);
+  Alcotest.(check bool) "latency bound" true (low.bound = `Latency)
+
+let test_malloc_overhead () =
+  let base = stats ~warp_insts:1e4 ~mem_insts:1e3 ~transactions:1e3 ~bytes:1.28e5 () in
+  let with_malloc =
+    stats ~warp_insts:1e4 ~mem_insts:1e3 ~transactions:1e3 ~bytes:1.28e5
+      ~mallocs:10000. ()
+  in
+  let a = Timing.estimate dev (g ()) base in
+  let b = Timing.estimate dev (g ()) with_malloc in
+  Alcotest.(check bool) "mallocs serialise" true (b.seconds > 3. *. a.seconds)
+
+let test_launch_overhead () =
+  let s = stats ~warp_insts:10. () in
+  let t = Timing.kernel_seconds dev (g ~grid:(1, 1, 1) ()) s in
+  Alcotest.(check bool) "at least the launch cost" true
+    (t >= dev.kernel_launch_us *. 1e-6)
+
+let test_transfer () =
+  let t = Timing.transfer_seconds dev ~bytes:6_000_000_000 in
+  Alcotest.(check (float 0.2)) "6 GB at 6 GB/s" 1.0 t
+
+let test_coalesce_rule () =
+  let tb = dev.transaction_bytes in
+  Alcotest.(check int) "same segment" 1
+    (Memory.coalesce ~transaction_bytes:tb [ 0; 8; 16; 120 ]);
+  Alcotest.(check int) "two segments" 2
+    (Memory.coalesce ~transaction_bytes:tb [ 0; 128 ]);
+  Alcotest.(check int) "32 strided" 32
+    (Memory.coalesce ~transaction_bytes:tb
+       (List.init 32 (fun i -> i * 256)));
+  Alcotest.(check int) "duplicates broadcast" 1
+    (Memory.coalesce ~transaction_bytes:tb (List.init 32 (fun _ -> 512)))
+
+let test_memory_swap () =
+  let mem = Memory.create () in
+  ignore (Memory.load mem "a" (Ppat_ir.Host.F [| 1. |]));
+  ignore (Memory.load mem "b" (Ppat_ir.Host.F [| 2. |]));
+  Memory.swap mem "a" "b";
+  (match Memory.to_host mem "a" with
+   | Ppat_ir.Host.F [| x |] -> Alcotest.(check (float 0.)) "swapped" 2. x
+   | _ -> Alcotest.fail "bad shape");
+  Alcotest.(check bool) "mem lookup" true (Memory.mem mem "a");
+  Alcotest.(check bool) "absent" false (Memory.mem mem "zzz")
+
+let tests =
+  [
+    Alcotest.test_case "bandwidth bound" `Quick test_bandwidth_bound;
+    Alcotest.test_case "transactions monotone" `Quick
+      test_more_transactions_cost_more;
+    Alcotest.test_case "latency bound at low occupancy" `Quick
+      test_latency_bound_low_occupancy;
+    Alcotest.test_case "malloc serialisation" `Quick test_malloc_overhead;
+    Alcotest.test_case "launch overhead floor" `Quick test_launch_overhead;
+    Alcotest.test_case "PCIe transfer" `Quick test_transfer;
+    Alcotest.test_case "coalescing rule" `Quick test_coalesce_rule;
+    Alcotest.test_case "device memory swap" `Quick test_memory_swap;
+  ]
