@@ -1,0 +1,27 @@
+# Tier-1 verification plus a smoke run of the observability path itself.
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# exercise the profiling subsystem end to end: per-kernel JSON profile,
+# Chrome trace, and the mapping-search trace
+smoke: build
+	dune exec bin/ppat.exe -- profile sum_rows --json /tmp/ppat_profile_smoke.json \
+	  --chrome-trace /tmp/ppat_chrome_smoke.json > /dev/null
+	dune exec bin/ppat.exe -- trace-search sum_cols > /dev/null
+	@echo "smoke: profiling path OK"
+
+check: build test smoke
+
+bench:
+	dune exec bench/main.exe -- --json BENCH_run.json
+
+clean:
+	dune clean

@@ -6,7 +6,10 @@
    Usage:
      bench/main.exe                 run every figure (paper order)
      bench/main.exe fig3 fig16      run a subset
-     bench/main.exe --bechamel      run the Bechamel pipeline benchmarks *)
+     bench/main.exe --bechamel      run the Bechamel pipeline benchmarks
+     bench/main.exe --json [FILE]   write a machine-readable perf trajectory
+                                    (default BENCH_run.json) so successive
+                                    PRs can be diffed *)
 
 let dev = Ppat_gpu.Device.k20c
 
@@ -87,11 +90,96 @@ let run_bechamel () =
         analyzed)
     (bechamel_tests ())
 
+(* ----- machine-readable perf trajectory: a fixed reduced-size suite
+   covering every pipeline shape (flat, nested, split-combiner, dynamic,
+   malloc mode), one JSON record per run, so the bench harness can diff
+   simulated time and counters across PRs ----- *)
+
+let perf_suite () =
+  let module A = Ppat_apps in
+  let s = Ppat_core.Strategy.Auto in
+  [
+    ("sumRows", A.Sum_rows_cols.sum_rows ~r:1024 ~c:256 (), s, None);
+    ("sumCols", A.Sum_rows_cols.sum_cols ~r:512 ~c:64 (), s, None);
+    ("hotspot", A.Hotspot.app ~n:48 ~steps:1 A.Hotspot.R, s, None);
+    ( "mandelbrot-c",
+      A.Mandelbrot.app ~h:32 ~w:32 ~max_iter:12 A.Mandelbrot.C,
+      Ppat_core.Strategy.Warp_based,
+      None );
+    ("qpscd", A.Qpscd.app ~samples:64 ~dim:64 (), s, None);
+    ("msmCluster", A.Msm_cluster.app ~frames:256 ~centers:16 ~dims:16 (), s, None);
+    ( "sumWeightedRows-malloc",
+      A.Sum_rows_cols.sum_weighted_rows ~r:48 ~c:32 (),
+      s,
+      Some
+        {
+          Ppat_codegen.Lower.default_options with
+          alloc_mode = Ppat_codegen.Lower.Malloc;
+        } );
+  ]
+
+let run_json file =
+  let module J = Ppat_profile.Jsonx in
+  let results =
+    List.map
+      (fun (name, (app : Ppat_apps.App.t), strat, opts) ->
+        let data = Ppat_apps.App.input_data app in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Ppat_harness.Runner.run_gpu ?opts ~params:app.params dev app.prog
+            strat data
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        Format.printf "  %-24s %.4g s simulated, %d kernels, %.2f s wall@."
+          name r.seconds r.kernels wall;
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("strategy", J.Str (Ppat_core.Strategy.name strat));
+            ("simulated_seconds", J.Float r.seconds);
+            ("kernels", J.Int r.kernels);
+            ("pipeline_wall_seconds", J.Float wall);
+            ("stats", Ppat_profile.Record.json_of_stats r.stats);
+            ( "decisions",
+              J.List
+                (List.map
+                   (fun (label, (d : Ppat_core.Strategy.decision)) ->
+                     J.Obj
+                       [
+                         ("pattern", J.Str label);
+                         ( "mapping",
+                           J.Str (Ppat_core.Mapping.to_string d.mapping) );
+                         ("score", J.Float d.score);
+                         ("via", J.Str d.via);
+                       ])
+                   r.decisions) );
+          ])
+      (perf_suite ())
+  in
+  J.to_file file
+    (J.Obj
+       [
+         ("schema", J.Str "ppat-bench/1");
+         ("device", J.Str dev.Ppat_gpu.Device.dname);
+         ("results", J.List results);
+       ]);
+  Format.printf "wrote perf trajectory to %s@." file
+
 (* ----- entry point ----- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--bechamel" args then run_bechamel ()
+  if List.mem "--json" args then begin
+    let file =
+      match args with
+      | "--json" :: f :: _ when Filename.check_suffix f ".json" -> f
+      | _ -> "BENCH_run.json"
+    in
+    Format.printf "perf-trajectory suite on simulated %s:@."
+      dev.Ppat_gpu.Device.dname;
+    run_json file
+  end
+  else if List.mem "--bechamel" args then run_bechamel ()
   else begin
     let all = Ppat_apps.Experiments.all dev in
     let selected =

@@ -3,6 +3,10 @@
    Subcommands:
      list                      the bundled benchmark applications
      run APP [-s STRATEGY]     analyse, lower, simulate and validate an app
+     profile APP [-s STRAT] [--json F] [--chrome-trace F]
+                               per-kernel profiles of a simulated run
+     trace-search APP [-s STRAT] [--json F]
+                               ranked trace of the mapping search
      cuda APP                  print the CUDA kernels the mapping produces
      explain APP               show constraints and the mapping decision
      figures [FIG...]          regenerate the paper's evaluation figures *)
@@ -90,6 +94,28 @@ let cmd_run name strat =
     Format.printf "VALIDATION FAILED: %s@." e;
     exit 1
 
+let cmd_profile name strat json chrome =
+  let app = find_app name in
+  let data = A.App.input_data app in
+  let r = Ppat_harness.Runner.run_gpu ~params:app.params dev app.prog strat data in
+  let run =
+    Ppat_profile.Record.make_run ~app:name
+      ~strategy:(Ppat_core.Strategy.name strat)
+      ~device:dev.Ppat_gpu.Device.dname ~total_seconds:r.seconds r.profile
+  in
+  Format.printf "%a@." Ppat_profile.Report.pp_run run;
+  List.iter (fun n -> Format.printf "note: %s@." n) r.notes;
+  (match json with
+   | None -> ()
+   | Some f ->
+     Ppat_profile.Jsonx.to_file f (Ppat_profile.Record.json_of_run run);
+     Format.printf "wrote JSON profile to %s@." f);
+  match chrome with
+  | None -> ()
+  | Some f ->
+    Ppat_profile.Chrome_trace.to_file f run;
+    Format.printf "wrote Chrome trace to %s (load in about://tracing)@." f
+
 (* iterate launches of the program once, for cuda/explain *)
 let iter_launches (app : A.App.t) f =
   let seen = ref [] in
@@ -106,13 +132,45 @@ let iter_launches (app : A.App.t) f =
   in
   List.iter step app.prog.Ppat_ir.Pat.steps
 
-let decide (app : A.App.t) n =
+let decide ?trace (app : A.App.t) n =
   let c =
     Ppat_core.Collect.collect
       ~params:(Ppat_harness.Runner.analysis_params app.prog app.params)
       ?bind:n.Ppat_ir.Pat.bind dev app.prog n.Ppat_ir.Pat.pat
   in
-  (c, Ppat_core.Search.search dev c)
+  (c, Ppat_core.Strategy.decide ?trace dev c Ppat_core.Strategy.Auto)
+
+let cmd_trace_search name strat json =
+  let app = find_app name in
+  let traces = ref [] in
+  iter_launches app (fun n ->
+      let c =
+        Ppat_core.Collect.collect
+          ~params:(Ppat_harness.Runner.analysis_params app.prog app.params)
+          ?bind:n.Ppat_ir.Pat.bind dev app.prog n.Ppat_ir.Pat.pat
+      in
+      let candidates = ref [] in
+      let decision =
+        Ppat_core.Strategy.decide
+          ~trace:(fun t -> candidates := t :: !candidates)
+          dev c strat
+      in
+      let st =
+        {
+          Ppat_profile.Report.st_label = n.pat.Ppat_ir.Pat.label;
+          st_result = decision;
+          st_candidates = List.rev !candidates;
+        }
+      in
+      traces := st :: !traces;
+      Format.printf "%a@.@." (Ppat_profile.Report.pp_search ~limit:16) st);
+  match json with
+  | None -> ()
+  | Some f ->
+    Ppat_profile.Jsonx.to_file f
+      (Ppat_profile.Jsonx.List
+         (List.rev_map Ppat_profile.Report.json_of_search !traces));
+    Format.printf "wrote search trace to %s@." f
 
 let cmd_cuda name =
   let app = find_app name in
@@ -137,12 +195,15 @@ let cmd_explain name =
   let app = find_app name in
   Format.printf "%a@." Ppat_ir.Pat.pp_prog app.prog;
   iter_launches app (fun n ->
-      let c, r = decide app n in
-      Format.printf "@.=== %s ===@.%a@.chosen: %s (score %.4g, DOP %d, %d \
-                     candidates)@."
-        n.pat.Ppat_ir.Pat.label Ppat_core.Collect.pp c
-        (Ppat_core.Mapping.to_string r.mapping)
-        r.score r.dop r.candidates)
+      let traced = ref [] in
+      let c, d = decide ~trace:(fun t -> traced := t :: !traced) app n in
+      Format.printf "@.%a@.%a@." Ppat_core.Collect.pp c
+        (Ppat_profile.Report.pp_search ~limit:6)
+        {
+          Ppat_profile.Report.st_label = n.pat.Ppat_ir.Pat.label;
+          st_result = d;
+          st_candidates = List.rev !traced;
+        })
 
 let cmd_figures names =
   let all = A.Experiments.all dev in
@@ -159,9 +220,36 @@ let usage () =
     "usage: ppat <command>\n\
      \  list                      bundled applications\n\
      \  run APP [-s STRATEGY]     simulate and validate (auto|1d|tbt|warp)\n\
+     \  profile APP [-s STRATEGY] [--json FILE] [--chrome-trace FILE]\n\
+     \                            per-kernel profile of a simulated run\n\
+     \  trace-search APP [-s STRATEGY] [--json FILE]\n\
+     \                            ranked trace of the mapping search\n\
      \  cuda APP                  print generated CUDA kernels\n\
      \  explain APP               constraints and mapping decisions\n\
      \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)"
+
+(* [-s STRAT] [--json FILE] [--chrome-trace FILE] in any order *)
+let parse_flags rest =
+  let strat = ref Ppat_core.Strategy.Auto in
+  let json = ref None and chrome = ref None in
+  let rec go = function
+    | [] -> ()
+    | "-s" :: s :: rest ->
+      strat := strategy_of_string s;
+      go rest
+    | "--json" :: f :: rest ->
+      json := Some f;
+      go rest
+    | "--chrome-trace" :: f :: rest ->
+      chrome := Some f;
+      go rest
+    | arg :: _ ->
+      Format.eprintf "unexpected argument %S@." arg;
+      usage ();
+      exit 1
+  in
+  go rest;
+  (!strat, !json, !chrome)
 
 let () =
   match Array.to_list Sys.argv with
@@ -176,6 +264,16 @@ let () =
         exit 1
     in
     cmd_run name strat
+  | _ :: "profile" :: name :: rest ->
+    let strat, json, chrome = parse_flags rest in
+    cmd_profile name strat json chrome
+  | _ :: "trace-search" :: name :: rest ->
+    let strat, json, chrome = parse_flags rest in
+    if chrome <> None then begin
+      Format.eprintf "--chrome-trace applies to 'profile' only@.";
+      exit 1
+    end;
+    cmd_trace_search name strat json
   | _ :: "cuda" :: name :: _ -> cmd_cuda name
   | _ :: "explain" :: name :: _ -> cmd_explain name
   | _ :: "figures" :: names -> cmd_figures names

@@ -21,8 +21,29 @@ let soft_satisfied (dev : Ppat_gpu.Device.t) (m : Mapping.t) = function
   | Constr.Lean_reduce { level; _ } ->
     m.(level).Mapping.bsize <= dev.warp_size
 
+type component = {
+  constr : Constr.soft;
+  satisfied : bool;
+  weight : float;  (** contributed to the score iff [satisfied] *)
+}
+
+let explain dev softs m =
+  List.map
+    (fun s ->
+      {
+        constr = s;
+        satisfied = soft_satisfied dev m s;
+        weight = Constr.soft_weight s;
+      })
+    softs
+
 let score dev softs m =
   List.fold_left
-    (fun acc s ->
-      if soft_satisfied dev m s then acc +. Constr.soft_weight s else acc)
-    0. softs
+    (fun acc c -> if c.satisfied then acc +. c.weight else acc)
+    0. (explain dev softs m)
+
+let pp_component ppf c =
+  Format.fprintf ppf "%s%a (%+g)"
+    (if c.satisfied then "+" else "-")
+    Constr.pp_soft c.constr
+    (if c.satisfied then c.weight else 0.)

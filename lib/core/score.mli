@@ -12,6 +12,21 @@ val soft_satisfied :
     - [Lean_reduce]: the level's block size is at most twice the warp
       size. *)
 
+type component = {
+  constr : Constr.soft;
+  satisfied : bool;
+  weight : float;  (** contributed to the score iff [satisfied] *)
+}
+
+val explain :
+  Ppat_gpu.Device.t -> Constr.soft list -> Mapping.t -> component list
+(** Per-constraint score components for a candidate: which soft
+    constraints it satisfies and the weight each one carries. [score] is
+    the sum of the satisfied components' weights; the search trace records
+    the full list so rejected candidates can be explained. *)
+
 val score : Ppat_gpu.Device.t -> Constr.soft list -> Mapping.t -> float
+
+val pp_component : Format.formatter -> component -> unit
 
 val next_pow2 : int -> int

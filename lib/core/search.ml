@@ -6,6 +6,14 @@ type result = {
   candidates : int;
 }
 
+type traced = {
+  t_mapping : Mapping.t;
+  t_score : float;
+  t_dop : int;
+  t_pruned : string list;
+  t_softs : Score.component list;
+}
+
 let block_size_candidates (dev : Ppat_gpu.Device.t) =
   let rec go n = if n > dev.max_threads_per_block then [] else n :: go (2 * n) in
   go 1
@@ -23,7 +31,32 @@ let rec take n = function
   | [] -> []
   | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
 
-let iter_candidates dev (c : Collect.t) f =
+(* hard-constraint violations of a fully assembled candidate; [] means the
+   candidate is feasible *)
+let hard_violations (dev : Ppat_gpu.Device.t) (m : Mapping.t) =
+  let vs = ref [] in
+  let tpb = Mapping.threads_per_block m in
+  if tpb > dev.max_threads_per_block then
+    vs :=
+      Printf.sprintf "%d threads/block exceeds device limit %d" tpb
+        dev.max_threads_per_block
+      :: !vs;
+  Array.iteri
+    (fun l (d : Mapping.decision) ->
+      if d.bsize > dev.max_block_dim then
+        vs :=
+          Printf.sprintf "L%d block size %d exceeds per-dimension limit %d" l
+            d.bsize dev.max_block_dim
+          :: !vs)
+    m;
+  List.rev !vs
+
+(* When [trace] is absent, infeasible subtrees are pruned eagerly for
+   speed. When present, every leaf candidate is assembled and reported
+   (with its hard violations, if any) before feasible ones reach [f]; the
+   set and order of feasible candidates is identical either way, so
+   tracing never changes the search outcome. *)
+let iter_candidates ?trace dev (c : Collect.t) f =
   let nlevels = c.levels.depth in
   if nlevels > List.length Mapping.dims then
     invalid_arg
@@ -31,6 +64,7 @@ let iter_candidates dev (c : Collect.t) f =
          nlevels (List.length Mapping.dims));
   let dim_assignments = permutations (take nlevels Mapping.dims) in
   let bsizes = block_size_candidates dev in
+  let tracing = trace <> None in
   let spans_for l =
     match c.span_all_required.(l) with
     | Some _ -> [ Mapping.Span_all ]
@@ -40,7 +74,9 @@ let iter_candidates dev (c : Collect.t) f =
   let rec levels l acc dims =
     if l = nlevels then begin
       let m = Array.of_list (List.rev acc) in
-      if Mapping.threads_per_block m <= dev.max_threads_per_block then f m
+      let violations = hard_violations dev m in
+      (match trace with Some g -> g m violations | None -> ());
+      if violations = [] then f m
     end
     else
       match dims with
@@ -48,7 +84,7 @@ let iter_candidates dev (c : Collect.t) f =
       | dim :: dims_rest ->
         List.iter
           (fun bsize ->
-            if bsize <= dev.max_block_dim then
+            if tracing || bsize <= dev.max_block_dim then
               List.iter
                 (fun span ->
                   levels (l + 1)
@@ -65,10 +101,25 @@ let enumerate dev (c : Collect.t) =
       out := (Array.copy m, Score.score dev c.softs m) :: !out);
   List.rev !out
 
-let search dev (c : Collect.t) =
+let search ?trace dev (c : Collect.t) =
   let best = ref None in
   let count = ref 0 in
-  iter_candidates dev c (fun m ->
+  let trace =
+    match trace with
+    | None -> None
+    | Some g ->
+      Some
+        (fun m violations ->
+          g
+            {
+              t_mapping = Array.copy m;
+              t_score = Score.score dev c.softs m;
+              t_dop = Mapping.dop ~sizes:c.level_sizes m;
+              t_pruned = violations;
+              t_softs = Score.explain dev c.softs m;
+            })
+  in
+  iter_candidates ?trace dev c (fun m ->
       incr count;
       let s = Score.score dev c.softs m in
       let d = Mapping.dop ~sizes:c.level_sizes m in

@@ -18,7 +18,20 @@ type result = {
   candidates : int;  (** hard-feasible candidates enumerated *)
 }
 
-val search : Ppat_gpu.Device.t -> Collect.t -> result
+type traced = {
+  t_mapping : Mapping.t;
+  t_score : float;
+  t_dop : int;  (** with the analysed sizes, before DOP control *)
+  t_pruned : string list;
+      (** hard-constraint violations; [[]] means hard-feasible *)
+  t_softs : Score.component list;  (** per-soft-constraint deltas *)
+}
+
+val search : ?trace:(traced -> unit) -> Ppat_gpu.Device.t -> Collect.t -> result
+(** [trace], when given, receives every candidate the enumeration visits —
+    including hard-infeasible ones, which otherwise never surface — with
+    its score, DOP, violation list and soft-constraint breakdown. Tracing
+    never changes the search outcome. *)
 
 val enumerate :
   Ppat_gpu.Device.t -> Collect.t -> (Mapping.t * float) list

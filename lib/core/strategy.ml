@@ -5,7 +5,12 @@ type t =
   | Warp_based
   | Fixed of Mapping.t
 
-type decision = { mapping : Mapping.t; score : float; via : string }
+type decision = {
+  mapping : Mapping.t;
+  raw_mapping : Mapping.t;
+  score : float;
+  via : string;
+}
 
 let name = function
   | Auto -> "MultiDim"
@@ -53,12 +58,28 @@ let preset (c : Collect.t) which =
   in
   respect_hard c m
 
-let decide dev (c : Collect.t) strat =
+(* a preset visits exactly one candidate; report it through the same trace
+   channel the auto search uses, so [trace-search] works for any strategy *)
+let trace_one trace dev (c : Collect.t) m =
+  match trace with
+  | None -> ()
+  | Some g ->
+    g
+      {
+        Search.t_mapping = Array.copy m;
+        t_score = Score.score dev c.softs m;
+        t_dop = Mapping.dop ~sizes:c.level_sizes m;
+        t_pruned = [];
+        t_softs = Score.explain dev c.softs m;
+      }
+
+let decide ?trace dev (c : Collect.t) strat =
   match strat with
   | Auto ->
-    let r = Search.search dev c in
+    let r = Search.search ?trace dev c in
     {
       mapping = r.mapping;
+      raw_mapping = r.raw_mapping;
       score = r.score;
       via =
         Printf.sprintf "auto search (%d candidates, DOP %d)" r.candidates
@@ -66,21 +87,37 @@ let decide dev (c : Collect.t) strat =
     }
   | One_d ->
     let m = preset c `One_d in
-    { mapping = m; score = Score.score dev c.softs m; via = "1D preset" }
-  | Thread_block_thread ->
-    let m = preset c `Tbt in
+    trace_one trace dev c m;
     {
       mapping = m;
+      raw_mapping = m;
+      score = Score.score dev c.softs m;
+      via = "1D preset";
+    }
+  | Thread_block_thread ->
+    let m = preset c `Tbt in
+    trace_one trace dev c m;
+    {
+      mapping = m;
+      raw_mapping = m;
       score = Score.score dev c.softs m;
       via = "thread-block/thread preset";
     }
   | Warp_based ->
     let m = preset c `Warp in
+    trace_one trace dev c m;
     {
       mapping = m;
+      raw_mapping = m;
       score = Score.score dev c.softs m;
       via = "warp-based preset";
     }
   | Fixed m ->
     let m = respect_hard c m in
-    { mapping = m; score = Score.score dev c.softs m; via = "fixed" }
+    trace_one trace dev c m;
+    {
+      mapping = m;
+      raw_mapping = m;
+      score = Score.score dev c.softs m;
+      via = "fixed";
+    }

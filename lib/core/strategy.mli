@@ -23,14 +23,25 @@ type t =
 
 type decision = {
   mapping : Mapping.t;
+  raw_mapping : Mapping.t;
+      (** winning candidate before DOP control; equals [mapping] for
+          presets. The search trace records raw candidates, so trace
+          consumers match against this. *)
   score : float;
   via : string;  (** provenance for reports *)
 }
 
 val name : t -> string
 
-val decide : Ppat_gpu.Device.t -> Collect.t -> t -> decision
-(** Resolve a strategy into a concrete mapping for an analysed nest. *)
+val decide :
+  ?trace:(Search.traced -> unit) ->
+  Ppat_gpu.Device.t ->
+  Collect.t ->
+  t ->
+  decision
+(** Resolve a strategy into a concrete mapping for an analysed nest.
+    [trace] receives every candidate considered: the full enumeration for
+    [Auto] (see {!Search.search}), the single preset mapping otherwise. *)
 
 val all_fixed : t list
 (** [One_d; Thread_block_thread; Warp_based]. *)

@@ -62,12 +62,40 @@ let copy s =
   add c s;
   c
 
+(* the single source of the counter list: pp and the JSON exporters both
+   iterate this, so the field sets cannot drift apart *)
+let to_assoc s =
+  [
+    ("warp_insts", s.warp_insts);
+    ("mem_insts", s.mem_insts);
+    ("transactions", s.transactions);
+    ("bytes", s.bytes);
+    ("l2_bytes", s.l2_bytes);
+    ("smem_insts", s.smem_insts);
+    ("smem_conflict_extra", s.smem_conflict_extra);
+    ("syncs", s.syncs);
+    ("divergent_branches", s.divergent_branches);
+    ("atomics", s.atomics);
+    ("atomic_serial_extra", s.atomic_serial_extra);
+    ("mallocs", s.mallocs);
+  ]
+
+let l2_hit_rate s =
+  let total = s.bytes +. s.l2_bytes in
+  if total <= 0. then 0. else s.l2_bytes /. total
+
+let bytes_per_transaction s =
+  if s.transactions <= 0. then 0.
+  else (s.bytes +. s.l2_bytes) /. s.transactions
+
 let pp ppf s =
-  Format.fprintf ppf
-    "@[<v>warp insts: %.0f@,global mem insts: %.0f (transactions: %.0f, \
-     dram %.0f B, l2 %.0f B)@,smem insts: %.0f (+%.0f conflict)@,syncs: \
-     %.0f@,divergent branches: %.0f@,atomics: %.0f (+%.0f serial)@,mallocs: \
-     %.0f@]"
-    s.warp_insts s.mem_insts s.transactions s.bytes s.l2_bytes s.smem_insts
-    s.smem_conflict_extra s.syncs s.divergent_branches s.atomics
-    s.atomic_serial_extra s.mallocs
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%s: %.0f" name v)
+    (to_assoc s);
+  Format.fprintf ppf "@,l2 hit rate: %.1f%%@,bytes/transaction: %.1f"
+    (100. *. l2_hit_rate s)
+    (bytes_per_transaction s);
+  Format.pp_close_box ppf ()

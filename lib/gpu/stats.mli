@@ -29,4 +29,19 @@ val add : t -> t -> unit
 
 val reset : t -> unit
 val copy : t -> t
+
+val to_assoc : t -> (string * float) list
+(** Every counter as a (name, value) pair, in declaration order. {!pp} and
+    the profiling JSON exporter both iterate this list, so the printed and
+    exported field sets cannot drift apart. *)
+
+val l2_hit_rate : t -> float
+(** Fraction of global-memory bytes served by the L2 (0 when there is no
+    traffic). *)
+
+val bytes_per_transaction : t -> float
+(** Average bytes moved per coalesced transaction — 128 means perfectly
+    coalesced on the K20c; approaching [transaction_bytes]/warp-size means
+    fully scattered. 0 when there are no transactions. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,20 +76,23 @@ let estimate (d : Device.t) g (s : Stats.t) =
     bound;
   }
 
-let kernel_seconds d g s =
-  (estimate d g s).seconds +. (d.kernel_launch_us *. 1e-6)
+let kernel_estimate d g s =
+  let b = estimate d g s in
+  { b with seconds = b.seconds +. (d.kernel_launch_us *. 1e-6) }
+
+let kernel_seconds d g s = (kernel_estimate d g s).seconds
+
+let string_of_bound = function
+  | `Compute -> "compute"
+  | `Bandwidth -> "bandwidth"
+  | `Latency -> "latency"
 
 let pcie_gbps = 6.
 
 let transfer_seconds _d ~bytes = float_of_int bytes /. (pcie_gbps *. 1e9)
 
 let pp_breakdown ppf b =
-  let bound =
-    match b.bound with
-    | `Compute -> "compute"
-    | `Bandwidth -> "bandwidth"
-    | `Latency -> "latency"
-  in
+  let bound = string_of_bound b.bound in
   Format.fprintf ppf
     "%.3g s (%s-bound; cycles: comp %.3g / bw %.3g / lat %.3g / ovh %.3g; \
      %d warps/SM on %d SMs)"

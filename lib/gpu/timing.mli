@@ -33,9 +33,15 @@ type breakdown = {
 
 val estimate : Device.t -> geometry -> Stats.t -> breakdown
 
+val kernel_estimate : Device.t -> geometry -> Stats.t -> breakdown
+(** [estimate] with the fixed per-launch overhead folded into [seconds];
+    the full record the profiling layer stores per kernel launch. *)
+
 val kernel_seconds : Device.t -> geometry -> Stats.t -> float
-(** [estimate] plus the fixed per-launch overhead; the quantity the
-    experiment harness accumulates across launches. *)
+(** [(kernel_estimate d g s).seconds]; the quantity the experiment harness
+    accumulates across launches. *)
+
+val string_of_bound : [ `Compute | `Bandwidth | `Latency ] -> string
 
 val transfer_seconds : Device.t -> bytes:int -> float
 (** Host-to-device PCIe transfer estimate (6 GB/s effective, as for the

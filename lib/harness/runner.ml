@@ -9,6 +9,8 @@ module Memory = Ppat_gpu.Memory
 module Stats = Ppat_gpu.Stats
 module Timing = Ppat_gpu.Timing
 
+module Record = Ppat_profile.Record
+
 type gpu_result = {
   seconds : float;
   kernels : int;
@@ -16,6 +18,7 @@ type gpu_result = {
   data : Host.data;
   decisions : (string * Strategy.decision) list;
   notes : string list;
+  profile : Record.kernel list;
 }
 
 type cpu_result = {
@@ -56,7 +59,8 @@ let decide_all dev (prog : Pat.prog) params strategy =
   List.iter step prog.steps;
   !decisions
 
-let exec_steps dev prog ~opts ~params ~mapping_of (data : Host.data) =
+let exec_steps dev prog ~opts ~params ~mapping_of ?(via_of = fun _ -> "")
+    (data : Host.data) =
   (match Pat.validate prog with
    | Ok () -> ()
    | Error e -> failwith ("invalid program: " ^ e));
@@ -68,6 +72,7 @@ let exec_steps dev prog ~opts ~params ~mapping_of (data : Host.data) =
   let kernels = ref 0 in
   let agg = Stats.create () in
   let notes = ref [] in
+  let records = ref [] in
   let rec step cur_params (s : Pat.step) =
     match s with
     | Pat.Launch n ->
@@ -84,10 +89,26 @@ let exec_steps dev prog ~opts ~params ~mapping_of (data : Host.data) =
         lowered.temps;
       List.iter
         (fun (l : Ppat_kernel.Kir.launch) ->
+          let wall0 = Sys.time () in
           let s = Interp.run dev mem l in
+          let wall = Sys.time () -. wall0 in
           Stats.add agg s;
-          total_time :=
-            !total_time +. Timing.kernel_seconds dev (Ppat_kernel.Kir.geometry l) s;
+          let b = Timing.kernel_estimate dev (Ppat_kernel.Kir.geometry l) s in
+          total_time := !total_time +. b.Timing.seconds;
+          records :=
+            {
+              Record.index = !kernels;
+              label = n.pat.Pat.label;
+              kname = l.kernel.Ppat_kernel.Kir.kname;
+              grid = l.Ppat_kernel.Kir.grid;
+              block = l.Ppat_kernel.Kir.block;
+              mapping;
+              via = via_of n.pat.Pat.pid;
+              stats = Stats.copy s;
+              breakdown = b;
+              sim_wall_seconds = wall;
+            }
+            :: !records;
           incr kernels)
         lowered.launches;
       notes := lowered.notes @ !notes
@@ -116,7 +137,7 @@ let exec_steps dev prog ~opts ~params ~mapping_of (data : Host.data) =
       (fun (b : Pat.buffer) -> (b.bname, Memory.to_host mem b.bname))
       prog.buffers
   in
-  (!total_time, !kernels, agg, out, List.rev !notes)
+  (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
 let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
     data =
@@ -124,8 +145,13 @@ let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
   in
-  let seconds, kernels, stats, out, notes =
-    exec_steps dev prog ~opts ~params ~mapping_of data
+  let via_of pid =
+    match List.assoc_opt pid decisions with
+    | Some d -> d.Strategy.via
+    | None -> ""
+  in
+  let seconds, kernels, stats, out, notes, profile =
+    exec_steps dev prog ~opts ~params ~mapping_of ~via_of data
   in
   let label_of pid =
     let found = ref "" in
@@ -141,14 +167,17 @@ let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
     data = out;
     decisions = List.map (fun (pid, d) -> (label_of pid, d)) decisions;
     notes;
+    profile;
   }
 
 let run_gpu_mapped ?(opts = Lower.default_options) ?(params = []) dev prog
     mapping_of data =
-  let seconds, kernels, stats, out, notes =
-    exec_steps dev prog ~opts ~params ~mapping_of data
+  let seconds, kernels, stats, out, notes, profile =
+    exec_steps dev prog ~opts ~params ~mapping_of
+      ~via_of:(fun _ -> "explicit mapping")
+      data
   in
-  { seconds; kernels; stats; data = out; decisions = []; notes }
+  { seconds; kernels; stats; data = out; decisions = []; notes; profile }
 
 let run_cpu ?(params = []) prog data =
   let cpu_data, counts = Ppat_cpu.Interp_ref.run ~params prog data in
@@ -178,26 +207,41 @@ let sort_buf = function
 let check ?(eps = 1e-6) ?(unordered = []) ?only (prog : Pat.prog) ~expected
     ~actual =
   let errors = ref [] in
+  let missing = ref [] in
   let selected (b : Pat.buffer) =
     match only with None -> true | Some names -> List.mem b.bname names
   in
   List.iter
     (fun (b : Pat.buffer) ->
-      if selected b then
-      begin
+      if selected b then begin
         (* inputs are compared too: iterative programs mutate them *)
-        let e = List.assoc b.bname expected
-        and a = List.assoc b.bname actual in
-        let e, a =
-          if List.mem b.bname unordered then (sort_buf e, sort_buf a)
-          else (e, a)
-        in
-        if not (Host.approx_equal ~eps e a) then errors := b.bname :: !errors
+        match
+          (List.assoc_opt b.bname expected, List.assoc_opt b.bname actual)
+        with
+        | None, _ -> missing := (b.bname, "expected") :: !missing
+        | _, None -> missing := (b.bname, "actual") :: !missing
+        | Some e, Some a ->
+          let e, a =
+            if List.mem b.bname unordered then (sort_buf e, sort_buf a)
+            else (e, a)
+          in
+          if not (Host.approx_equal ~eps e a) then
+            errors := b.bname :: !errors
       end)
     prog.buffers;
-  match !errors with
-  | [] -> Ok ()
-  | bs ->
-    Error
-      (Printf.sprintf "mismatched buffers: %s"
-         (String.concat ", " (List.rev bs)))
+  match (List.rev !missing, List.rev !errors) with
+  | [], [] -> Ok ()
+  | ms, bs ->
+    let missing_msg =
+      List.map
+        (fun (name, side) ->
+          Printf.sprintf "buffer %S missing from the %s outputs" name side)
+        ms
+    in
+    let mismatch_msg =
+      match bs with
+      | [] -> []
+      | bs ->
+        [ Printf.sprintf "mismatched buffers: %s" (String.concat ", " bs) ]
+    in
+    Error (String.concat "; " (missing_msg @ mismatch_msg))

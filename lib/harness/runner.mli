@@ -16,6 +16,10 @@ type gpu_result = {
   decisions : (string * Ppat_core.Strategy.decision) list;
       (** mapping per top-level pattern label *)
   notes : string list;  (** codegen fallbacks *)
+  profile : Ppat_profile.Record.kernel list;
+      (** one record per simulated kernel launch, in launch order: label,
+          geometry, mapping, per-launch stats, full timing breakdown and
+          simulator wall clock. The per-launch stats sum to [stats]. *)
 }
 
 val run_gpu :
@@ -68,7 +72,9 @@ val check :
     named in [unordered] (filter/group-by outputs, whose element order is
     nondeterministic under atomics) are compared as sorted multisets.
     [only] restricts the comparison (used for hand-written baselines that
-    stage differently but agree on the designated results). *)
+    stage differently but agree on the designated results). A program
+    buffer absent from [expected] or [actual] yields a descriptive
+    [Error] naming the buffer and side, never an exception. *)
 
 val analysis_params :
   Ppat_ir.Pat.prog -> (string * int) list -> (string * int) list

@@ -1,0 +1,104 @@
+(* Chrome trace_event ("about://tracing" / Perfetto) export.
+
+   The simulated timeline is sequential — kernel launches do not overlap —
+   so each kernel becomes one complete "X" slice per SM track it occupies
+   (tracks 0 .. active_sms-1). Under-occupied launches are then visible at
+   a glance as mostly-empty tracks, which is precisely the paper's
+   occupancy argument. Breakdown cycles and the mapping ride along as slice
+   args, and a counter track plots resident warps per SM over time. *)
+
+let us_of_seconds s = s *. 1e6
+
+let triple_string (x, y, z) = Printf.sprintf "(%d,%d,%d)" x y z
+
+let slice_args (k : Record.kernel) =
+  let b = k.breakdown in
+  Jsonx.Obj
+    [
+      ("kernel", Jsonx.Str k.kname);
+      ("mapping", Jsonx.Str (Ppat_core.Mapping.to_string k.mapping));
+      ("via", Jsonx.Str k.via);
+      ("grid", Jsonx.Str (triple_string k.grid));
+      ("block", Jsonx.Str (triple_string k.block));
+      ("bound", Jsonx.Str (Ppat_gpu.Timing.string_of_bound b.bound));
+      ("compute_cycles", Jsonx.Float b.compute_cycles);
+      ("bandwidth_cycles", Jsonx.Float b.bandwidth_cycles);
+      ("latency_cycles", Jsonx.Float b.latency_cycles);
+      ("overhead_cycles", Jsonx.Float b.overhead_cycles);
+      ("resident_warps", Jsonx.Int b.resident_warps);
+      ("active_sms", Jsonx.Int b.active_sms);
+    ]
+
+let metadata ~name ~tid what =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str what);
+      ("ph", Jsonx.Str "M");
+      ("pid", Jsonx.Int 0);
+      ("tid", Jsonx.Int tid);
+      ("args", Jsonx.Obj [ ("name", Jsonx.Str name) ]);
+    ]
+
+let export (r : Record.run) =
+  let max_sms =
+    List.fold_left
+      (fun acc (k : Record.kernel) -> max acc k.breakdown.active_sms)
+      0 r.kernels
+  in
+  let meta =
+    metadata ~tid:0
+      ~name:(Printf.sprintf "ppat sim: %s [%s on %s]" r.app r.strategy r.device)
+      "process_name"
+    :: List.init max_sms (fun sm ->
+           metadata ~tid:sm ~name:(Printf.sprintf "SM %d" sm) "thread_name")
+  in
+  let slices = ref [] and counters = ref [] in
+  let now = ref 0. in
+  List.iter
+    (fun (k : Record.kernel) ->
+      let ts = us_of_seconds !now in
+      let dur = us_of_seconds k.breakdown.seconds in
+      let name = Printf.sprintf "%s:%s" k.label k.kname in
+      for sm = 0 to k.breakdown.active_sms - 1 do
+        slices :=
+          Jsonx.Obj
+            [
+              ("name", Jsonx.Str name);
+              ("cat", Jsonx.Str "kernel");
+              ("ph", Jsonx.Str "X");
+              ("ts", Jsonx.Float ts);
+              ("dur", Jsonx.Float dur);
+              ("pid", Jsonx.Int 0);
+              ("tid", Jsonx.Int sm);
+              ("args", slice_args k);
+            ]
+          :: !slices
+      done;
+      counters :=
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str "resident warps/SM");
+            ("ph", Jsonx.Str "C");
+            ("ts", Jsonx.Float ts);
+            ("pid", Jsonx.Int 0);
+            ("args",
+             Jsonx.Obj [ ("warps", Jsonx.Int k.breakdown.resident_warps) ]);
+          ]
+        :: !counters;
+      now := !now +. k.breakdown.seconds)
+    r.kernels;
+  Jsonx.Obj
+    [
+      ("traceEvents",
+       Jsonx.List (meta @ List.rev !slices @ List.rev !counters));
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("otherData",
+       Jsonx.Obj
+         [
+           ("app", Jsonx.Str r.app);
+           ("strategy", Jsonx.Str r.strategy);
+           ("device", Jsonx.Str r.device);
+         ]);
+    ]
+
+let to_file path r = Jsonx.to_file path (export r)

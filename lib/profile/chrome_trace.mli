@@ -1,0 +1,14 @@
+(** Chrome [trace_event] export of a run profile, loadable in
+    [about://tracing] or Perfetto.
+
+    Each kernel launch becomes one complete "X" slice per SM track it
+    occupies (tracks [0 .. active_sms-1] of process 0), so under-occupied
+    launches show up as mostly-empty tracks. Timing-model cycles, the
+    mapping and the launch geometry ride along as slice args; a counter
+    track plots resident warps per SM over the run. *)
+
+val export : Record.run -> Jsonx.t
+(** The full document: [{"traceEvents": [...], "displayTimeUnit": "ms",
+    "otherData": {...}}]. *)
+
+val to_file : string -> Record.run -> unit

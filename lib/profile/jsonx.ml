@@ -1,0 +1,287 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* shortest decimal that round-trips the double, so parse(print(x)) = x *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_buffer ?(minify = false) buf j =
+  let rec go indent j =
+    let nl i =
+      if not minify then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make i ' ')
+      end
+    in
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (indent + 2);
+          go (indent + 2) x)
+        xs;
+      nl indent;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (indent + 2);
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\": ";
+          go (indent + 2) v)
+        kvs;
+      nl indent;
+      Buffer.add_char buf '}'
+  in
+  go 0 j
+
+let to_string ?minify j =
+  let buf = Buffer.create 1024 in
+  to_buffer ?minify buf j;
+  Buffer.contents buf
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')
+
+(* ----- parsing: a small recursive-descent reader, enough to round-trip
+   our own output and validate exported traces in tests ----- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'u' ->
+          if !pos + 4 > n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* encode the code point as UTF-8 (no surrogate pairing) *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          go ()
+        | _ -> fail "bad escape")
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    let span = String.sub s start (!pos - start) in
+    if
+      String.contains span '.'
+      || String.contains span 'e'
+      || String.contains span 'E'
+    then Float (float_of_string span)
+    else
+      match int_of_string_opt span with
+      | Some i -> Int i
+      | None -> Float (float_of_string span)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+  | exception Failure e -> Error e
+
+(* ----- accessors, for consumers and tests ----- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> (
+    try List.for_all2 equal a b with Invalid_argument _ -> false)
+  | Obj a, Obj b -> (
+    try
+      List.for_all2
+        (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+        a b
+    with Invalid_argument _ -> false)
+  | _ -> false

@@ -1,0 +1,35 @@
+(** A dependency-free JSON tree with a pretty printer and a parser.
+
+    The repository deliberately avoids adding JSON libraries to the build
+    closure; the profiling exporters only need to emit (and, in tests,
+    re-read) well-formed documents. Floats are printed with the shortest
+    decimal representation that round-trips the IEEE double, so
+    [of_string (to_string j)] reproduces [j] exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render with two-space indentation ([minify] drops all whitespace). *)
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Numbers without a fraction or exponent
+    that fit in [int] parse as [Int]; everything else as [Float]. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality; [Int]/[Float] compare by numeric value. *)

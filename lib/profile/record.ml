@@ -1,0 +1,103 @@
+module Stats = Ppat_gpu.Stats
+module Timing = Ppat_gpu.Timing
+module Mapping = Ppat_core.Mapping
+
+type kernel = {
+  index : int;
+  label : string;
+  kname : string;
+  grid : int * int * int;
+  block : int * int * int;
+  mapping : Mapping.t;
+  via : string;
+  stats : Stats.t;
+  breakdown : Timing.breakdown;
+  sim_wall_seconds : float;
+}
+
+type run = {
+  app : string;
+  strategy : string;
+  device : string;
+  kernels : kernel list;
+  aggregate : Stats.t;
+  total_seconds : float;
+  sim_wall_total : float;
+}
+
+let make_run ~app ~strategy ~device ~total_seconds kernels =
+  let aggregate = Stats.create () in
+  List.iter (fun k -> Stats.add aggregate k.stats) kernels;
+  {
+    app;
+    strategy;
+    device;
+    kernels;
+    aggregate;
+    total_seconds;
+    sim_wall_total =
+      List.fold_left (fun acc k -> acc +. k.sim_wall_seconds) 0. kernels;
+  }
+
+let sum_stats kernels =
+  let acc = Stats.create () in
+  List.iter (fun k -> Stats.add acc k.stats) kernels;
+  acc
+
+(* ----- JSON export ----- *)
+
+let json_of_triple (x, y, z) =
+  Jsonx.List [ Jsonx.Int x; Jsonx.Int y; Jsonx.Int z ]
+
+let json_of_stats s =
+  let counters =
+    List.map (fun (name, v) -> (name, Jsonx.Float v)) (Stats.to_assoc s)
+  in
+  Jsonx.Obj
+    (counters
+    @ [
+        ("l2_hit_rate", Jsonx.Float (Stats.l2_hit_rate s));
+        ("bytes_per_transaction", Jsonx.Float (Stats.bytes_per_transaction s));
+      ])
+
+let json_of_breakdown (b : Timing.breakdown) =
+  Jsonx.Obj
+    [
+      ("seconds", Jsonx.Float b.seconds);
+      ("bound", Jsonx.Str (Timing.string_of_bound b.bound));
+      ("compute_cycles", Jsonx.Float b.compute_cycles);
+      ("bandwidth_cycles", Jsonx.Float b.bandwidth_cycles);
+      ("latency_cycles", Jsonx.Float b.latency_cycles);
+      ("overhead_cycles", Jsonx.Float b.overhead_cycles);
+      ("resident_warps", Jsonx.Int b.resident_warps);
+      ("active_sms", Jsonx.Int b.active_sms);
+    ]
+
+let json_of_kernel k =
+  Jsonx.Obj
+    [
+      ("index", Jsonx.Int k.index);
+      ("label", Jsonx.Str k.label);
+      ("kernel", Jsonx.Str k.kname);
+      ("grid", json_of_triple k.grid);
+      ("block", json_of_triple k.block);
+      ("mapping", Jsonx.Str (Mapping.to_string k.mapping));
+      ("via", Jsonx.Str k.via);
+      ("timing", json_of_breakdown k.breakdown);
+      ("stats", json_of_stats k.stats);
+      ("sim_wall_seconds", Jsonx.Float k.sim_wall_seconds);
+    ]
+
+let json_of_run r =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "ppat-profile/1");
+      ("app", Jsonx.Str r.app);
+      ("strategy", Jsonx.Str r.strategy);
+      ("device", Jsonx.Str r.device);
+      ("total_seconds", Jsonx.Float r.total_seconds);
+      ("sim_wall_seconds", Jsonx.Float r.sim_wall_total);
+      ("kernel_count", Jsonx.Int (List.length r.kernels));
+      ("aggregate_stats", json_of_stats r.aggregate);
+      ("kernels", Jsonx.List (List.map json_of_kernel r.kernels));
+    ]

@@ -1,0 +1,56 @@
+(** Per-kernel profile records (the paper's Sections IV-VI arguments —
+    coalescing, occupancy, divergence — made observable per launch instead
+    of only as one fused aggregate).
+
+    {!Ppat_harness.Runner} fills one {!kernel} per simulated launch;
+    {!make_run} assembles them plus run-level totals into a {!run} that the
+    console report, the JSON exporter and the Chrome-trace exporter all
+    consume. *)
+
+type kernel = {
+  index : int;  (** launch order within the run, from 0 *)
+  label : string;  (** top-level pattern label this launch belongs to *)
+  kname : string;  (** generated kernel name *)
+  grid : int * int * int;
+  block : int * int * int;
+  mapping : Ppat_core.Mapping.t;  (** mapping decision behind the launch *)
+  via : string;  (** decision provenance (search / preset / fixed) *)
+  stats : Ppat_gpu.Stats.t;  (** this launch only, not the aggregate *)
+  breakdown : Ppat_gpu.Timing.breakdown;
+      (** full timing-model output incl. launch overhead in [seconds] *)
+  sim_wall_seconds : float;
+      (** host wall-clock the SIMT simulator spent on this launch *)
+}
+
+type run = {
+  app : string;
+  strategy : string;
+  device : string;
+  kernels : kernel list;
+  aggregate : Ppat_gpu.Stats.t;  (** sum of all per-kernel stats *)
+  total_seconds : float;  (** simulated time, as reported by the runner *)
+  sim_wall_total : float;
+}
+
+val make_run :
+  app:string ->
+  strategy:string ->
+  device:string ->
+  total_seconds:float ->
+  kernel list ->
+  run
+
+val sum_stats : kernel list -> Ppat_gpu.Stats.t
+(** Sum of the per-kernel stats — by construction equal to the runner's
+    aggregate; the profile tests assert exactly that. *)
+
+val json_of_stats : Ppat_gpu.Stats.t -> Jsonx.t
+(** All counters from {!Ppat_gpu.Stats.to_assoc} plus the derived L2
+    hit-rate and bytes-per-transaction. *)
+
+val json_of_breakdown : Ppat_gpu.Timing.breakdown -> Jsonx.t
+val json_of_kernel : kernel -> Jsonx.t
+
+val json_of_run : run -> Jsonx.t
+(** Stable schema ["ppat-profile/1"]: run header, aggregate stats, and one
+    record per kernel. *)

@@ -1,0 +1,161 @@
+module Stats = Ppat_gpu.Stats
+module Timing = Ppat_gpu.Timing
+module Mapping = Ppat_core.Mapping
+module Search = Ppat_core.Search
+module Constr = Ppat_core.Constr
+module Score = Ppat_core.Score
+
+let triple (x, y, z) = Printf.sprintf "%dx%dx%d" x y z
+
+(* ----- per-kernel run report ----- *)
+
+let pp_kernel ppf (k : Record.kernel) =
+  let b = k.breakdown in
+  Format.fprintf ppf
+    "@[<v 2>#%-3d %-18s %s@,grid %s  block %s  %.3g s (%s-bound)@,\
+     warps/SM %d on %d SMs; cycles comp %.3g / bw %.3g / lat %.3g / ovh \
+     %.3g@,mapping %s  [%s]@,sim wall %.3g s@]"
+    k.index k.label k.kname (triple k.grid) (triple k.block) b.seconds
+    (Timing.string_of_bound b.bound)
+    b.resident_warps b.active_sms b.compute_cycles b.bandwidth_cycles
+    b.latency_cycles b.overhead_cycles
+    (Mapping.to_string k.mapping)
+    k.via k.sim_wall_seconds
+
+let pp_run ppf (r : Record.run) =
+  Format.fprintf ppf
+    "@[<v>profile: %s under %s on %s@,%d kernel launch%s, %.4g s simulated \
+     (%.3g s of simulator wall clock)@,@,"
+    r.app r.strategy r.device (List.length r.kernels)
+    (if List.length r.kernels = 1 then "" else "es")
+    r.total_seconds r.sim_wall_total;
+  List.iter (fun k -> Format.fprintf ppf "%a@,@," pp_kernel k) r.kernels;
+  Format.fprintf ppf "aggregate statistics:@,%a@]" Stats.pp r.aggregate
+
+(* ----- search-trace report ----- *)
+
+type search_trace = {
+  st_label : string;  (** pattern label the search ran for *)
+  st_result : Ppat_core.Strategy.decision;
+  st_candidates : Search.traced list;  (** in enumeration order *)
+}
+
+let soft_tag = function
+  | Constr.Coalesce { buf; _ } -> "coalesce(" ^ buf ^ ")"
+  | Constr.Min_block _ -> "min_block"
+  | Constr.Fit { level; _ } -> Printf.sprintf "fit(L%d)" level
+  | Constr.Lean_reduce { level; _ } -> Printf.sprintf "lean_reduce(L%d)" level
+
+let missing_softs (t : Search.traced) =
+  List.filter_map
+    (fun (c : Score.component) ->
+      if c.satisfied then None else Some (soft_tag c.constr))
+    t.t_softs
+
+(* why a candidate lost: hard violations, a lower score with the softs it
+   misses, or a lost tie-break *)
+let verdict (st : search_trace) (t : Search.traced) =
+  if t.t_pruned <> [] then
+    "pruned: " ^ String.concat "; " t.t_pruned
+  else if Mapping.equal t.t_mapping st.st_result.raw_mapping then "CHOSEN"
+  else begin
+    let missing = missing_softs t in
+    let why_softs =
+      if missing = [] then ""
+      else " (missing " ^ String.concat ", " missing ^ ")"
+    in
+    if t.t_score < st.st_result.score then
+      Printf.sprintf "rejected: score %g < %g%s" t.t_score st.st_result.score
+        why_softs
+    else
+      Printf.sprintf
+        "rejected: tied score %g, lost DOP/block-size tie-break%s" t.t_score
+        why_softs
+  end
+
+(* chosen first, then feasible candidates by descending score (then DOP),
+   hard-pruned ones last *)
+let ranked (st : search_trace) =
+  let chosen, rest =
+    List.partition
+      (fun (t : Search.traced) ->
+        t.t_pruned = [] && Mapping.equal t.t_mapping st.st_result.raw_mapping)
+      st.st_candidates
+  in
+  let feasible, pruned =
+    List.partition (fun (t : Search.traced) -> t.t_pruned = []) rest
+  in
+  let by_score (a : Search.traced) (b : Search.traced) =
+    match compare b.t_score a.t_score with
+    | 0 -> compare b.t_dop a.t_dop
+    | c -> c
+  in
+  chosen @ List.sort by_score feasible @ pruned
+
+let pp_search ?(limit = 16) ppf (st : search_trace) =
+  let all = ranked st in
+  let feasible, pruned =
+    List.partition (fun (t : Search.traced) -> t.t_pruned = []) all
+  in
+  Format.fprintf ppf
+    "@[<v>=== %s ===@,chosen: %s (score %g)  [%s]@,%d candidates traced \
+     (%d hard-feasible, %d pruned)@,"
+    st.st_label
+    (Mapping.to_string st.st_result.mapping)
+    st.st_result.score st.st_result.via (List.length all)
+    (List.length feasible) (List.length pruned);
+  let row rank (t : Search.traced) =
+    Format.fprintf ppf "@,%3d. %-44s score %-8g DOP %-9d %s" rank
+      (Mapping.to_string t.t_mapping)
+      t.t_score t.t_dop (verdict st t)
+  in
+  List.iteri
+    (fun i t -> if i < limit then row (i + 1) t)
+    feasible;
+  if List.length feasible > limit then
+    Format.fprintf ppf "@,     ... %d more hard-feasible candidates not shown"
+      (List.length feasible - limit);
+  if pruned <> [] then begin
+    Format.fprintf ppf "@,hard-pruned candidates:";
+    let shown = min 4 (List.length pruned) in
+    List.iteri
+      (fun i t ->
+        if i < shown then row (List.length feasible + i + 1) t)
+      pruned;
+    if List.length pruned > shown then
+      Format.fprintf ppf "@,     ... %d more pruned candidates not shown"
+        (List.length pruned - shown)
+  end;
+  Format.fprintf ppf "@]"
+
+let json_of_traced (st : search_trace) (t : Search.traced) =
+  Jsonx.Obj
+    [
+      ("mapping", Jsonx.Str (Mapping.to_string t.t_mapping));
+      ("score", Jsonx.Float t.t_score);
+      ("dop", Jsonx.Int t.t_dop);
+      ("pruned", Jsonx.List (List.map (fun r -> Jsonx.Str r) t.t_pruned));
+      ("verdict", Jsonx.Str (verdict st t));
+      ("softs",
+       Jsonx.List
+         (List.map
+            (fun (c : Score.component) ->
+              Jsonx.Obj
+                [
+                  ("constraint", Jsonx.Str (soft_tag c.constr));
+                  ("satisfied", Jsonx.Bool c.satisfied);
+                  ("weight", Jsonx.Float c.weight);
+                ])
+            t.t_softs));
+    ]
+
+let json_of_search (st : search_trace) =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "ppat-search-trace/1");
+      ("pattern", Jsonx.Str st.st_label);
+      ("chosen", Jsonx.Str (Mapping.to_string st.st_result.mapping));
+      ("score", Jsonx.Float st.st_result.score);
+      ("via", Jsonx.Str st.st_result.via);
+      ("candidates", Jsonx.List (List.map (json_of_traced st) (ranked st)));
+    ]

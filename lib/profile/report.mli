@@ -1,0 +1,30 @@
+(** Console rendering of run profiles and mapping-search traces, plus the
+    search-trace JSON export. *)
+
+val pp_kernel : Format.formatter -> Record.kernel -> unit
+
+val pp_run : Format.formatter -> Record.run -> unit
+(** Run header, one block per kernel launch (geometry, timing breakdown,
+    mapping, provenance), and the aggregate statistics. *)
+
+type search_trace = {
+  st_label : string;  (** pattern label the search ran for *)
+  st_result : Ppat_core.Strategy.decision;
+  st_candidates : Ppat_core.Search.traced list;  (** enumeration order *)
+}
+
+val ranked : search_trace -> Ppat_core.Search.traced list
+(** Chosen candidate first, then hard-feasible losers by descending score
+    (then DOP), then hard-pruned candidates. *)
+
+val verdict : search_trace -> Ppat_core.Search.traced -> string
+(** Why a candidate won or lost: "CHOSEN", the hard violations that pruned
+    it, a lower score with the soft constraints it misses, or a lost
+    DOP/block-size tie-break. *)
+
+val pp_search : ?limit:int -> Format.formatter -> search_trace -> unit
+(** Ranked table of candidates, [limit] rows (default 16). *)
+
+val json_of_search : search_trace -> Jsonx.t
+(** Schema ["ppat-search-trace/1"]: the decision plus every ranked
+    candidate with score, DOP, violations and soft-constraint deltas. *)

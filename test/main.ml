@@ -18,6 +18,7 @@ let () =
       ("integration", Test_integration.tests);
       ("kir", Test_kir.tests);
       ("runner", Test_runner.tests);
+      ("profile", Test_profile.tests);
       ("codegen-opts", Test_codegen_opts.tests);
       ("properties", Test_props.tests);
     ]
