@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke engines bench-smoke check bench bench-json clean
 
 all: build
 
@@ -18,10 +18,32 @@ smoke: build
 	dune exec bin/ppat.exe -- trace-search sum_cols > /dev/null
 	@echo "smoke: profiling path OK"
 
-check: build test smoke
+# the engine differential suite under both PPAT_ENGINE defaults: the suite
+# itself runs both engines against each other, so this mainly proves the
+# env-var selection path and the suite are healthy from either default
+engines: build
+	PPAT_ENGINE=compiled dune exec test/main.exe -- test engine > /dev/null
+	PPAT_ENGINE=reference dune exec test/main.exe -- test engine > /dev/null
+	@echo "engines: differential suite OK under both defaults"
+
+# one cheap end-to-end bench invocation per engine (no JSON, tiny subset is
+# not supported, so reuse the profile path which runs a real simulation)
+bench-smoke: build
+	dune exec bin/ppat.exe -- run sum_rows --engine compiled > /dev/null
+	dune exec bin/ppat.exe -- run sum_rows --engine reference > /dev/null
+	@echo "bench-smoke: both engines validate sum_rows"
+
+check: build test smoke engines bench-smoke
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
+
+# the checked-in PR artifacts: reference baseline first, then the compiled
+# engine (the default). Interleave-order matters less than keeping both
+# runs on an otherwise idle machine.
+bench-json: build
+	PPAT_ENGINE=reference dune exec bench/main.exe -- --json BENCH_pr2_baseline.json
+	dune exec bench/main.exe -- --json BENCH_pr2.json
 
 clean:
 	dune clean

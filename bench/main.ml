@@ -90,26 +90,31 @@ let run_bechamel () =
         analyzed)
     (bechamel_tests ())
 
-(* ----- machine-readable perf trajectory: a fixed reduced-size suite
-   covering every pipeline shape (flat, nested, split-combiner, dynamic,
-   malloc mode), one JSON record per run, so the bench harness can diff
-   simulated time and counters across PRs ----- *)
+(* ----- machine-readable perf trajectory: a fixed suite covering every
+   pipeline shape (flat, nested, split-combiner, dynamic, malloc mode),
+   one JSON record per run, so the bench harness can diff simulated time
+   and counters across PRs. Sizes are large enough that simulator time
+   dominates analysis/lowering, so [sim_wall_seconds] measures the
+   execution engine itself. ----- *)
 
 let perf_suite () =
   let module A = Ppat_apps in
   let s = Ppat_core.Strategy.Auto in
   [
-    ("sumRows", A.Sum_rows_cols.sum_rows ~r:1024 ~c:256 (), s, None);
-    ("sumCols", A.Sum_rows_cols.sum_cols ~r:512 ~c:64 (), s, None);
-    ("hotspot", A.Hotspot.app ~n:48 ~steps:1 A.Hotspot.R, s, None);
+    ("sumRows", A.Sum_rows_cols.sum_rows ~r:4096 ~c:512 (), s, None);
+    ("sumCols", A.Sum_rows_cols.sum_cols ~r:2048 ~c:256 (), s, None);
+    ("hotspot", A.Hotspot.app ~n:192 ~steps:2 A.Hotspot.R, s, None);
     ( "mandelbrot-c",
-      A.Mandelbrot.app ~h:32 ~w:32 ~max_iter:12 A.Mandelbrot.C,
+      A.Mandelbrot.app ~h:96 ~w:96 ~max_iter:64 A.Mandelbrot.C,
       Ppat_core.Strategy.Warp_based,
       None );
-    ("qpscd", A.Qpscd.app ~samples:64 ~dim:64 (), s, None);
-    ("msmCluster", A.Msm_cluster.app ~frames:256 ~centers:16 ~dims:16 (), s, None);
+    ("qpscd", A.Qpscd.app ~samples:256 ~dim:256 (), s, None);
+    ( "msmCluster",
+      A.Msm_cluster.app ~frames:1024 ~centers:32 ~dims:32 (),
+      s,
+      None );
     ( "sumWeightedRows-malloc",
-      A.Sum_rows_cols.sum_weighted_rows ~r:48 ~c:32 (),
+      A.Sum_rows_cols.sum_weighted_rows ~r:256 ~c:128 (),
       s,
       Some
         {
@@ -118,11 +123,39 @@ let perf_suite () =
         } );
   ]
 
-let run_json file =
+(* worker pool: [n] tasks drained by [jobs] domains (the calling domain
+   included). Tasks must be independent; results land by index. *)
+let pool_run ~jobs n (task : int -> 'a) : 'a array =
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (task i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    List.init
+      (max 0 (min jobs n - 1))
+      (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run_json ~jobs file =
   let module J = Ppat_profile.Jsonx in
+  let suite = Array.of_list (perf_suite ()) in
+  let t_suite = Unix.gettimeofday () in
   let results =
-    List.map
-      (fun (name, (app : Ppat_apps.App.t), strat, opts) ->
+    pool_run ~jobs (Array.length suite) (fun i ->
+        let name, (app : Ppat_apps.App.t), strat, opts = suite.(i) in
         let data = Ppat_apps.App.input_data app in
         let t0 = Unix.gettimeofday () in
         let r =
@@ -130,45 +163,124 @@ let run_json file =
             strat data
         in
         let wall = Unix.gettimeofday () -. t0 in
-        Format.printf "  %-24s %.4g s simulated, %d kernels, %.2f s wall@."
-          name r.seconds r.kernels wall;
-        J.Obj
-          [
-            ("name", J.Str name);
-            ("strategy", J.Str (Ppat_core.Strategy.name strat));
-            ("simulated_seconds", J.Float r.seconds);
-            ("kernels", J.Int r.kernels);
-            ("pipeline_wall_seconds", J.Float wall);
-            ("stats", Ppat_profile.Record.json_of_stats r.stats);
-            ( "decisions",
-              J.List
-                (List.map
-                   (fun (label, (d : Ppat_core.Strategy.decision)) ->
-                     J.Obj
-                       [
-                         ("pattern", J.Str label);
-                         ( "mapping",
-                           J.Str (Ppat_core.Mapping.to_string d.mapping) );
-                         ("score", J.Float d.score);
-                         ("via", J.Str d.via);
-                       ])
-                   r.decisions) );
-          ])
-      (perf_suite ())
+        let sim_wall =
+          List.fold_left
+            (fun acc (k : Ppat_profile.Record.kernel) ->
+              acc +. k.sim_wall_seconds)
+            0. r.profile
+        in
+        ( name,
+          wall,
+          sim_wall,
+          Format.asprintf "  %-24s %.4g s simulated, %d kernels, %.2f s wall (%.2f s in simulator)"
+            name r.seconds r.kernels wall sim_wall,
+          J.Obj
+            [
+              ("name", J.Str name);
+              ("strategy", J.Str (Ppat_core.Strategy.name strat));
+              ("simulated_seconds", J.Float r.seconds);
+              ("kernels", J.Int r.kernels);
+              ("pipeline_wall_seconds", J.Float wall);
+              ("sim_wall_seconds", J.Float sim_wall);
+              ("stats", Ppat_profile.Record.json_of_stats r.stats);
+              ( "decisions",
+                J.List
+                  (List.map
+                     (fun (label, (d : Ppat_core.Strategy.decision)) ->
+                       J.Obj
+                         [
+                           ("pattern", J.Str label);
+                           ( "mapping",
+                             J.Str (Ppat_core.Mapping.to_string d.mapping) );
+                           ("score", J.Float d.score);
+                           ("via", J.Str d.via);
+                         ])
+                     r.decisions) );
+            ] ))
   in
+  let suite_wall = Unix.gettimeofday () -. t_suite in
+  Array.iter
+    (fun (_, _, _, line, _) -> Format.printf "%s@." line)
+    results;
+  let total_wall =
+    Array.fold_left (fun acc (_, w, _, _, _) -> acc +. w) 0. results
+  in
+  let total_sim_wall =
+    Array.fold_left (fun acc (_, _, sw, _, _) -> acc +. sw) 0. results
+  in
+  Format.printf
+    "  total: %.2f s pipeline wall (%.2f s in simulator), %.2f s suite wall \
+     on %d worker(s), engine=%s@."
+    total_wall total_sim_wall suite_wall jobs
+    (match Ppat_kernel.Interp.default_engine () with
+     | Ppat_kernel.Interp.Reference -> "reference"
+     | Ppat_kernel.Interp.Compiled -> "compiled");
   J.to_file file
     (J.Obj
        [
-         ("schema", J.Str "ppat-bench/1");
+         ("schema", J.Str "ppat-bench/2");
          ("device", J.Str dev.Ppat_gpu.Device.dname);
-         ("results", J.List results);
+         ( "engine",
+           J.Str
+             (match Ppat_kernel.Interp.default_engine () with
+              | Ppat_kernel.Interp.Reference -> "reference"
+              | Ppat_kernel.Interp.Compiled -> "compiled") );
+         ("jobs", J.Int jobs);
+         ("total_pipeline_wall_seconds", J.Float total_wall);
+         ("total_sim_wall_seconds", J.Float total_sim_wall);
+         ("suite_wall_seconds", J.Float suite_wall);
+         ("results", J.List (Array.to_list (Array.map (fun (_, _, _, _, j) -> j) results)));
        ]);
   Format.printf "wrote perf trajectory to %s@." file
 
 (* ----- entry point ----- *)
 
+(* run [f] with this domain's [Format] standard formatter redirected into a
+   buffer. [Format.std_formatter] is domain-local in OCaml 5, so captures
+   on different worker domains cannot interleave. *)
+let with_captured f =
+  let buf = Buffer.create 4096 in
+  let old_out, old_flush = Format.get_formatter_output_functions () in
+  Format.set_formatter_output_functions (Buffer.add_substring buf)
+    (fun () -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Format.print_flush ();
+      Format.set_formatter_output_functions old_out old_flush)
+    f;
+  Buffer.contents buf
+
+let run_figures ~jobs names all =
+  let tasks = Array.of_list names in
+  let outputs =
+    pool_run ~jobs (Array.length tasks) (fun i ->
+        let name = tasks.(i) in
+        match List.assoc_opt name all with
+        | Some f ->
+          let t0 = Unix.gettimeofday () in
+          let out = with_captured f in
+          Printf.sprintf "%s  (%s regenerated in %.1f s of simulation)\n" out
+            name
+            (Unix.gettimeofday () -. t0)
+        | None ->
+          Printf.sprintf "unknown figure %S (have: %s)\n" name
+            (String.concat ", " (List.map fst all)))
+  in
+  Array.iter print_string outputs
+
+(* pull [-j N] out of the argument list; default: one worker per core,
+   capped at 8 *)
+let parse_jobs args =
+  let rec go acc = function
+    | "-j" :: n :: rest -> (int_of_string n, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+    | [] -> (default_jobs (), List.rev acc)
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = parse_jobs args in
   if List.mem "--json" args then begin
     let file =
       match args with
@@ -177,7 +289,7 @@ let () =
     in
     Format.printf "perf-trajectory suite on simulated %s:@."
       dev.Ppat_gpu.Device.dname;
-    run_json file
+    run_json ~jobs file
   end
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin
@@ -191,16 +303,6 @@ let () =
       "Reproducing the evaluation of 'Locality-Aware Mapping of Nested \
        Parallel Patterns on GPUs' (MICRO 2014)@.on a simulated %s@."
       dev.Ppat_gpu.Device.dname;
-    List.iter
-      (fun name ->
-        match List.assoc_opt name all with
-        | Some f ->
-          let t0 = Unix.gettimeofday () in
-          f ();
-          Format.printf "  (%s regenerated in %.1f s of simulation)@." name
-            (Unix.gettimeofday () -. t0)
-        | None ->
-          Format.eprintf "unknown figure %S (have: %s)@." name
-            (String.concat ", " (List.map fst all)))
-      selected
+    Format.print_flush ();
+    run_figures ~jobs selected all
   end

@@ -48,6 +48,11 @@ let strategy_of_string = function
   | "warp" | "warp_based" -> Ppat_core.Strategy.Warp_based
   | s -> failwith (Printf.sprintf "unknown strategy %S (auto|1d|tbt|warp)" s)
 
+let engine_of_string = function
+  | "compiled" | "closure" -> Ppat_kernel.Interp.Compiled
+  | "reference" | "ref" | "interp" -> Ppat_kernel.Interp.Reference
+  | s -> failwith (Printf.sprintf "unknown engine %S (compiled|reference)" s)
+
 let find_app name =
   match List.assoc_opt name registry with
   | Some mk -> mk ()
@@ -67,13 +72,16 @@ let cmd_list () =
         (if depth = 1 then "" else "s"))
     registry
 
-let cmd_run name strat =
+let cmd_run name strat engine =
   let app = find_app name in
   let data = A.App.input_data app in
   Format.printf "running %s (CPU oracle first)...@." app.A.App.name;
   let cpu = Ppat_harness.Runner.run_cpu ~params:app.params app.prog data in
   Format.printf "CPU model: %.4g s@." cpu.cpu_seconds;
-  let r = Ppat_harness.Runner.run_gpu ~params:app.params dev app.prog strat data in
+  let r =
+    Ppat_harness.Runner.run_gpu ~engine ~params:app.params dev app.prog strat
+      data
+  in
   Format.printf "%s: %.4g s over %d kernel launches@."
     (Ppat_core.Strategy.name strat)
     r.seconds r.kernels;
@@ -94,10 +102,13 @@ let cmd_run name strat =
     Format.printf "VALIDATION FAILED: %s@." e;
     exit 1
 
-let cmd_profile name strat json chrome =
+let cmd_profile name strat engine json chrome =
   let app = find_app name in
   let data = A.App.input_data app in
-  let r = Ppat_harness.Runner.run_gpu ~params:app.params dev app.prog strat data in
+  let r =
+    Ppat_harness.Runner.run_gpu ~engine ~params:app.params dev app.prog strat
+      data
+  in
   let run =
     Ppat_profile.Record.make_run ~app:name
       ~strategy:(Ppat_core.Strategy.name strat)
@@ -219,23 +230,31 @@ let usage () =
   print_endline
     "usage: ppat <command>\n\
      \  list                      bundled applications\n\
-     \  run APP [-s STRATEGY]     simulate and validate (auto|1d|tbt|warp)\n\
-     \  profile APP [-s STRATEGY] [--json FILE] [--chrome-trace FILE]\n\
+     \  run APP [-s STRATEGY] [--engine E]\n\
+     \                            simulate and validate (auto|1d|tbt|warp)\n\
+     \  profile APP [-s STRATEGY] [--engine E] [--json FILE]\n\
+     \                            [--chrome-trace FILE]\n\
      \                            per-kernel profile of a simulated run\n\
      \  trace-search APP [-s STRATEGY] [--json FILE]\n\
      \                            ranked trace of the mapping search\n\
      \  cuda APP                  print generated CUDA kernels\n\
      \  explain APP               constraints and mapping decisions\n\
-     \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)"
+     \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)\n\
+     \  --engine compiled|reference selects the SIMT execution engine\n\
+     \                            (default: compiled, or $PPAT_ENGINE)"
 
-(* [-s STRAT] [--json FILE] [--chrome-trace FILE] in any order *)
+(* [-s STRAT] [--engine E] [--json FILE] [--chrome-trace FILE] in any order *)
 let parse_flags rest =
   let strat = ref Ppat_core.Strategy.Auto in
+  let engine = ref (Ppat_kernel.Interp.default_engine ()) in
   let json = ref None and chrome = ref None in
   let rec go = function
     | [] -> ()
     | "-s" :: s :: rest ->
       strat := strategy_of_string s;
+      go rest
+    | "--engine" :: e :: rest ->
+      engine := engine_of_string e;
       go rest
     | "--json" :: f :: rest ->
       json := Some f;
@@ -249,26 +268,23 @@ let parse_flags rest =
       exit 1
   in
   go rest;
-  (!strat, !json, !chrome)
+  (!strat, !engine, !json, !chrome)
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "list" :: _ -> cmd_list ()
   | _ :: "run" :: name :: rest ->
-    let strat =
-      match rest with
-      | [ "-s"; s ] -> strategy_of_string s
-      | [] -> Ppat_core.Strategy.Auto
-      | _ ->
-        usage ();
-        exit 1
-    in
-    cmd_run name strat
+    let strat, engine, json, chrome = parse_flags rest in
+    if json <> None || chrome <> None then begin
+      Format.eprintf "--json/--chrome-trace apply to 'profile' only@.";
+      exit 1
+    end;
+    cmd_run name strat engine
   | _ :: "profile" :: name :: rest ->
-    let strat, json, chrome = parse_flags rest in
-    cmd_profile name strat json chrome
+    let strat, engine, json, chrome = parse_flags rest in
+    cmd_profile name strat engine json chrome
   | _ :: "trace-search" :: name :: rest ->
-    let strat, json, chrome = parse_flags rest in
+    let strat, _, json, chrome = parse_flags rest in
     if chrome <> None then begin
       Format.eprintf "--chrome-trace applies to 'profile' only@.";
       exit 1

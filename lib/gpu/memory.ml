@@ -3,14 +3,36 @@ type entry = { base : int; elem_bytes : int; data : Ppat_ir.Host.buf }
 type t = {
   mutable next_base : int;
   bufs : (string, entry) Hashtbl.t;
-  (* approximate-LRU L2: line id -> last-touch tick *)
-  l2 : (int, int) Hashtbl.t;
+  (* approximate-LRU L2 as an open-addressed table: l2_keys.(i) holds a
+     line id ([l2_empty] when the slot is free) and l2_ticks.(i) its
+     last-touch tick. Linear probing, power-of-two capacity; entries are
+     only removed by the eviction rebuild, so there are no tombstones.
+     This table is probed once per distinct line on every warp memory
+     instruction, so the lookup path must not allocate — which is why it
+     is not a Hashtbl (whose [replace] is a remove+add that allocates a
+     bucket cell on every touch). *)
+  mutable l2_keys : int array;
+  mutable l2_ticks : int array;
+  mutable l2_mask : int;
+  mutable l2_live : int;
   mutable l2_tick : int;
 }
 
+(* line ids are non-negative in practice (byte addr / transaction bytes,
+   bases start at 256), so min_int is safe as the empty-slot sentinel *)
+let l2_empty = min_int
+let l2_init_capacity = 4096
+
 let create () =
-  { next_base = 256; bufs = Hashtbl.create 32; l2 = Hashtbl.create 4096;
-    l2_tick = 0 }
+  {
+    next_base = 256;
+    bufs = Hashtbl.create 32;
+    l2_keys = Array.make l2_init_capacity l2_empty;
+    l2_ticks = Array.make l2_init_capacity 0;
+    l2_mask = l2_init_capacity - 1;
+    l2_live = 0;
+    l2_tick = 0;
+  }
 
 let align n a = (n + a - 1) / a * a
 
@@ -53,29 +75,279 @@ let to_host t name =
 
 let addr e i = e.base + (i * e.elem_bytes)
 
+(* ----- allocation-free warp-access scratch -----
+
+   One warp memory instruction touches at most [warp_size] addresses, so
+   the dedup/sort work fits in a small reusable int array: insertion sort
+   (cheap at n <= 32) followed by an in-place distinct scan. Both execution
+   engines and the legacy list API below go through this path, so the
+   coalescing rule has a single implementation. *)
+
+let sort_prefix (a : int array) n =
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* map addresses to line ids, sort, dedup in place; returns the number of
+   distinct lines now occupying a.(0 .. result-1) in ascending order *)
+let dedup_lines ~transaction_bytes (a : int array) n =
+  if n = 0 then 0
+  else begin
+    for i = 0 to n - 1 do
+      a.(i) <- a.(i) / transaction_bytes
+    done;
+    sort_prefix a n;
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!w - 1) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    !w
+  end
+
+(* distinct values and worst multiplicity of a.(0..n-1); sorts in place.
+   Used for atomic contention: how many distinct addresses (serialised
+   transactions) and the deepest pile-up on one address. *)
+let distinct_and_worst (a : int array) n =
+  if n = 0 then (0, 0)
+  else begin
+    sort_prefix a n;
+    let distinct = ref 1 and worst = ref 1 and run = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) = a.(i - 1) then begin
+        incr run;
+        if !run > !worst then worst := !run
+      end
+      else begin
+        incr distinct;
+        run := 1
+      end
+    done;
+    (!distinct, !worst)
+  end
+
+(* shared-memory bank conflicts: sort word indices by (bank, word); the
+   replay factor is the largest count of distinct words mapped to one bank
+   (same-word broadcast is free). Clobbers a.(0..n-1).
+
+   The general path below recomputes the bank (two mod ops) inside every
+   comparison of an O(n^2) insertion sort, which made this the simulator's
+   single hottest function. The fast path packs (bank, word) into one int
+   key — word indices flushed by the engines are non-negative (a negative
+   index traps before the flush) and far below 2^52, and the bank count of
+   every modelled device is a power of two — so the sort compares plain
+   ints and the run scan decodes banks with a shift. *)
+let general_bank_conflict_factor ~banks (a : int array) n =
+  if n = 0 then 1
+  else begin
+    let bank w = ((w mod banks) + banks) mod banks in
+    (* insertion sort on the (bank, word) key *)
+    for i = 1 to n - 1 do
+      let x = a.(i) in
+      let bx = bank x in
+      let j = ref (i - 1) in
+      while
+        !j >= 0
+        && (let b = bank a.(!j) in
+            b > bx || (b = bx && a.(!j) > x))
+      do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done;
+    let factor = ref 1 and run = ref 1 in
+    for i = 1 to n - 1 do
+      if bank a.(i) = bank a.(i - 1) then begin
+        if a.(i) <> a.(i - 1) then begin
+          incr run;
+          if !run > !factor then factor := !run
+        end
+      end
+      else run := 1
+    done;
+    !factor
+  end
+
+let bank_conflict_factor ~banks (a : int array) n =
+  if n = 0 then 1
+  else begin
+    let fits = ref (banks > 0 && banks land (banks - 1) = 0) in
+    let i = ref 0 in
+    while !fits && !i < n do
+      let w = a.(!i) in
+      if w < 0 || w >= 1 lsl 52 then fits := false;
+      incr i
+    done;
+    if not !fits then general_bank_conflict_factor ~banks a n
+    else begin
+      let bmask = banks - 1 in
+      for i = 0 to n - 1 do
+        let w = Array.unsafe_get a i in
+        Array.unsafe_set a i (((w land bmask) lsl 52) lor w)
+      done;
+      sort_prefix a n;
+      let factor = ref 1 and run = ref 1 in
+      for i = 1 to n - 1 do
+        let k = Array.unsafe_get a i and p = Array.unsafe_get a (i - 1) in
+        if k lsr 52 = p lsr 52 then begin
+          if k <> p then begin
+            incr run;
+            if !run > !factor then factor := !run
+          end
+        end
+        else run := 1
+      done;
+      !factor
+    end
+  end
+
+(* multiplicative hash (Knuth), masked to the table size *)
+let l2_hash line mask = line * 0x9E3779B1 land mask
+
+(* insert a key known to be absent into fresh arrays (rebuild helper) *)
+let l2_insert keys ticks mask line tick =
+  let i = ref (l2_hash line mask) in
+  while Array.unsafe_get keys !i <> l2_empty do
+    i := (!i + 1) land mask
+  done;
+  Array.unsafe_set keys !i line;
+  Array.unsafe_set ticks !i tick
+
+(* double the capacity, re-inserting every live entry *)
+let l2_grow t =
+  let cap = 2 * (t.l2_mask + 1) in
+  let keys = Array.make cap l2_empty and ticks = Array.make cap 0 in
+  let mask = cap - 1 in
+  let old_keys = t.l2_keys and old_ticks = t.l2_ticks in
+  for i = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k <> l2_empty then
+      l2_insert keys ticks mask k (Array.unsafe_get old_ticks i)
+  done;
+  t.l2_keys <- keys;
+  t.l2_ticks <- ticks;
+  t.l2_mask <- mask
+
+(* in-place quickselect (median-of-three + Lomuto): the value at ascending
+   rank [idx] of a.(0..n-1). Streaming workloads evict often enough that a
+   full sort here is measurable; selection is O(n) and allocates nothing. *)
+let nth_smallest (a : int array) n idx =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let l = !lo and h = !hi in
+    let mid = l + ((h - l) / 2) in
+    if a.(mid) < a.(l) then swap mid l;
+    if a.(h) < a.(l) then swap h l;
+    if a.(h) < a.(mid) then swap h mid;
+    swap mid h;
+    let pivot = a.(h) in
+    let s = ref l in
+    for i = l to h - 1 do
+      if a.(i) < pivot then begin
+        swap i !s;
+        incr s
+      end
+    done;
+    swap !s h;
+    if idx = !s then begin
+      lo := idx;
+      hi := idx
+    end
+    else if idx < !s then hi := !s - 1
+    else lo := !s + 1
+  done;
+  a.(idx)
+
+let maybe_evict t ~cap_lines =
+  (* amortised eviction: when 25% over capacity, keep the newest
+     [cap_lines] lines. Ticks are strictly increasing (no ties), so the
+     survivors are exactly the entries at or above the [keep]-th largest
+     tick — a selection problem, not a sort. *)
+  if t.l2_live > cap_lines + (cap_lines / 4) then begin
+    let keys = t.l2_keys and ticks = t.l2_ticks in
+    let live = t.l2_live in
+    let tickbuf = Array.make live 0 in
+    let w = ref 0 in
+    for i = 0 to Array.length keys - 1 do
+      if keys.(i) <> l2_empty then begin
+        tickbuf.(!w) <- ticks.(i);
+        incr w
+      end
+    done;
+    let keep = min cap_lines live in
+    let threshold = nth_smallest tickbuf live (live - keep) in
+    let cap = ref l2_init_capacity in
+    while 4 * keep > 3 * !cap do
+      cap := 2 * !cap
+    done;
+    let nkeys = Array.make !cap l2_empty and nticks = Array.make !cap 0 in
+    let mask = !cap - 1 in
+    for i = 0 to Array.length keys - 1 do
+      let k = keys.(i) in
+      if k <> l2_empty && ticks.(i) >= threshold then
+        l2_insert nkeys nticks mask k ticks.(i)
+    done;
+    t.l2_keys <- nkeys;
+    t.l2_ticks <- nticks;
+    t.l2_mask <- mask;
+    t.l2_live <- keep
+  end
+
+let touch_line t line hits =
+  t.l2_tick <- t.l2_tick + 1;
+  let keys = t.l2_keys in
+  let mask = t.l2_mask in
+  let i = ref (l2_hash line mask) in
+  while
+    let k = Array.unsafe_get keys !i in
+    k <> l2_empty && k <> line
+  do
+    i := (!i + 1) land mask
+  done;
+  if Array.unsafe_get keys !i = l2_empty then begin
+    Array.unsafe_set keys !i line;
+    t.l2_live <- t.l2_live + 1;
+    Array.unsafe_set t.l2_ticks !i t.l2_tick;
+    if 4 * t.l2_live > 3 * (mask + 1) then l2_grow t
+  end
+  else begin
+    incr hits;
+    Array.unsafe_set t.l2_ticks !i t.l2_tick
+  end
+
+(* array-prefix variant of [cache_access]: lines.(0..n-1) through the L2 *)
+let cache_access_lines t ~cap_lines (lines : int array) n =
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    touch_line t lines.(i) hits
+  done;
+  maybe_evict t ~cap_lines;
+  !hits
+
 let segments ~transaction_bytes addrs =
-  let segs = Hashtbl.create 8 in
-  List.iter (fun a -> Hashtbl.replace segs (a / transaction_bytes) ()) addrs;
-  Hashtbl.fold (fun line () acc -> line :: acc) segs []
+  let a = Array.of_list addrs in
+  let n = dedup_lines ~transaction_bytes a (Array.length a) in
+  Array.to_list (Array.sub a 0 n)
 
 let coalesce ~transaction_bytes addrs =
   List.length (segments ~transaction_bytes addrs)
 
 let cache_access t ~cap_lines ~lines =
   let hits = ref 0 in
-  List.iter
-    (fun line ->
-      t.l2_tick <- t.l2_tick + 1;
-      if Hashtbl.mem t.l2 line then incr hits;
-      Hashtbl.replace t.l2 line t.l2_tick)
-    lines;
-  (* amortised eviction: when 25% over capacity, keep the newest lines *)
-  if Hashtbl.length t.l2 > cap_lines + (cap_lines / 4) then begin
-    let all = Hashtbl.fold (fun line tick acc -> (tick, line) :: acc) t.l2 [] in
-    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) all in
-    Hashtbl.reset t.l2;
-    List.iteri
-      (fun i (tick, line) -> if i < cap_lines then Hashtbl.replace t.l2 line tick)
-      sorted
-  end;
+  List.iter (fun line -> touch_line t line hits) lines;
+  maybe_evict t ~cap_lines;
   !hits

@@ -45,7 +45,33 @@ val coalesce : transaction_bytes:int -> int list -> int
 
 val segments : transaction_bytes:int -> int list -> int list
 (** The distinct aligned transaction (cache line) ids behind those
-    addresses. *)
+    addresses, in ascending order. Thin wrapper over the allocation-free
+    array path below. *)
+
+(** {2 Allocation-free warp-access primitives}
+
+    The simulator's hot loop classifies one warp memory instruction at a
+    time — at most [warp_size] addresses. These helpers work on reusable
+    int-array prefixes so the inner loop allocates nothing. They all
+    mutate the prefix in place (sorting it). *)
+
+val dedup_lines : transaction_bytes:int -> int array -> int -> int
+(** [dedup_lines ~transaction_bytes a n] maps [a.(0..n-1)] from byte
+    addresses to line ids, sorts and dedups in place; returns the count of
+    distinct lines left in [a.(0..result-1)] (ascending). *)
+
+val distinct_and_worst : int array -> int -> int * int
+(** Distinct values and the largest multiplicity in [a.(0..n-1)] (atomic
+    contention accounting). Sorts the prefix in place. [(0, 0)] if empty. *)
+
+val bank_conflict_factor : banks:int -> int array -> int -> int
+(** Shared-memory replay factor of word indices [a.(0..n-1)]: the maximum
+    number of {e distinct} words landing in one of [banks] banks (>= 1;
+    same-word broadcast is free). Clobbers the prefix. *)
+
+val cache_access_lines : t -> cap_lines:int -> int array -> int -> int
+(** Array-prefix variant of {!cache_access}: runs [lines.(0..n-1)] through
+    the L2 model and returns the hit count. *)
 
 val cache_access : t -> cap_lines:int -> lines:int list -> int
 (** Run transaction lines through the device-lifetime L2 model (an

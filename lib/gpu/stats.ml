@@ -80,6 +80,13 @@ let to_assoc s =
     ("mallocs", s.mallocs);
   ]
 
+(* exact float equality on purpose: the two execution engines must agree
+   bit for bit, not approximately *)
+let equal a b =
+  List.for_all2
+    (fun (_, x) (_, y) -> Float.equal x y)
+    (to_assoc a) (to_assoc b)
+
 let l2_hit_rate s =
   let total = s.bytes +. s.l2_bytes in
   if total <= 0. then 0. else s.l2_bytes /. total

@@ -35,6 +35,11 @@ val to_assoc : t -> (string * float) list
     the profiling JSON exporter both iterate this list, so the printed and
     exported field sets cannot drift apart. *)
 
+val equal : t -> t -> bool
+(** Exact (bitwise) equality of every counter — the differential tests
+    require the two execution engines to agree exactly, not within a
+    tolerance. *)
+
 val l2_hit_rate : t -> float
 (** Fraction of global-memory bytes served by the L2 (0 when there is no
     traffic). *)

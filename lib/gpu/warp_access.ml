@@ -1,0 +1,153 @@
+(* Per-warp memory-access classifier shared by both execution engines.
+
+   A warp statement is executed lane by lane; every memory instruction in
+   the statement occupies one *slot*, and each active lane appends its byte
+   address (global) or word index (shared) to the slot it is currently at.
+   When the whole warp has run the statement, [flush] prices each slot:
+   global slots through the coalescing rule and the L2 model, shared slots
+   through the bank-conflict rule.
+
+   All buffers are reusable and grow on demand — there is no per-statement
+   allocation, and no hard cap on the number of memory instructions per
+   statement. Both the reference tree-walker and the compiled engine drive
+   this module, so their statistics are identical by construction. *)
+
+type kind = Global | Shared
+
+type t = {
+  dev : Device.t;
+  mem : Memory.t;
+  stats : Stats.t;
+  cap_lines : int;
+  tb : float;
+  (* slot s holds addrs.(s).(0 .. lens.(s)-1) *)
+  mutable kinds : kind array;
+  mutable addrs : int array array;
+  mutable lens : int array;
+  mutable nslots : int;
+  mutable lane_slot : int;
+  (* reusable buffer for atomic contention accounting *)
+  mutable atomic_idx : int array;
+  mutable atomic_n : int;
+}
+
+let create (dev : Device.t) mem stats =
+  let cap = 8 in
+  {
+    dev;
+    mem;
+    stats;
+    cap_lines = dev.Device.l2_bytes / dev.Device.transaction_bytes;
+    tb = float_of_int dev.Device.transaction_bytes;
+    kinds = Array.make cap Global;
+    addrs = Array.init cap (fun _ -> Array.make dev.Device.warp_size 0);
+    lens = Array.make cap 0;
+    nslots = 0;
+    lane_slot = 0;
+    atomic_idx = Array.make dev.Device.warp_size 0;
+    atomic_n = 0;
+  }
+
+let grow_slots t =
+  let cap = Array.length t.kinds in
+  let cap' = 2 * cap in
+  let kinds = Array.make cap' Global in
+  let addrs =
+    Array.init cap' (fun i ->
+        if i < cap then t.addrs.(i)
+        else Array.make t.dev.Device.warp_size 0)
+  in
+  let lens = Array.make cap' 0 in
+  Array.blit t.kinds 0 kinds 0 cap;
+  Array.blit t.lens 0 lens 0 cap;
+  t.kinds <- kinds;
+  t.addrs <- addrs;
+  t.lens <- lens
+
+let begin_lane t = t.lane_slot <- 0
+
+let record t kind addr =
+  let s = t.lane_slot in
+  if s >= Array.length t.kinds then grow_slots t;
+  if s = t.nslots then begin
+    t.kinds.(s) <- kind;
+    t.lens.(s) <- 0;
+    t.nslots <- s + 1
+  end;
+  let buf = t.addrs.(s) in
+  let n = t.lens.(s) in
+  let buf =
+    if n = Array.length buf then begin
+      let b = Array.make (2 * n) 0 in
+      Array.blit buf 0 b 0 n;
+      t.addrs.(s) <- b;
+      b
+    end
+    else buf
+  in
+  buf.(n) <- addr;
+  t.lens.(s) <- n + 1;
+  t.lane_slot <- s + 1
+
+let record_global t addr = record t Global addr
+let record_shared t word = record t Shared word
+
+let flush t =
+  let stats = t.stats in
+  for s = 0 to t.nslots - 1 do
+    let buf = t.addrs.(s) in
+    let n = t.lens.(s) in
+    (match t.kinds.(s) with
+     | Global ->
+       let nlines =
+         Memory.dedup_lines
+           ~transaction_bytes:t.dev.Device.transaction_bytes buf n
+       in
+       let trans = float_of_int nlines in
+       let hits =
+         float_of_int
+           (Memory.cache_access_lines t.mem ~cap_lines:t.cap_lines buf nlines)
+       in
+       stats.Stats.mem_insts <- stats.Stats.mem_insts +. 1.;
+       stats.Stats.transactions <- stats.Stats.transactions +. trans;
+       stats.Stats.bytes <- stats.Stats.bytes +. ((trans -. hits) *. t.tb);
+       stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb)
+     | Shared ->
+       let factor =
+         Memory.bank_conflict_factor ~banks:t.dev.Device.smem_banks buf n
+       in
+       stats.Stats.smem_insts <- stats.Stats.smem_insts +. 1.;
+       stats.Stats.smem_conflict_extra <-
+         stats.Stats.smem_conflict_extra +. float_of_int (factor - 1));
+    t.lens.(s) <- 0
+  done;
+  t.nslots <- 0
+
+(* --- atomic contention --- *)
+
+let atomic_begin t = t.atomic_n <- 0
+
+let atomic_record t idx =
+  let n = t.atomic_n in
+  if n = Array.length t.atomic_idx then begin
+    let b = Array.make (2 * n) 0 in
+    Array.blit t.atomic_idx 0 b 0 n;
+    t.atomic_idx <- b
+  end;
+  t.atomic_idx.(n) <- idx;
+  t.atomic_n <- n + 1
+
+let atomic_commit t (entry : Memory.entry) =
+  let distinct, worst = Memory.distinct_and_worst t.atomic_idx t.atomic_n in
+  if distinct > 0 then begin
+    let stats = t.stats in
+    stats.Stats.atomics <- stats.Stats.atomics +. 1.;
+    stats.Stats.transactions <-
+      stats.Stats.transactions +. float_of_int distinct;
+    (* atomics resolve in the L2 *)
+    stats.Stats.l2_bytes <-
+      stats.Stats.l2_bytes
+      +. float_of_int (distinct * 2 * entry.Memory.elem_bytes);
+    stats.Stats.atomic_serial_extra <-
+      stats.Stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
+  end

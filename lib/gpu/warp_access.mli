@@ -1,0 +1,42 @@
+(** Per-warp memory-access classifier shared by both execution engines.
+
+    One value of this type holds the reusable scratch for pricing the
+    memory instructions of one warp statement at a time: lanes record
+    their addresses slot by slot, and {!flush} folds each slot into the
+    statistics — global slots through the coalescing rule plus the L2
+    model, shared slots through the bank-conflict rule. Nothing is
+    allocated per statement, and the number of memory instructions per
+    statement is unbounded (slots grow on demand).
+
+    Both the reference tree-walking interpreter and the closure-compiled
+    engine drive this module, which is what makes their [Stats.t]
+    bit-identical by construction. *)
+
+type t
+
+val create : Device.t -> Memory.t -> Stats.t -> t
+(** Scratch bound to one simulation run: constants derived from the
+    device, the L2 of [mem], and the stats record to update. Not shareable
+    across concurrent runs (domains create their own). *)
+
+val begin_lane : t -> unit
+(** Reset the slot cursor before executing a statement for the next lane. *)
+
+val record_global : t -> int -> unit
+(** Record a global access at the given byte address into the lane's
+    current slot. *)
+
+val record_shared : t -> int -> unit
+(** Record a shared-memory access at the given word index. *)
+
+val flush : t -> unit
+(** Price all slots of the completed warp statement into the stats and
+    clear them. *)
+
+val atomic_begin : t -> unit
+val atomic_record : t -> int -> unit
+
+val atomic_commit : t -> Memory.entry -> unit
+(** Fold the element indices recorded since [atomic_begin] into the
+    atomic-contention counters (one warp atomic instruction: distinct
+    addresses cost a transaction each, pile-ups serialise). *)

@@ -59,8 +59,8 @@ let decide_all dev (prog : Pat.prog) params strategy =
   List.iter step prog.steps;
   !decisions
 
-let exec_steps dev prog ~opts ~params ~mapping_of ?(via_of = fun _ -> "")
-    (data : Host.data) =
+let exec_steps ?engine dev prog ~opts ~params ~mapping_of
+    ?(via_of = fun _ -> "") (data : Host.data) =
   (match Pat.validate prog with
    | Ok () -> ()
    | Error e -> failwith ("invalid program: " ^ e));
@@ -90,7 +90,7 @@ let exec_steps dev prog ~opts ~params ~mapping_of ?(via_of = fun _ -> "")
       List.iter
         (fun (l : Ppat_kernel.Kir.launch) ->
           let wall0 = Sys.time () in
-          let s = Interp.run dev mem l in
+          let s = Interp.run ?engine dev mem l in
           let wall = Sys.time () -. wall0 in
           Stats.add agg s;
           let b = Timing.kernel_estimate dev (Ppat_kernel.Kir.geometry l) s in
@@ -139,8 +139,8 @@ let exec_steps dev prog ~opts ~params ~mapping_of ?(via_of = fun _ -> "")
   in
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
-let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
-    data =
+let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) dev prog
+    strategy data =
   let decisions = decide_all dev prog params strategy in
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
@@ -151,7 +151,7 @@ let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
     | None -> ""
   in
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps dev prog ~opts ~params ~mapping_of ~via_of data
+    exec_steps ?engine dev prog ~opts ~params ~mapping_of ~via_of data
   in
   let label_of pid =
     let found = ref "" in
@@ -170,10 +170,10 @@ let run_gpu ?(opts = Lower.default_options) ?(params = []) dev prog strategy
     profile;
   }
 
-let run_gpu_mapped ?(opts = Lower.default_options) ?(params = []) dev prog
-    mapping_of data =
+let run_gpu_mapped ?engine ?(opts = Lower.default_options) ?(params = [])
+    dev prog mapping_of data =
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps dev prog ~opts ~params ~mapping_of
+    exec_steps ?engine dev prog ~opts ~params ~mapping_of
       ~via_of:(fun _ -> "explicit mapping")
       data
   in

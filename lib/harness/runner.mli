@@ -23,6 +23,7 @@ type gpu_result = {
 }
 
 val run_gpu :
+  ?engine:Ppat_kernel.Interp.engine ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   Ppat_gpu.Device.t ->
@@ -31,9 +32,12 @@ val run_gpu :
   Ppat_ir.Host.data ->
   gpu_result
 (** Simulate the program under a strategy. [params] override program
-    defaults. @raise Failure on invalid programs. *)
+    defaults; [engine] selects the SIMT execution engine (defaults to
+    {!Ppat_kernel.Interp.default_engine}[ ()]).
+    @raise Failure on invalid programs. *)
 
 val run_gpu_mapped :
+  ?engine:Ppat_kernel.Interp.engine ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   Ppat_gpu.Device.t ->

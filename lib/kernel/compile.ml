@@ -1,0 +1,1363 @@
+(* Closure-compiling execution engine for Kir.
+
+   The reference interpreter (Interp) re-walks the AST per lane per
+   statement, boxes every scalar in a variant and resolves every name by
+   string lookup inside the innermost loop. Following the staged-evaluation
+   idea of LMS — the machinery behind the paper's own Delite stack — this
+   module removes that interpretive overhead by *staging the interpreter*:
+   each kernel is translated once per launch into a tree of OCaml closures
+   over unboxed lane state. At compile time we
+
+   - infer one static type (int / float / bool) per virtual register and
+     split the register file into an unboxed [int array] / [float array];
+   - resolve every global buffer to its [Memory.entry] (base address,
+     element size and the raw data array are captured in the closure);
+   - resolve shared arrays to dense slot indices;
+   - bake launch geometry and kernel parameters in as constants;
+   - precompute the per-statement instruction counts, so the run-time
+     engine bumps [warp_insts] once per warp statement instead of once per
+     AST node.
+
+   Statistics are bit-identical with the reference engine: both issue the
+   same counter updates in the same order, and both price memory accesses
+   through the shared [Warp_access] scratch. Anything the static analysis
+   cannot prove faithful — mixed-type arithmetic, possibly-undefined
+   register reads, unbound names — makes [compile] return [Error], and the
+   driver falls back to the reference tree-walker, which reproduces the
+   exact dynamic trap semantics. *)
+
+open Ppat_gpu
+
+let trap = Simt_error.trap
+
+exception Fallback of string
+
+let fallback fmt = Format.kasprintf (fun s -> raise (Fallback s)) fmt
+
+let max_loop_iters = 1 lsl 24
+
+(* ----- run-time state ----- *)
+
+(* One context per warp. Registers are laid out register-major
+   ([r * warp_size + lane]) so the per-lane loop of one statement walks
+   consecutive cells. Shared-memory arrays belong to the block and are
+   shared by its warps' contexts. *)
+type ctx = {
+  ireg : int array;  (* I32/Bool registers, bools as 0/1 *)
+  freg : float array;
+  tidx : int array;  (* per-lane thread indices, precomputed per warp *)
+  tidy : int array;
+  tidz : int array;
+  mutable bidx : int;  (* mutable: warp contexts are reused across blocks *)
+  mutable bidy : int;
+  mutable bidz : int;
+  exists_mask : int;  (* lanes backed by a real thread *)
+  facc : float array;
+      (* one-element float-expression result slot. A flat float array is
+         the only unboxed mutable float cell available in a mixed record
+         (a [mutable float] field here would re-box on every store), and
+         passing results through it instead of returning them avoids the
+         box that every (non-inlined) float-returning closure call would
+         otherwise allocate *)
+  acc : Warp_access.t;
+  stats : Stats.t;
+  sf : float array array;  (* shared float arrays of the block, by slot *)
+  si : int array array;
+}
+
+type iexp = ctx -> int -> int
+
+type fexp = ctx -> int -> unit
+(* leaves its result in [(Array.unsafe_get ctx.facc 0)]; see the field comment *)
+
+type bexp = ctx -> int -> bool
+type texp = I of iexp | F of fexp | B of bexp
+type cstmt = ctx -> int -> unit
+
+type ty = TI | TF | TB
+
+type sref = Sf of int * int | Si of int * int  (* slot, length *)
+
+type env = {
+  dev : Device.t;
+  mem : Memory.t;
+  k : Kir.kernel;
+  ws : int;
+  bx : int;
+  by : int;
+  bz : int;
+  gx : int;
+  gy : int;
+  gz : int;
+  kparams : (string * int) list;
+  rt : ty array;
+  smem_env : (string * sref) list;
+}
+
+type t = {
+  c_launch : Kir.launch;
+  c_mem : Memory.t;
+  c_body : cstmt array;
+  c_nregs : int;
+  c_ws : int;
+  c_tpb : int;
+  c_sf_sizes : int array;
+  c_si_sizes : int array;
+}
+
+(* ----- static expression measures ----- *)
+
+(* instructions the reference engine counts while evaluating [e] once:
+   one per Bin/Un/Cmp/Select/Load node (operands of constant subtrees
+   included — counting is structural, not operational) *)
+let rec nodes (e : Kir.exp) =
+  match e with
+  | Int _ | Float _ | Bool _ | Reg _ | Tid _ | Bid _ | Bdim _ | Gdim _
+  | Param _ ->
+    0
+  | Bin (_, a, b) | Cmp (_, a, b) -> 1 + nodes a + nodes b
+  | Un (_, a) -> 1 + nodes a
+  | Select (c, a, b) -> 1 + nodes c + nodes a + nodes b
+  | Load_g (_, i) | Load_s (_, i) -> 1 + nodes i
+
+let rec has_mem (e : Kir.exp) =
+  match e with
+  | Int _ | Float _ | Bool _ | Reg _ | Tid _ | Bid _ | Bdim _ | Gdim _
+  | Param _ ->
+    false
+  | Bin (_, a, b) | Cmp (_, a, b) -> has_mem a || has_mem b
+  | Un (_, a) -> has_mem a
+  | Select (c, a, b) -> has_mem c || has_mem a || has_mem b
+  | Load_g _ | Load_s _ -> true
+
+(* ----- register typing -----
+
+   Fixpoint over all assignments: a register's type is the type of every
+   expression assigned to it; conflicts (or arithmetic the reference
+   engine would trap on) abort compilation. Optimistic propagation is safe
+   because compile_exp re-checks every operand strictly afterwards. *)
+
+let buf_ty (e : Memory.entry) =
+  match e.Memory.data with Ppat_ir.Host.F _ -> TF | Ppat_ir.Host.I _ -> TI
+
+let smem_ty (d : Kir.smem_decl) =
+  match d.selem with Ppat_ir.Ty.F64 -> TF | Ppat_ir.Ty.I32 | Ppat_ir.Ty.Bool -> TI
+
+let find_entry env name =
+  if Memory.mem env.mem name then Memory.find env.mem name
+  else fallback "unbound buffer %S" name
+
+let infer_types env =
+  let rt : ty option array = Array.make env.k.Kir.nregs None in
+  let changed = ref true in
+  let entry_ty name =
+    if Memory.mem env.mem name then Some (buf_ty (Memory.find env.mem name))
+    else fallback "unbound buffer %S" name
+  in
+  let sdecl_ty name =
+    match List.assoc_opt name env.smem_env with
+    | Some (Sf _) -> Some TF
+    | Some (Si _) -> Some TI
+    | None -> fallback "undeclared shared array %S" name
+  in
+  let rec ety (e : Kir.exp) : ty option =
+    match e with
+    | Int _ -> Some TI
+    | Float _ -> Some TF
+    | Bool _ -> Some TB
+    | Reg r -> rt.(r)
+    | Tid _ | Bid _ | Bdim _ | Gdim _ | Param _ -> Some TI
+    | Bin ((Add | Sub | Mul | Div | Min | Max), a, b) -> (
+      match (ety a, ety b) with
+      | Some TB, _ | _, Some TB -> fallback "boolean arithmetic"
+      | Some ta, Some tb when ta <> tb -> fallback "mixed-type arithmetic"
+      | Some ta, _ -> Some ta
+      | None, tb -> tb)
+    | Bin (Mod, a, b) -> (
+      match (ety a, ety b) with
+      | (Some TF | Some TB), _ | _, (Some TF | Some TB) ->
+        fallback "mod on non-integers"
+      | _ -> Some TI)
+    | Bin ((And | Or), a, b) -> (
+      match (ety a, ety b) with
+      | (Some TI | Some TF), _ | _, (Some TI | Some TF) ->
+        fallback "logical op on non-booleans"
+      | _ -> Some TB)
+    | Cmp (_, a, b) -> (
+      match (ety a, ety b) with
+      | Some ta, Some tb when ta <> tb -> fallback "mixed-type comparison"
+      | _ -> Some TB)
+    | Un (Neg, a) -> (
+      match ety a with
+      | Some TB -> fallback "negation of a boolean"
+      | t -> t)
+    | Un (Not, a) -> (
+      match ety a with
+      | Some (TI | TF) -> fallback "not of a non-boolean"
+      | _ -> Some TB)
+    | Un ((Sqrt | Exp_ | Log_), a) -> (
+      match ety a with
+      | Some (TI | TB) -> fallback "float unop on non-float"
+      | _ -> Some TF)
+    | Un (Abs, a) -> (
+      match ety a with
+      | Some TB -> fallback "abs of a boolean"
+      | t -> t)
+    | Un (I2f, a) -> (
+      match ety a with
+      | Some (TF | TB) -> fallback "i2f of a non-integer"
+      | _ -> Some TF)
+    | Un (F2i, a) -> (
+      match ety a with
+      | Some (TI | TB) -> fallback "f2i of a non-float"
+      | _ -> Some TI)
+    | Select (_, a, b) -> (
+      match (ety a, ety b) with
+      | Some ta, Some tb when ta <> tb -> fallback "mixed-type select"
+      | Some ta, _ -> Some ta
+      | None, tb -> tb)
+    | Load_g (name, _) -> entry_ty name
+    | Load_s (name, _) -> sdecl_ty name
+  in
+  let assign r t =
+    match rt.(r) with
+    | None ->
+      rt.(r) <- Some t;
+      changed := true
+    | Some t' -> if t <> t' then fallback "register assigned two types"
+  in
+  let rec stmt (s : Kir.stmt) =
+    match s with
+    | Kir.Set (r, e) -> (
+      match ety e with Some t -> assign r t | None -> ())
+    | Kir.Atomic_add_ret { reg; buf; _ } -> (
+      match entry_ty buf with Some t -> assign reg t | None -> ())
+    | Kir.For { reg; lo; body; _ } ->
+      (match ety lo with Some t -> assign reg t | None -> ());
+      List.iter stmt body
+    | Kir.If (_, th, el) ->
+      List.iter stmt th;
+      List.iter stmt el
+    | Kir.While (_, body) -> List.iter stmt body
+    | Kir.Store_g _ | Kir.Store_s _ | Kir.Atomic_add_g _ | Kir.Sync
+    | Kir.Malloc_event ->
+      ()
+  in
+  while !changed do
+    changed := false;
+    List.iter stmt env.k.Kir.body
+  done;
+  (* any register read somewhere but still untyped cannot be compiled *)
+  let reads_untyped = ref false in
+  let rec exp_reads (e : Kir.exp) =
+    match e with
+    | Kir.Reg r -> if rt.(r) = None then reads_untyped := true
+    | Int _ | Float _ | Bool _ | Tid _ | Bid _ | Bdim _ | Gdim _ | Param _ ->
+      ()
+    | Bin (_, a, b) | Cmp (_, a, b) ->
+      exp_reads a;
+      exp_reads b
+    | Un (_, a) -> exp_reads a
+    | Select (c, a, b) ->
+      exp_reads c;
+      exp_reads a;
+      exp_reads b
+    | Load_g (_, i) | Load_s (_, i) -> exp_reads i
+  in
+  let rec stmt_reads (s : Kir.stmt) =
+    match s with
+    | Kir.Set (_, e) -> exp_reads e
+    | Kir.Store_g (_, i, v) | Kir.Store_s (_, i, v)
+    | Kir.Atomic_add_g (_, i, v) ->
+      exp_reads i;
+      exp_reads v
+    | Kir.Atomic_add_ret { idx; value; _ } ->
+      exp_reads idx;
+      exp_reads value
+    | Kir.If (c, t, e) ->
+      exp_reads c;
+      List.iter stmt_reads t;
+      List.iter stmt_reads e
+    | Kir.For { lo; hi; step; body; reg } ->
+      exp_reads lo;
+      exp_reads hi;
+      exp_reads step;
+      exp_reads (Kir.Reg reg);
+      List.iter stmt_reads body
+    | Kir.While (c, body) ->
+      exp_reads c;
+      List.iter stmt_reads body
+    | Kir.Sync | Kir.Malloc_event -> ()
+  in
+  List.iter stmt_reads env.k.Kir.body;
+  if !reads_untyped then fallback "register with no inferable type";
+  Array.map (function Some t -> t | None -> TI) rt
+
+(* ----- definite assignment -----
+
+   The reference engine traps dynamically on reads of undefined registers.
+   The compiled engine has no [VU]; instead we prove statically that no
+   read can precede every assignment on some path, and fall back to the
+   reference engine otherwise (which then reproduces the exact trap). *)
+
+module IS = Set.Make (Int)
+
+let check_definite_assignment (k : Kir.kernel) =
+  let rec reads d (e : Kir.exp) =
+    match e with
+    | Kir.Reg r ->
+      if not (IS.mem r d) then fallback "possibly-undefined register read"
+    | Int _ | Float _ | Bool _ | Tid _ | Bid _ | Bdim _ | Gdim _ | Param _ ->
+      ()
+    | Bin (_, a, b) | Cmp (_, a, b) ->
+      reads d a;
+      reads d b
+    | Un (_, a) -> reads d a
+    | Select (c, a, b) ->
+      reads d c;
+      reads d a;
+      reads d b
+    | Load_g (_, i) | Load_s (_, i) -> reads d i
+  in
+  let rec stmt d (s : Kir.stmt) =
+    match s with
+    | Kir.Set (r, e) ->
+      reads d e;
+      IS.add r d
+    | Kir.Store_g (_, i, v) | Kir.Store_s (_, i, v)
+    | Kir.Atomic_add_g (_, i, v) ->
+      reads d i;
+      reads d v;
+      d
+    | Kir.Atomic_add_ret { reg; idx; value; _ } ->
+      reads d idx;
+      reads d value;
+      IS.add reg d
+    | Kir.If (c, t, e) ->
+      reads d c;
+      let dt = stmts d t and de = stmts d e in
+      IS.inter dt de
+    | Kir.For { reg; lo; hi; step; body } ->
+      reads d lo;
+      let d = IS.add reg d in
+      reads d hi;
+      let db = stmts d body in
+      reads db step;
+      (* the body may run zero times: only the counter survives *)
+      d
+    | Kir.While (c, body) ->
+      reads d c;
+      ignore (stmts d body);
+      d
+    | Kir.Sync | Kir.Malloc_event -> d
+  and stmts d l = List.fold_left stmt d l in
+  ignore (stmts IS.empty k.Kir.body)
+
+(* ----- compile-time constant folding -----
+
+   Anything built from literals, launch geometry and kernel parameters
+   folds to a constant closure (loop bounds in generated code are almost
+   always [Param] arithmetic). Folding never crosses a potential trap:
+   division by a zero constant, or any type mismatch, simply declines. *)
+
+type cval = CI of int | CF of float | CB of bool
+
+let rec cfold env (e : Kir.exp) : cval option =
+  match e with
+  | Kir.Int n -> Some (CI n)
+  | Kir.Float x -> Some (CF x)
+  | Kir.Bool b -> Some (CB b)
+  | Kir.Bdim d ->
+    Some (CI (match d with Kir.X -> env.bx | Kir.Y -> env.by | Kir.Z -> env.bz))
+  | Kir.Gdim d ->
+    Some (CI (match d with Kir.X -> env.gx | Kir.Y -> env.gy | Kir.Z -> env.gz))
+  | Kir.Param p -> (
+    match List.assoc_opt p env.kparams with
+    | Some v -> Some (CI v)
+    | None -> fallback "unbound parameter %S" p)
+  | Kir.Reg _ | Kir.Tid _ | Kir.Bid _ | Kir.Load_g _ | Kir.Load_s _ -> None
+  | Kir.Bin (op, a, b) -> (
+    match (cfold env a, cfold env b) with
+    | Some (CI x), Some (CI y) -> (
+      let open Ppat_ir.Exp in
+      match op with
+      | Add -> Some (CI (x + y))
+      | Sub -> Some (CI (x - y))
+      | Mul -> Some (CI (x * y))
+      | Div -> if y = 0 then None else Some (CI (x / y))
+      | Mod -> if y = 0 then None else Some (CI (x mod y))
+      | Min -> Some (CI (min x y))
+      | Max -> Some (CI (max x y))
+      | And | Or -> None)
+    | Some (CF x), Some (CF y) -> (
+      let open Ppat_ir.Exp in
+      match op with
+      | Add -> Some (CF (x +. y))
+      | Sub -> Some (CF (x -. y))
+      | Mul -> Some (CF (x *. y))
+      | Div -> Some (CF (x /. y))
+      | Min -> Some (CF (Float.min x y))
+      | Max -> Some (CF (Float.max x y))
+      | Mod | And | Or -> None)
+    | Some (CB x), Some (CB y) -> (
+      let open Ppat_ir.Exp in
+      match op with
+      | And -> Some (CB (x && y))
+      | Or -> Some (CB (x || y))
+      | _ -> None)
+    | _ -> None)
+  | Kir.Un (op, a) -> (
+    match (op, cfold env a) with
+    | Ppat_ir.Exp.Neg, Some (CI x) -> Some (CI (-x))
+    | Ppat_ir.Exp.Neg, Some (CF x) -> Some (CF (-.x))
+    | Ppat_ir.Exp.Not, Some (CB x) -> Some (CB (not x))
+    | Ppat_ir.Exp.Sqrt, Some (CF x) -> Some (CF (Float.sqrt x))
+    | Ppat_ir.Exp.Exp_, Some (CF x) -> Some (CF (Float.exp x))
+    | Ppat_ir.Exp.Log_, Some (CF x) -> Some (CF (Float.log x))
+    | Ppat_ir.Exp.Abs, Some (CF x) -> Some (CF (Float.abs x))
+    | Ppat_ir.Exp.Abs, Some (CI x) -> Some (CI (abs x))
+    | Ppat_ir.Exp.I2f, Some (CI x) -> Some (CF (float_of_int x))
+    | Ppat_ir.Exp.F2i, Some (CF x) -> Some (CI (int_of_float x))
+    | _ -> None)
+  | Kir.Cmp (op, a, b) -> (
+    let cmp c =
+      let open Ppat_ir.Exp in
+      Some
+        (CB
+           (match op with
+            | Eq -> c = 0
+            | Ne -> c <> 0
+            | Lt -> c < 0
+            | Le -> c <= 0
+            | Gt -> c > 0
+            | Ge -> c >= 0))
+    in
+    match (cfold env a, cfold env b) with
+    | Some (CI x), Some (CI y) -> cmp (compare x y)
+    | Some (CF x), Some (CF y) -> cmp (Float.compare x y)
+    | Some (CB x), Some (CB y) -> cmp (Bool.compare x y)
+    | _ -> None)
+  | Kir.Select (c, a, b) -> (
+    match (cfold env c, cfold env a, cfold env b) with
+    | Some (CB cv), Some av, Some bv -> Some (if cv then av else bv)
+    | Some (CI cv), Some av, Some bv -> Some (if cv <> 0 then av else bv)
+    | _ -> None)
+
+(* ----- expression compilation ----- *)
+
+let const_texp = function
+  | CI n -> I (fun _ _ -> n)
+  | CF x -> F (fun c _ -> Array.unsafe_set c.facc 0 (x))
+  | CB b -> B (fun _ _ -> b)
+
+(* the loose coercions of the reference engine's [as_int]/[as_bool] *)
+let as_iexp = function
+  | I f -> f
+  | B f -> fun c l -> if f c l then 1 else 0
+  | F _ -> fallback "expected an integer, got a float"
+
+let as_bexp = function
+  | B f -> f
+  | I f -> fun c l -> f c l <> 0
+  | F _ -> fallback "expected a boolean, got a float"
+
+let as_fexp = function
+  | F f -> f
+  | I _ | B _ -> fallback "expected a float"
+
+let strict_b = function
+  | B f -> f
+  | I _ | F _ -> fallback "logical op on non-boolean"
+
+let strict_i = function
+  | I f -> f
+  | B _ | F _ -> fallback "integer expression expected"
+
+let strict_f = function
+  | F f -> f
+  | B _ | I _ -> fallback "float expression expected"
+
+(* Operand evaluation order is observable through the access recorder
+   (slot order feeds the L2 in sequence), so the closures must replay the
+   reference engine exactly: Bin/Cmp pass both operands as function
+   arguments there, which OCaml evaluates right to left, so the right
+   operand's loads record first; Select and the memory ops use explicit
+   lets and evaluate left to right. *)
+let rec compile_exp env (e : Kir.exp) : texp =
+  match cfold env e with
+  | Some c -> const_texp c
+  | None -> (
+    match e with
+    | Kir.Int n -> I (fun _ _ -> n)
+    | Kir.Float x -> F (fun c _ -> Array.unsafe_set c.facc 0 (x))
+    | Kir.Bool b -> B (fun _ _ -> b)
+    | Kir.Reg r -> (
+      let base = r * env.ws in
+      match env.rt.(r) with
+      | TI -> I (fun c l -> Array.unsafe_get c.ireg (base + l))
+      | TF -> F (fun c l -> Array.unsafe_set c.facc 0 (Array.unsafe_get c.freg (base + l)))
+      | TB -> B (fun c l -> Array.unsafe_get c.ireg (base + l) <> 0))
+    | Kir.Tid d -> (
+      match d with
+      | Kir.X -> I (fun c l -> Array.unsafe_get c.tidx l)
+      | Kir.Y -> I (fun c l -> Array.unsafe_get c.tidy l)
+      | Kir.Z -> I (fun c l -> Array.unsafe_get c.tidz l))
+    | Kir.Bid d -> (
+      match d with
+      | Kir.X -> I (fun c _ -> c.bidx)
+      | Kir.Y -> I (fun c _ -> c.bidy)
+      | Kir.Z -> I (fun c _ -> c.bidz))
+    | Kir.Bdim _ | Kir.Gdim _ | Kir.Param _ ->
+      (* cfold always resolves these *)
+      assert false
+    | Kir.Bin (op, a, b) -> (
+      let ta = compile_exp env a in
+      let tb = compile_exp env b in
+      let open Ppat_ir.Exp in
+      match op with
+      | And ->
+        let fa = strict_b ta and fb = strict_b tb in
+        B
+          (fun c l ->
+            let y = fb c l in
+            let x = fa c l in
+            x && y)
+      | Or ->
+        let fa = strict_b ta and fb = strict_b tb in
+        B
+          (fun c l ->
+            let y = fb c l in
+            let x = fa c l in
+            x || y)
+      | Add | Sub | Mul | Div | Mod | Min | Max -> (
+        match (ta, tb) with
+        | I fa, I fb ->
+          I
+            (match op with
+             | Add ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 x + y
+             | Sub ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 x - y
+             | Mul ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 x * y
+             | Div ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 if y = 0 then trap "division by zero" else x / y
+             | Mod ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 if y = 0 then trap "modulo by zero" else x mod y
+             | Min ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 if x <= y then x else y
+             | Max ->
+               fun c l ->
+                 let y = fb c l in
+                 let x = fa c l in
+                 if x >= y then x else y
+             | And | Or -> assert false)
+        | F fa, F fb ->
+          (* right operand first, like the reference; its result is saved
+             in an (unboxed) local while the left runs *)
+          F
+            (match op with
+             | Add ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 ((Array.unsafe_get c.facc 0) +. y)
+             | Sub ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 ((Array.unsafe_get c.facc 0) -. y)
+             | Mul ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 ((Array.unsafe_get c.facc 0) *. y)
+             | Div ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 ((Array.unsafe_get c.facc 0) /. y)
+             | Min ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 (Float.min (Array.unsafe_get c.facc 0) y)
+             | Max ->
+               fun c l ->
+                 fb c l;
+                 let y = (Array.unsafe_get c.facc 0) in
+                 fa c l;
+                 Array.unsafe_set c.facc 0 (Float.max (Array.unsafe_get c.facc 0) y)
+             | Mod | And | Or -> fallback "mod on floats")
+        | _ -> fallback "mixed-type arithmetic"))
+    | Kir.Un (op, a) -> (
+      let ta = compile_exp env a in
+      let open Ppat_ir.Exp in
+      match (op, ta) with
+      | Neg, I f -> I (fun c l -> -f c l)
+      | Neg, F f ->
+        F
+          (fun c l ->
+            f c l;
+            Array.unsafe_set c.facc 0 (-.(Array.unsafe_get c.facc 0)))
+      | Not, B f -> B (fun c l -> not (f c l))
+      | Sqrt, F f ->
+        F
+          (fun c l ->
+            f c l;
+            Array.unsafe_set c.facc 0 (Float.sqrt (Array.unsafe_get c.facc 0)))
+      | Exp_, F f ->
+        F
+          (fun c l ->
+            f c l;
+            Array.unsafe_set c.facc 0 (Float.exp (Array.unsafe_get c.facc 0)))
+      | Log_, F f ->
+        F
+          (fun c l ->
+            f c l;
+            Array.unsafe_set c.facc 0 (Float.log (Array.unsafe_get c.facc 0)))
+      | Abs, F f ->
+        F
+          (fun c l ->
+            f c l;
+            Array.unsafe_set c.facc 0 (Float.abs (Array.unsafe_get c.facc 0)))
+      | Abs, I f -> I (fun c l -> abs (f c l))
+      | I2f, I f -> F (fun c l -> Array.unsafe_set c.facc 0 (float_of_int (f c l)))
+      | F2i, F f ->
+        I
+          (fun c l ->
+            f c l;
+            int_of_float (Array.unsafe_get c.facc 0))
+      | (Neg | Not | Sqrt | Exp_ | Log_ | Abs | I2f | F2i), _ ->
+        fallback "unop operand type mismatch")
+    | Kir.Cmp (op, a, b) -> (
+      let ta = compile_exp env a in
+      let tb = compile_exp env b in
+      let open Ppat_ir.Exp in
+      match (ta, tb) with
+      | I fa, I fb ->
+        B
+          (match op with
+           | Eq ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x = y
+           | Ne ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x <> y
+           | Lt ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x < y
+           | Le ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x <= y
+           | Gt ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x > y
+           | Ge ->
+             fun c l ->
+               let y = fb c l in
+               let x = fa c l in
+               x >= y)
+      | F fa, F fb ->
+        (* Float.compare, not IEEE operators: the reference engine's
+           polymorphic compare totally orders NaN, and Eq on two NaNs is
+           true there *)
+        B
+          (match op with
+           | Eq ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y = 0
+           | Ne ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y <> 0
+           | Lt ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y < 0
+           | Le ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y <= 0
+           | Gt ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y > 0
+           | Ge ->
+             fun c l ->
+               fb c l;
+               let y = (Array.unsafe_get c.facc 0) in
+               fa c l;
+               Float.compare (Array.unsafe_get c.facc 0) y >= 0)
+      | B fa, B fb ->
+        B
+          (fun c l ->
+            let y = fb c l in
+            let x = fa c l in
+            let cv = Bool.compare x y in
+            match op with
+            | Eq -> cv = 0
+            | Ne -> cv <> 0
+            | Lt -> cv < 0
+            | Le -> cv <= 0
+            | Gt -> cv > 0
+            | Ge -> cv >= 0)
+      | _ -> fallback "mixed-type comparison")
+    | Kir.Select (c0, a, b) -> (
+      let fc = as_bexp (compile_exp env c0) in
+      let ta = compile_exp env a in
+      let tb = compile_exp env b in
+      (* both branches always evaluate, like the reference engine *)
+      match (ta, tb) with
+      | I fa, I fb ->
+        I
+          (fun c l ->
+            let cv = fc c l in
+            let av = fa c l in
+            let bv = fb c l in
+            if cv then av else bv)
+      | F fa, F fb ->
+        F
+          (fun c l ->
+            let cv = fc c l in
+            fa c l;
+            let av = (Array.unsafe_get c.facc 0) in
+            fb c l;
+            (* facc currently holds the else-branch value *)
+            if cv then Array.unsafe_set c.facc 0 (av))
+      | B fa, B fb ->
+        B
+          (fun c l ->
+            let cv = fc c l in
+            let av = fa c l in
+            let bv = fb c l in
+            if cv then av else bv)
+      | _ -> fallback "mixed-type select")
+    | Kir.Load_g (name, i) -> (
+      let entry = find_entry env name in
+      let fi = as_iexp (compile_exp env i) in
+      let base = entry.Memory.base and eb = entry.Memory.elem_bytes in
+      match entry.Memory.data with
+      | Ppat_ir.Host.F a ->
+        let len = Array.length a in
+        F
+          (fun c l ->
+            let ix = fi c l in
+            Warp_access.record_global c.acc (base + (ix * eb));
+            if ix < 0 || ix >= len then
+              trap "load out of bounds: %s[%d] (len %d)" name ix len;
+            Array.unsafe_set c.facc 0 (Array.unsafe_get a ix))
+      | Ppat_ir.Host.I a ->
+        let len = Array.length a in
+        I
+          (fun c l ->
+            let ix = fi c l in
+            Warp_access.record_global c.acc (base + (ix * eb));
+            if ix < 0 || ix >= len then
+              trap "load out of bounds: %s[%d] (len %d)" name ix len;
+            Array.unsafe_get a ix))
+    | Kir.Load_s (name, i) -> (
+      let fi = as_iexp (compile_exp env i) in
+      match List.assoc_opt name env.smem_env with
+      | None -> fallback "undeclared shared array %S" name
+      | Some (Sf (slot, len)) ->
+        F
+          (fun c l ->
+            let ix = fi c l in
+            Warp_access.record_shared c.acc ix;
+            if ix < 0 || ix >= len then
+              trap "shared load out of bounds: %s[%d]" name ix;
+            Array.unsafe_set c.facc 0 (Array.unsafe_get (Array.unsafe_get c.sf slot) ix))
+      | Some (Si (slot, len)) ->
+        I
+          (fun c l ->
+            let ix = fi c l in
+            Warp_access.record_shared c.acc ix;
+            if ix < 0 || ix >= len then
+              trap "shared load out of bounds: %s[%d]" name ix;
+            Array.unsafe_get (Array.unsafe_get c.si slot) ix)))
+
+(* ----- statement compilation ----- *)
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* performed by a warp hitting a barrier; the block scheduler in [execute]
+   parks the continuation until every warp of the block has arrived *)
+type _ Effect.t += Sync_eff : unit Effect.t
+
+let bump stats n =
+  if n > 0. then stats.Stats.warp_insts <- stats.Stats.warp_insts +. n
+
+let run_body (body : cstmt array) ctx mask =
+  for i = 0 to Array.length body - 1 do
+    (Array.unsafe_get body i) ctx mask
+  done
+
+(* Lane iteration is tail-recursive on int arguments rather than a
+   while-loop over refs: without flambda every [ref] in a closure body is
+   a real heap cell, and these loops run once per warp statement. *)
+let rec each_lane (write : ctx -> int -> unit) ctx m lane =
+  if m <> 0 then begin
+    if m land 1 <> 0 then write ctx lane;
+    each_lane write ctx (m lsr 1) (lane + 1)
+  end
+
+let rec each_lane_rec (write : ctx -> int -> unit) ctx m lane =
+  if m <> 0 then begin
+    if m land 1 <> 0 then begin
+      Warp_access.begin_lane ctx.acc;
+      write ctx lane
+    end;
+    each_lane_rec write ctx (m lsr 1) (lane + 1)
+  end
+
+(* evaluate a per-lane predicate under [m], returning the mask of lanes
+   where it held; [hm]-gated access recording like the loops above *)
+let rec pred_mask (f : bexp) hm ctx m lane taken =
+  if m = 0 then taken
+  else
+    let taken =
+      if m land 1 <> 0 then begin
+        if hm then Warp_access.begin_lane ctx.acc;
+        if f ctx lane then taken lor (1 lsl lane) else taken
+      end
+      else taken
+    in
+    pred_mask f hm ctx (m lsr 1) (lane + 1) taken
+
+(* one warp statement: [write] per active lane, then price the accesses.
+   Instruction counting is the precomputed [n] — the reference engine
+   counts the same nodes while evaluating the first active lane. *)
+let group ~n ~hm (write : ctx -> int -> unit) : cstmt =
+  if hm then
+    fun ctx mask ->
+      bump ctx.stats n;
+      each_lane_rec write ctx mask 0;
+      Warp_access.flush ctx.acc
+  else
+    fun ctx mask ->
+      bump ctx.stats n;
+      each_lane write ctx mask 0
+
+let rec compile_stmt env (s : Kir.stmt) : cstmt =
+  let ws = env.ws in
+  match s with
+  | Kir.Set (r, e) -> (
+    let n = float_of_int (nodes e) in
+    let hm = has_mem e in
+    let te = compile_exp env e in
+    let base = r * ws in
+    match (env.rt.(r), te) with
+    | TI, I f ->
+      group ~n ~hm (fun ctx lane ->
+          Array.unsafe_set ctx.ireg (base + lane) (f ctx lane))
+    | TF, F f ->
+      group ~n ~hm (fun ctx lane ->
+          f ctx lane;
+          Array.unsafe_set ctx.freg (base + lane) (Array.unsafe_get ctx.facc 0))
+    | TB, B f ->
+      group ~n ~hm (fun ctx lane ->
+          Array.unsafe_set ctx.ireg (base + lane) (if f ctx lane then 1 else 0))
+    | _ -> fallback "register/expression type mismatch")
+  | Kir.Store_g (name, i, v) -> (
+    let n = float_of_int (1 + nodes i + nodes v) in
+    let entry = find_entry env name in
+    let fi = as_iexp (compile_exp env i) in
+    let base = entry.Memory.base and eb = entry.Memory.elem_bytes in
+    match entry.Memory.data with
+    | Ppat_ir.Host.F a ->
+      let fv = as_fexp (compile_exp env v) in
+      let len = Array.length a in
+      group ~n ~hm:true (fun ctx lane ->
+          let ix = fi ctx lane in
+          fv ctx lane;
+          let x = (Array.unsafe_get ctx.facc 0) in
+          Warp_access.record_global ctx.acc (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "store out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set a ix x)
+    | Ppat_ir.Host.I a ->
+      let fv = as_iexp (compile_exp env v) in
+      let len = Array.length a in
+      group ~n ~hm:true (fun ctx lane ->
+          let ix = fi ctx lane in
+          let x = fv ctx lane in
+          Warp_access.record_global ctx.acc (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "store out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set a ix x))
+  | Kir.Store_s (name, i, v) -> (
+    let n = float_of_int (1 + nodes i + nodes v) in
+    let fi = as_iexp (compile_exp env i) in
+    match List.assoc_opt name env.smem_env with
+    | None -> fallback "undeclared shared array %S" name
+    | Some (Sf (slot, len)) ->
+      let fv = as_fexp (compile_exp env v) in
+      group ~n ~hm:true (fun ctx lane ->
+          let ix = fi ctx lane in
+          fv ctx lane;
+          let x = (Array.unsafe_get ctx.facc 0) in
+          Warp_access.record_shared ctx.acc ix;
+          if ix < 0 || ix >= len then
+            trap "shared store out of bounds: %s[%d]" name ix;
+          Array.unsafe_set (Array.unsafe_get ctx.sf slot) ix x)
+    | Some (Si (slot, len)) ->
+      let fv = as_iexp (compile_exp env v) in
+      group ~n ~hm:true (fun ctx lane ->
+          let ix = fi ctx lane in
+          let x = fv ctx lane in
+          Warp_access.record_shared ctx.acc ix;
+          if ix < 0 || ix >= len then
+            trap "shared store out of bounds: %s[%d]" name ix;
+          Array.unsafe_set (Array.unsafe_get ctx.si slot) ix x))
+  | Kir.Atomic_add_g (name, i, v) -> (
+    let n = float_of_int (1 + nodes i + nodes v) in
+    let entry = find_entry env name in
+    let fi = as_iexp (compile_exp env i) in
+    match entry.Memory.data with
+    | Ppat_ir.Host.F a ->
+      let fv = as_fexp (compile_exp env v) in
+      let len = Array.length a in
+      let write ctx lane =
+        let ix = fi ctx lane in
+        fv ctx lane;
+        let x = (Array.unsafe_get ctx.facc 0) in
+        Warp_access.atomic_record ctx.acc ix;
+        if ix < 0 || ix >= len then
+          trap "load out of bounds: %s[%d] (len %d)" name ix len;
+        Array.unsafe_set a ix (Array.unsafe_get a ix +. x)
+      in
+      fun ctx mask ->
+        bump ctx.stats n;
+        Warp_access.atomic_begin ctx.acc;
+        each_lane_rec write ctx mask 0;
+        Warp_access.flush ctx.acc;
+        Warp_access.atomic_commit ctx.acc entry
+    | Ppat_ir.Host.I a ->
+      let fv = as_iexp (compile_exp env v) in
+      let len = Array.length a in
+      let write ctx lane =
+        let ix = fi ctx lane in
+        let x = fv ctx lane in
+        Warp_access.atomic_record ctx.acc ix;
+        if ix < 0 || ix >= len then
+          trap "load out of bounds: %s[%d] (len %d)" name ix len;
+        Array.unsafe_set a ix (Array.unsafe_get a ix + x)
+      in
+      fun ctx mask ->
+        bump ctx.stats n;
+        Warp_access.atomic_begin ctx.acc;
+        each_lane_rec write ctx mask 0;
+        Warp_access.flush ctx.acc;
+        Warp_access.atomic_commit ctx.acc entry)
+  | Kir.Atomic_add_ret { reg; buf; idx; value } -> (
+    let n = float_of_int (1 + nodes idx + nodes value) in
+    let entry = find_entry env buf in
+    let fi = as_iexp (compile_exp env idx) in
+    let base = reg * ws in
+    match (entry.Memory.data, env.rt.(reg)) with
+    | Ppat_ir.Host.F a, TF ->
+      let fv = as_fexp (compile_exp env value) in
+      let len = Array.length a in
+      let write ctx lane =
+        let ix = fi ctx lane in
+        fv ctx lane;
+        let x = (Array.unsafe_get ctx.facc 0) in
+        Warp_access.atomic_record ctx.acc ix;
+        if ix < 0 || ix >= len then
+          trap "load out of bounds: %s[%d] (len %d)" buf ix len;
+        let old = Array.unsafe_get a ix in
+        Array.unsafe_set ctx.freg (base + lane) old;
+        Array.unsafe_set a ix (old +. x)
+      in
+      fun ctx mask ->
+        bump ctx.stats n;
+        Warp_access.atomic_begin ctx.acc;
+        each_lane_rec write ctx mask 0;
+        Warp_access.flush ctx.acc;
+        Warp_access.atomic_commit ctx.acc entry
+    | Ppat_ir.Host.I a, TI ->
+      let fv = as_iexp (compile_exp env value) in
+      let len = Array.length a in
+      let write ctx lane =
+        let ix = fi ctx lane in
+        let x = fv ctx lane in
+        Warp_access.atomic_record ctx.acc ix;
+        if ix < 0 || ix >= len then
+          trap "load out of bounds: %s[%d] (len %d)" buf ix len;
+        let old = Array.unsafe_get a ix in
+        Array.unsafe_set ctx.ireg (base + lane) old;
+        Array.unsafe_set a ix (old + x)
+      in
+      fun ctx mask ->
+        bump ctx.stats n;
+        Warp_access.atomic_begin ctx.acc;
+        each_lane_rec write ctx mask 0;
+        Warp_access.flush ctx.acc;
+        Warp_access.atomic_commit ctx.acc entry
+    | _ -> fallback "atomic return register type mismatch")
+  | Kir.If (c, t, e) ->
+    let n = float_of_int (nodes c) in
+    let hm = has_mem c in
+    let fc = as_bexp (compile_exp env c) in
+    let ct = Array.of_list (List.map (compile_stmt env) t) in
+    let ce = Array.of_list (List.map (compile_stmt env) e) in
+    let divergible = t <> [] || e <> [] in
+    let has_else = e <> [] in
+    fun ctx mask ->
+      bump ctx.stats n;
+      let taken = pred_mask fc hm ctx mask 0 0 in
+      if hm then Warp_access.flush ctx.acc;
+      (* every active lane lands in exactly one branch *)
+      let fall = mask land lnot taken in
+      let bt = taken <> 0 and bf = fall <> 0 in
+      if bt && bf && divergible then
+        ctx.stats.Stats.divergent_branches <-
+          ctx.stats.Stats.divergent_branches +. 1.;
+      if bt then run_body ct ctx taken;
+      if bf && has_else then run_body ce ctx fall
+  | Kir.For { reg; lo; hi; step; body } -> (
+    let n_lo = float_of_int (nodes lo) in
+    let hm_lo = has_mem lo in
+    let n_cond = float_of_int (nodes hi + 1) in
+    let hm_hi = has_mem hi in
+    let n_step = float_of_int (nodes step + 1) in
+    let hm_step = has_mem step in
+    let cbody = Array.of_list (List.map (compile_stmt env) body) in
+    let base = reg * ws in
+    let kname = env.k.Kir.kname in
+    let loop_guard iters =
+      if iters > max_loop_iters then
+        trap "kernel %s: loop exceeded %d iterations" kname max_loop_iters
+    in
+    match env.rt.(reg) with
+    | TI ->
+      let flo = strict_i (compile_exp env lo) in
+      let fhi = strict_i (compile_exp env hi) in
+      let fstep = strict_i (compile_exp env step) in
+      let winit ctx lane =
+        Array.unsafe_set ctx.ireg (base + lane) (flo ctx lane)
+      in
+      let cond ctx lane =
+        let h = fhi ctx lane in
+        Array.unsafe_get ctx.ireg (base + lane) < h
+      in
+      let wstep ctx lane =
+        let s = fstep ctx lane in
+        Array.unsafe_set ctx.ireg (base + lane)
+          (Array.unsafe_get ctx.ireg (base + lane) + s)
+      in
+      fun ctx mask ->
+        bump ctx.stats n_lo;
+        if hm_lo then begin
+          each_lane_rec winit ctx mask 0;
+          Warp_access.flush ctx.acc
+        end
+        else each_lane winit ctx mask 0;
+        let rec loop active iters =
+          bump ctx.stats n_cond;
+          let next = pred_mask cond hm_hi ctx active 0 0 in
+          if hm_hi then Warp_access.flush ctx.acc;
+          if next <> 0 then begin
+            if active land lnot next <> 0 then
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+            run_body cbody ctx next;
+            bump ctx.stats n_step;
+            if hm_step then begin
+              each_lane_rec wstep ctx next 0;
+              Warp_access.flush ctx.acc
+            end
+            else each_lane wstep ctx next 0;
+            let iters = iters + 1 in
+            loop_guard iters;
+            loop next iters
+          end
+        in
+        loop mask 0
+    | TF ->
+      let flo = strict_f (compile_exp env lo) in
+      let fhi = strict_f (compile_exp env hi) in
+      let fstep = strict_f (compile_exp env step) in
+      let winit ctx lane =
+        flo ctx lane;
+        Array.unsafe_set ctx.freg (base + lane) (Array.unsafe_get ctx.facc 0)
+      in
+      let cond ctx lane =
+        fhi ctx lane;
+        Float.compare (Array.unsafe_get ctx.freg (base + lane)) (Array.unsafe_get ctx.facc 0) < 0
+      in
+      let wstep ctx lane =
+        fstep ctx lane;
+        Array.unsafe_set ctx.freg (base + lane)
+          (Array.unsafe_get ctx.freg (base + lane) +. (Array.unsafe_get ctx.facc 0))
+      in
+      fun ctx mask ->
+        bump ctx.stats n_lo;
+        if hm_lo then begin
+          each_lane_rec winit ctx mask 0;
+          Warp_access.flush ctx.acc
+        end
+        else each_lane winit ctx mask 0;
+        let rec loop active iters =
+          bump ctx.stats n_cond;
+          let next = pred_mask cond hm_hi ctx active 0 0 in
+          if hm_hi then Warp_access.flush ctx.acc;
+          if next <> 0 then begin
+            if active land lnot next <> 0 then
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+            run_body cbody ctx next;
+            bump ctx.stats n_step;
+            if hm_step then begin
+              each_lane_rec wstep ctx next 0;
+              Warp_access.flush ctx.acc
+            end
+            else each_lane wstep ctx next 0;
+            let iters = iters + 1 in
+            loop_guard iters;
+            loop next iters
+          end
+        in
+        loop mask 0
+    | TB -> fallback "boolean loop counter")
+  | Kir.While (c, body) ->
+    let n_c = float_of_int (nodes c) in
+    let hm_c = has_mem c in
+    let fc = as_bexp (compile_exp env c) in
+    let cbody = Array.of_list (List.map (compile_stmt env) body) in
+    let kname = env.k.Kir.kname in
+    fun ctx mask ->
+      let rec loop active iters =
+        bump ctx.stats n_c;
+        let next = pred_mask fc hm_c ctx active 0 0 in
+        if hm_c then Warp_access.flush ctx.acc;
+        if next <> 0 then begin
+          if active land lnot next <> 0 then
+            ctx.stats.Stats.divergent_branches <-
+              ctx.stats.Stats.divergent_branches +. 1.;
+          run_body cbody ctx next;
+          let iters = iters + 1 in
+          if iters > max_loop_iters then
+            trap "kernel %s: loop exceeded %d iterations" kname max_loop_iters;
+          loop next iters
+        end
+      in
+      loop mask 0
+  | Kir.Sync ->
+    let kname = env.k.Kir.kname in
+    fun ctx mask ->
+      if mask <> ctx.exists_mask then
+        trap "kernel %s: __syncthreads under divergent control flow" kname;
+      ctx.stats.Stats.syncs <- ctx.stats.Stats.syncs +. 1.;
+      ctx.stats.Stats.warp_insts <- ctx.stats.Stats.warp_insts +. 1.;
+      Effect.perform Sync_eff
+  | Kir.Malloc_event ->
+    fun ctx mask ->
+      ctx.stats.Stats.mallocs <-
+        ctx.stats.Stats.mallocs +. float_of_int (popcount mask);
+      ctx.stats.Stats.warp_insts <- ctx.stats.Stats.warp_insts +. 1.
+
+and compile_stmts env l = Array.of_list (List.map (compile_stmt env) l)
+
+(* ----- entry points ----- *)
+
+let compile dev mem (l : Kir.launch) : (t, string) result =
+  let k = l.kernel in
+  let ws = dev.Device.warp_size in
+  let bx, by, bz = l.block in
+  let gx, gy, gz = l.grid in
+  try
+    if ws <= 0 || ws > Sys.int_size - 2 then
+      fallback "warp size %d too wide for one mask word" ws;
+    let sf_sizes = ref [] and si_sizes = ref [] and senv = ref [] in
+    List.iter
+      (fun (d : Kir.smem_decl) ->
+        match smem_ty d with
+        | TF ->
+          let slot = List.length !sf_sizes in
+          sf_sizes := !sf_sizes @ [ d.selems ];
+          senv := !senv @ [ (d.sname, Sf (slot, d.selems)) ]
+        | _ ->
+          let slot = List.length !si_sizes in
+          si_sizes := !si_sizes @ [ d.selems ];
+          senv := !senv @ [ (d.sname, Si (slot, d.selems)) ])
+      k.Kir.smem;
+    let env0 =
+      {
+        dev;
+        mem;
+        k;
+        ws;
+        bx;
+        by;
+        bz;
+        gx;
+        gy;
+        gz;
+        kparams = l.kparams;
+        rt = [||];
+        smem_env = !senv;
+      }
+    in
+    let rt = infer_types env0 in
+    check_definite_assignment k;
+    let env = { env0 with rt } in
+    let body = compile_stmts env k.Kir.body in
+    Ok
+      {
+        c_launch = l;
+        c_mem = mem;
+        c_body = body;
+        c_nregs = k.Kir.nregs;
+        c_ws = ws;
+        c_tpb = bx * by * bz;
+        c_sf_sizes = Array.of_list !sf_sizes;
+        c_si_sizes = Array.of_list !si_sizes;
+      }
+  with Fallback reason -> Error reason
+
+let execute dev (c : t) : Stats.t =
+  let stats = Stats.create () in
+  let acc = Warp_access.create dev c.c_mem stats in
+  let ws = c.c_ws in
+  let tpb = c.c_tpb in
+  let bx, by, _ = c.c_launch.Kir.block in
+  let gx, gy, gz = c.c_launch.Kir.grid in
+  let warps_per_block = (tpb + ws - 1) / ws in
+  (* Shared arrays and one context per warp slot are allocated once and
+     reused for every block (blocks run sequentially): register files can
+     be several hundred words, and a fresh pair per warp lands straight on
+     the major heap. Shared arrays are re-zeroed per block, matching the
+     reference engine's fresh allocation; register files are zeroed per
+     warp for the same reason. Thread indices and the exists mask only
+     depend on the warp slot, so they are computed once here. *)
+  let sf = Array.map (fun n -> Array.make n 0.) c.c_sf_sizes in
+  let si = Array.map (fun n -> Array.make n 0) c.c_si_sizes in
+  let slots =
+    Array.init warps_per_block (fun w ->
+        let lane0 = w * ws in
+        let exists = ref 0 in
+        for lane = 0 to ws - 1 do
+          if lane0 + lane < tpb then exists := !exists lor (1 lsl lane)
+        done;
+        let tidx = Array.make ws 0
+        and tidy = Array.make ws 0
+        and tidz = Array.make ws 0 in
+        for lane = 0 to ws - 1 do
+          let t = lane0 + lane in
+          tidx.(lane) <- t mod bx;
+          tidy.(lane) <- t / bx mod by;
+          tidz.(lane) <- t / (bx * by)
+        done;
+        {
+          ireg = Array.make (c.c_nregs * ws) 0;
+          freg = Array.make (c.c_nregs * ws) 0.;
+          tidx;
+          tidy;
+          tidz;
+          bidx = 0;
+          bidy = 0;
+          bidz = 0;
+          exists_mask = !exists;
+          facc = [| 0. |];
+          acc;
+          stats;
+          sf;
+          si;
+        })
+  in
+  let run_block bxi byi bzi =
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.) sf;
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) si;
+    let waiting = ref [] in
+    let handler =
+      {
+        Effect.Deep.retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sync_eff ->
+              Some
+                (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                  waiting :=
+                    (fun () -> Effect.Deep.continue cont ()) :: !waiting)
+            | _ -> None);
+      }
+    in
+    for w = 0 to warps_per_block - 1 do
+      let ctx = slots.(w) in
+      if ctx.exists_mask <> 0 then begin
+        Array.fill ctx.ireg 0 (Array.length ctx.ireg) 0;
+        Array.fill ctx.freg 0 (Array.length ctx.freg) 0.;
+        ctx.bidx <- bxi;
+        ctx.bidy <- byi;
+        ctx.bidz <- bzi;
+        Effect.Deep.match_with
+          (fun () -> run_body c.c_body ctx ctx.exists_mask)
+          () handler
+      end
+    done;
+    (* a resumed continuation still runs under its original handler, so a
+       subsequent Sync lands back in [waiting] *)
+    while !waiting <> [] do
+      let batch = List.rev !waiting in
+      waiting := [];
+      List.iter (fun resume -> resume ()) batch
+    done
+  in
+  for z = 0 to gz - 1 do
+    for y = 0 to gy - 1 do
+      for x = 0 to gx - 1 do
+        run_block x y z
+      done
+    done
+  done;
+  stats

@@ -1,8 +1,8 @@
 open Ppat_gpu
 
-exception Trap of string
+exception Trap = Simt_error.Trap
 
-let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+let trap fmt = Simt_error.trap fmt
 
 let max_loop_iters = 1 lsl 24
 
@@ -138,7 +138,8 @@ type _ Effect.t += Sync_eff : unit Effect.t
 
 (* ----- the interpreter ----- *)
 
-let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
+let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
+    =
   let stats = Stats.create () in
   let k = l.kernel in
   let ws = dev.warp_size in
@@ -158,68 +159,16 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
   in
   let warps_per_block = (tpb + ws - 1) / ws in
 
-  (* memory-access slots: one slot per memory instruction in the currently
-     executing warp statement; lanes append their byte addresses (global) or
-     word indices (shared). *)
-  let max_slots = 128 in
-  let slot_addrs = Array.make max_slots [] in
-  let slot_kind = Array.make max_slots `G in
-  let nslots = ref 0 in
-  let lane_slot = ref 0 in
+  (* per-warp memory-access scratch: one slot per memory instruction in
+     the currently executing warp statement; lanes append their byte
+     addresses (global) or word indices (shared), and the end of the group
+     prices every slot. Shared with the compiled engine, which is what
+     keeps the two engines' statistics bit-identical. *)
+  let acc = Warp_access.create dev mem stats in
   let record kind addr =
-    let s = !lane_slot in
-    if s >= max_slots then trap "too many memory accesses in one statement";
-    if s = !nslots then begin
-      slot_kind.(s) <- kind;
-      slot_addrs.(s) <- [];
-      incr nslots
-    end;
-    slot_addrs.(s) <- addr :: slot_addrs.(s);
-    incr lane_slot
-  in
-  let l2_cap_lines = dev.l2_bytes / dev.transaction_bytes in
-  let tb = float_of_int dev.transaction_bytes in
-  let flush_slots () =
-    for s = 0 to !nslots - 1 do
-      let addrs = slot_addrs.(s) in
-      (match slot_kind.(s) with
-       | `G ->
-         let lines =
-           Memory.segments ~transaction_bytes:dev.transaction_bytes addrs
-         in
-         let trans = float_of_int (List.length lines) in
-         let hits =
-           float_of_int (Memory.cache_access mem ~cap_lines:l2_cap_lines ~lines)
-         in
-         stats.mem_insts <- stats.mem_insts +. 1.;
-         stats.transactions <- stats.transactions +. trans;
-         stats.bytes <- stats.bytes +. ((trans -. hits) *. tb);
-         stats.l2_bytes <- stats.l2_bytes +. (hits *. tb)
-       | `S ->
-         (* bank conflicts: words spread over [smem_banks] banks; the warp
-            replays the access once per extra word mapped to the same bank
-            (same-word broadcast is free). *)
-         let banks = Hashtbl.create 16 in
-         List.iter
-           (fun w ->
-             let b = ((w mod dev.smem_banks) + dev.smem_banks)
-                     mod dev.smem_banks in
-             let words =
-               match Hashtbl.find_opt banks b with
-               | None -> [ w ]
-               | Some ws' -> if List.mem w ws' then ws' else w :: ws'
-             in
-             Hashtbl.replace banks b words)
-           addrs;
-         let factor =
-           Hashtbl.fold (fun _ ws' acc -> max acc (List.length ws')) banks 1
-         in
-         stats.smem_insts <- stats.smem_insts +. 1.;
-         stats.smem_conflict_extra <-
-           stats.smem_conflict_extra +. float_of_int (factor - 1));
-      slot_addrs.(s) <- []
-    done;
-    nslots := 0
+    match kind with
+    | `G -> Warp_access.record_global acc addr
+    | `S -> Warp_access.record_shared acc addr
   in
 
   (* shared memory per block *)
@@ -308,12 +257,12 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
       let first = ref true in
       for lane = 0 to ws - 1 do
         if mask.(lane) then begin
-          lane_slot := 0;
+          Warp_access.begin_lane acc;
           f lane !first;
           first := false
         end
       done;
-      flush_slots ()
+      Warp_access.flush acc
     in
     let any mask = Array.exists (fun x -> x) mask in
     let rec exec mask (stmts : Kir.stmt list) = List.iter (stmt mask) stmts
@@ -340,12 +289,12 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
             write_smem name sa idx v)
       | Kir.Atomic_add_g (name, i, e) ->
         let entry = Memory.find mem name in
-        let addrs = ref [] in
+        Warp_access.atomic_begin acc;
         group mask (fun lane counting ->
             if counting then count_inst ();
             let idx = as_int (eval lane counting i) in
             let v = eval lane counting e in
-            addrs := idx :: !addrs;
+            Warp_access.atomic_record acc idx;
             (match read_buf entry name idx, v with
              | VF old, VF x -> write_buf entry name idx (VF (old +. x))
              | VI old, (VI _ | VB _) ->
@@ -353,31 +302,15 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
              | a, b ->
                trap "atomicAdd type mismatch on %s: %s += %s" name (v_name a)
                  (v_name b)));
-        let tbl = Hashtbl.create 8 in
-        List.iter
-          (fun a ->
-            Hashtbl.replace tbl a
-              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
-          !addrs;
-        let distinct = Hashtbl.length tbl in
-        let worst = Hashtbl.fold (fun _ c acc -> max acc c) tbl 0 in
-        if distinct > 0 then begin
-          stats.atomics <- stats.atomics +. 1.;
-          stats.transactions <- stats.transactions +. float_of_int distinct;
-          (* atomics resolve in the L2 *)
-          stats.l2_bytes <-
-            stats.l2_bytes +. float_of_int (distinct * 2 * entry.elem_bytes);
-          stats.atomic_serial_extra <-
-            stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
-        end
+        Warp_access.atomic_commit acc entry
       | Kir.Atomic_add_ret { reg; buf; idx; value } ->
         let entry = Memory.find mem buf in
-        let addrs = ref [] in
+        Warp_access.atomic_begin acc;
         group mask (fun lane counting ->
             if counting then count_inst ();
             let i = as_int (eval lane counting idx) in
             let v = eval lane counting value in
-            addrs := i :: !addrs;
+            Warp_access.atomic_record acc i;
             let old = read_buf entry buf i in
             regs.(lane).(reg) <- old;
             match old, v with
@@ -387,22 +320,7 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
             | a, b ->
               trap "atomicAdd type mismatch on %s: %s += %s" buf (v_name a)
                 (v_name b));
-        let tbl = Hashtbl.create 8 in
-        List.iter
-          (fun a ->
-            Hashtbl.replace tbl a
-              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
-          !addrs;
-        let distinct = Hashtbl.length tbl in
-        let worst = Hashtbl.fold (fun _ c acc -> max acc c) tbl 0 in
-        if distinct > 0 then begin
-          stats.atomics <- stats.atomics +. 1.;
-          stats.transactions <- stats.transactions +. float_of_int distinct;
-          stats.l2_bytes <-
-            stats.l2_bytes +. float_of_int (distinct * 2 * entry.elem_bytes);
-          stats.atomic_serial_extra <-
-            stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
-        end
+        Warp_access.atomic_commit acc entry
       | Kir.If (c, t, e) ->
         let taken = Array.make ws false in
         let fallthrough = Array.make ws false in
@@ -525,3 +443,44 @@ let run (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
     done
   done;
   stats
+
+(* ----- engine selection ----- *)
+
+type engine = Reference | Compiled
+
+let default_engine () =
+  match Sys.getenv_opt "PPAT_ENGINE" with
+  | Some ("reference" | "ref" | "interp") -> Reference
+  | Some _ | None -> Compiled
+
+let fallbacks = ref 0
+let last_fallback : string option ref = ref None
+
+(* launch validation is shared by both engines; the reference engine
+   re-checks harmlessly *)
+let validate (dev : Device.t) (l : Kir.launch) =
+  let k = l.kernel in
+  let bx, by, bz = l.block in
+  let gx, gy, gz = l.grid in
+  let tpb = bx * by * bz in
+  if tpb <= 0 || gx <= 0 || gy <= 0 || gz <= 0 then
+    trap "kernel %s: empty launch %dx%dx%d / %dx%dx%d" k.kname gx gy gz bx by
+      bz;
+  if tpb > dev.max_threads_per_block then
+    trap "kernel %s: block of %d threads exceeds device limit %d" k.kname tpb
+      dev.max_threads_per_block
+
+let run ?engine (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
+  let engine =
+    match engine with Some e -> e | None -> default_engine ()
+  in
+  match engine with
+  | Reference -> run_reference dev mem l
+  | Compiled -> (
+    validate dev l;
+    match Compile.compile dev mem l with
+    | Ok c -> Compile.execute dev c
+    | Error reason ->
+      incr fallbacks;
+      last_fallback := Some reason;
+      run_reference dev mem l)

@@ -23,12 +23,36 @@
 exception Trap of string
 (** Raised on out-of-bounds accesses, type confusion, use of undefined
     registers, divergent barriers, or runaway loops — all indicate code
-    generation bugs and fail tests loudly. *)
+    generation bugs and fail tests loudly. An alias of
+    {!Simt_error.Trap}, which both engines raise. *)
+
+type engine =
+  | Reference  (** the tree-walking interpreter in this module *)
+  | Compiled
+    (** the closure-compiling engine in {!Compile}; falls back to
+        [Reference] per launch when compilation is rejected *)
+
+val default_engine : unit -> engine
+(** [Compiled], unless the [PPAT_ENGINE] environment variable is set to
+    ["reference"] (or ["ref"] / ["interp"]). *)
+
+val fallbacks : int ref
+(** Number of launches the [Compiled] engine handed to the reference
+    engine since program start (cumulative; tests reset it). *)
+
+val last_fallback : string option ref
+(** Reason of the most recent fallback. *)
 
 val run :
-  Ppat_gpu.Device.t -> Ppat_gpu.Memory.t -> Kir.launch -> Ppat_gpu.Stats.t
+  ?engine:engine ->
+  Ppat_gpu.Device.t ->
+  Ppat_gpu.Memory.t ->
+  Kir.launch ->
+  Ppat_gpu.Stats.t
 (** Execute a launch against device memory, mutating buffers in place, and
-    return the collected statistics. *)
+    return the collected statistics. [engine] defaults to
+    {!default_engine}[ ()]; both engines produce bit-identical statistics
+    and buffer contents. *)
 
 val max_loop_iters : int
 (** Safety cap on per-thread loop trip counts (defends tests against

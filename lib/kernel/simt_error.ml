@@ -1,0 +1,8 @@
+(* The simulator's trap exception lives in its own module so that both
+   execution engines (Interp's reference tree-walker and Compile's closure
+   engine) can raise it without a dependency cycle; Interp re-exports it
+   under its historical name. *)
+
+exception Trap of string
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt

@@ -20,5 +20,6 @@ let () =
       ("runner", Test_runner.tests);
       ("profile", Test_profile.tests);
       ("codegen-opts", Test_codegen_opts.tests);
+      ("engine", Test_engine.tests);
       ("properties", Test_props.tests);
     ]
