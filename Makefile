@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines bench-smoke check bench bench-json clean
+.PHONY: all build test smoke engines cost-models bench-smoke check bench bench-json clean
 
 all: build
 
@@ -33,7 +33,16 @@ bench-smoke: build
 	dune exec bin/ppat.exe -- run sum_rows --engine reference > /dev/null
 	@echo "bench-smoke: both engines validate sum_rows"
 
-check: build test smoke engines bench-smoke
+# tier-1 under both cost-model defaults (mapping-specific assertions pin
+# Soft explicitly, everything else must hold under any model), plus a
+# model-comparison smoke run against the simulator
+cost-models: build
+	PPAT_COST_MODEL=soft dune runtest --force
+	PPAT_COST_MODEL=analytical dune runtest --force
+	dune exec bin/ppat.exe -- modelcmp sum_rows --top 3 > /dev/null
+	@echo "cost-models: tier-1 OK under soft and analytical; modelcmp OK"
+
+check: build test smoke engines cost-models bench-smoke
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json

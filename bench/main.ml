@@ -194,6 +194,8 @@ let run_json ~jobs file =
                              J.Str (Ppat_core.Mapping.to_string d.mapping) );
                            ("score", J.Float d.score);
                            ("via", J.Str d.via);
+                           ( "cost_model",
+                             J.Str (Ppat_core.Cost_model.name d.model) );
                          ])
                      r.decisions) );
             ] ))
@@ -218,7 +220,9 @@ let run_json ~jobs file =
   J.to_file file
     (J.Obj
        [
-         ("schema", J.Str "ppat-bench/2");
+         ("schema", J.Str "ppat-bench/3");
+         ( "cost_model",
+           J.Str (Ppat_core.Cost_model.name (Ppat_core.Cost_model.default ())) );
          ("device", J.Str dev.Ppat_gpu.Device.dname);
          ( "engine",
            J.Str

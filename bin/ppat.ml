@@ -7,6 +7,9 @@
                                per-kernel profiles of a simulated run
      trace-search APP [-s STRAT] [--json F]
                                ranked trace of the mapping search
+     modelcmp APP [--top K] [--json F]
+                               rank the mapping space under every cost model
+                               and compare against the simulator
      cuda APP                  print the CUDA kernels the mapping produces
      explain APP               show constraints and the mapping decision
      figures [FIG...]          regenerate the paper's evaluation figures *)
@@ -14,6 +17,7 @@
 let dev = Ppat_gpu.Device.k20c
 
 module A = Ppat_apps
+module Cost_model = Ppat_core.Cost_model
 
 let registry : (string * (unit -> A.App.t)) list =
   [
@@ -53,6 +57,11 @@ let engine_of_string = function
   | "reference" | "ref" | "interp" -> Ppat_kernel.Interp.Reference
   | s -> failwith (Printf.sprintf "unknown engine %S (compiled|reference)" s)
 
+let cost_model_of_string s =
+  match Cost_model.of_string s with
+  | Ok m -> m
+  | Error e -> failwith e
+
 let find_app name =
   match List.assoc_opt name registry with
   | Some mk -> mk ()
@@ -72,19 +81,19 @@ let cmd_list () =
         (if depth = 1 then "" else "s"))
     registry
 
-let cmd_run name strat engine =
+let cmd_run name strat engine model =
   let app = find_app name in
   let data = A.App.input_data app in
   Format.printf "running %s (CPU oracle first)...@." app.A.App.name;
   let cpu = Ppat_harness.Runner.run_cpu ~params:app.params app.prog data in
   Format.printf "CPU model: %.4g s@." cpu.cpu_seconds;
   let r =
-    Ppat_harness.Runner.run_gpu ~engine ~params:app.params dev app.prog strat
-      data
+    Ppat_harness.Runner.run_gpu ~engine ~params:app.params ~model dev
+      app.prog strat data
   in
-  Format.printf "%s: %.4g s over %d kernel launches@."
+  Format.printf "%s: %.4g s over %d kernel launches (%s cost model)@."
     (Ppat_core.Strategy.name strat)
-    r.seconds r.kernels;
+    r.seconds r.kernels (Cost_model.name model);
   List.iter
     (fun (label, (d : Ppat_core.Strategy.decision)) ->
       Format.printf "  %-16s %s  [%s]@." label
@@ -102,17 +111,19 @@ let cmd_run name strat engine =
     Format.printf "VALIDATION FAILED: %s@." e;
     exit 1
 
-let cmd_profile name strat engine json chrome =
+let cmd_profile name strat engine model json chrome =
   let app = find_app name in
   let data = A.App.input_data app in
   let r =
-    Ppat_harness.Runner.run_gpu ~engine ~params:app.params dev app.prog strat
-      data
+    Ppat_harness.Runner.run_gpu ~engine ~params:app.params ~model dev
+      app.prog strat data
   in
   let run =
     Ppat_profile.Record.make_run ~app:name
       ~strategy:(Ppat_core.Strategy.name strat)
-      ~device:dev.Ppat_gpu.Device.dname ~total_seconds:r.seconds r.profile
+      ~device:dev.Ppat_gpu.Device.dname
+      ~cost_model:(Cost_model.name model)
+      ~total_seconds:r.seconds r.profile
   in
   Format.printf "%a@." Ppat_profile.Report.pp_run run;
   List.iter (fun n -> Format.printf "note: %s@." n) r.notes;
@@ -127,7 +138,7 @@ let cmd_profile name strat engine json chrome =
     Ppat_profile.Chrome_trace.to_file f run;
     Format.printf "wrote Chrome trace to %s (load in about://tracing)@." f
 
-(* iterate launches of the program once, for cuda/explain *)
+(* iterate launches of the program once, for cuda/explain/modelcmp *)
 let iter_launches (app : A.App.t) f =
   let seen = ref [] in
   let rec step = function
@@ -143,15 +154,15 @@ let iter_launches (app : A.App.t) f =
   in
   List.iter step app.prog.Ppat_ir.Pat.steps
 
-let decide ?trace (app : A.App.t) n =
+let decide ?trace ?model (app : A.App.t) n =
   let c =
     Ppat_core.Collect.collect
       ~params:(Ppat_harness.Runner.analysis_params app.prog app.params)
       ?bind:n.Ppat_ir.Pat.bind dev app.prog n.Ppat_ir.Pat.pat
   in
-  (c, Ppat_core.Strategy.decide ?trace dev c Ppat_core.Strategy.Auto)
+  (c, Ppat_core.Strategy.decide ?trace ?model dev c Ppat_core.Strategy.Auto)
 
-let cmd_trace_search name strat json =
+let cmd_trace_search name strat model json =
   let app = find_app name in
   let traces = ref [] in
   iter_launches app (fun n ->
@@ -164,7 +175,7 @@ let cmd_trace_search name strat json =
       let decision =
         Ppat_core.Strategy.decide
           ~trace:(fun t -> candidates := t :: !candidates)
-          dev c strat
+          ~model dev c strat
       in
       let st =
         {
@@ -182,6 +193,239 @@ let cmd_trace_search name strat json =
       (Ppat_profile.Jsonx.List
          (List.rev_map Ppat_profile.Report.json_of_search !traces));
     Format.printf "wrote search trace to %s@." f
+
+(* ----- modelcmp: rank the mapping space under every cost model and
+   compare the rankings against simulator ground truth ----- *)
+
+(* descending-lexicographic comparison of ranking keys; stable sort keeps
+   enumeration order on full ties, matching the search's first-wins rule *)
+let key_compare (a : Cost_model.eval) (b : Cost_model.eval) =
+  let n = min (Array.length a.key) (Array.length b.key) in
+  let rec go i =
+    if i >= n then 0
+    else match compare b.key.(i) a.key.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let cmd_modelcmp name engine top json =
+  let app = find_app name in
+  let data = A.App.input_data app in
+  let ap = Ppat_harness.Runner.analysis_params app.prog app.params in
+  (* one collection per distinct top-level pattern *)
+  let pats = ref [] in
+  iter_launches app (fun n ->
+      let c =
+        Ppat_core.Collect.collect ~params:ap ?bind:n.Ppat_ir.Pat.bind dev
+          app.prog n.Ppat_ir.Pat.pat
+      in
+      pats :=
+        (n.pat.Ppat_ir.Pat.pid, n.pat.Ppat_ir.Pat.label, c) :: !pats);
+  let pats = List.rev !pats in
+  if pats = [] then begin
+    Format.eprintf "%s has no launches@." name;
+    exit 1
+  end;
+  (* non-target patterns keep their soft-model auto mapping, so candidate
+     mappings of the target are the only variable between simulations *)
+  let base =
+    List.map
+      (fun (pid, _, c) ->
+        ( pid,
+          (Ppat_core.Strategy.decide ~model:Cost_model.Soft dev c
+             Ppat_core.Strategy.Auto)
+            .Ppat_core.Strategy.mapping ))
+      pats
+  in
+  (* target: the pattern with the richest hard-feasible mapping space *)
+  let tpid, tlabel, tc, cands =
+    List.fold_left
+      (fun (bp, bl, bc, bm) (pid, label, c) ->
+        let ms =
+          List.map fst (Ppat_core.Search.enumerate ~model:Cost_model.Soft dev c)
+        in
+        if List.length ms > List.length bm then (pid, label, c, ms)
+        else (bp, bl, bc, bm))
+      (-1, "", (let _, _, c = List.hd pats in c), [])
+      pats
+  in
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  if n = 0 then begin
+    Format.eprintf "no hard-feasible candidate mappings for %s@." tlabel;
+    exit 1
+  end;
+  (* rank the whole space under each model: array of candidate indices in
+     rank order, plus each candidate's eval under that model *)
+  let rankings =
+    List.map
+      (fun model ->
+        let evals =
+          Array.map (fun m -> Cost_model.evaluate model dev tc m) cands
+        in
+        let order = Array.init n (fun i -> i) |> Array.to_list in
+        let order =
+          List.stable_sort (fun i j -> key_compare evals.(i) evals.(j)) order
+        in
+        (model, evals, Array.of_list order))
+      Cost_model.all
+  in
+  (* simulate the union of every model's top-k plus a strided sample of
+     the rest of the space *)
+  let sample = Hashtbl.create 32 in
+  List.iter
+    (fun (_, _, order) ->
+      Array.iteri (fun rank i -> if rank < top then Hashtbl.replace sample i ())
+        order)
+    rankings;
+  let stride = max 1 (n / 12) in
+  let i = ref 0 in
+  while !i < n do
+    Hashtbl.replace sample !i ();
+    i := !i + stride
+  done;
+  let sim = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun i () ->
+      let mapping_of pid =
+        if pid = tpid then cands.(i) else List.assoc pid base
+      in
+      match
+        Ppat_harness.Runner.run_gpu_mapped ~engine ~params:app.params dev
+          app.prog mapping_of data
+      with
+      | r ->
+        (* ground truth: simulated seconds of the target pattern's own
+           launches (other patterns contribute a constant) *)
+        let secs =
+          List.fold_left
+            (fun acc (k : Ppat_profile.Record.kernel) ->
+              if k.label = tlabel then
+                acc +. k.breakdown.Ppat_gpu.Timing.seconds
+              else acc)
+            0. r.profile
+        in
+        Hashtbl.replace sim i secs
+      | exception Ppat_codegen.Lower.Unsupported _ -> ()
+      | exception Failure _ -> ())
+    sample;
+  let simulated =
+    Hashtbl.fold (fun i s acc -> (i, s) :: acc) sim []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if List.length simulated < 2 then begin
+    Format.eprintf
+      "only %d candidate(s) could be simulated; nothing to compare@."
+      (List.length simulated);
+    exit 1
+  end;
+  let best_sim =
+    List.fold_left (fun acc (_, s) -> min acc s) infinity simulated
+  in
+  let sim_arr = Array.of_list (List.map snd simulated) in
+  Format.printf
+    "modelcmp %s: target pattern %S, %d hard-feasible mappings, %d \
+     simulated (top-%d per model + stride-%d sample)@."
+    name tlabel n (List.length simulated) top stride;
+  Format.printf "  %-12s %-9s %-8s selected mapping@." "model" "spearman"
+    "regret";
+  let rows =
+    List.map
+      (fun (model, evals, order) ->
+        (* rank position of each simulated candidate under this model *)
+        let pos = Array.make n 0 in
+        Array.iteri (fun rank i -> pos.(i) <- rank) order;
+        let rank_arr =
+          Array.of_list (List.map (fun (i, _) -> float_of_int pos.(i)) simulated)
+        in
+        let rho = Cost_model.spearman rank_arr sim_arr in
+        let top1 = order.(0) in
+        let top1_secs =
+          match Hashtbl.find_opt sim top1 with
+          | Some s -> s
+          | None -> nan (* top-k simulation failed to lower *)
+        in
+        let regret =
+          if best_sim > 0. then (top1_secs /. best_sim) -. 1. else 0.
+        in
+        let pred_cycles =
+          match evals.(top1).Cost_model.predicted with
+          | Some p -> Some p.Ppat_core.Predict.cycles
+          | None -> None
+        in
+        Format.printf "  %-12s %-9s %-8s %s@." (Cost_model.name model)
+          (if Float.is_nan rho then "n/a" else Printf.sprintf "%.3f" rho)
+          (if Float.is_nan regret then "n/a"
+           else Printf.sprintf "%.1f%%" (100. *. regret))
+          (Ppat_core.Mapping.to_string cands.(top1));
+        (model, rho, regret, top1, top1_secs, pred_cycles))
+      rankings
+  in
+  (* headline number: the static predictor's cycles against simulated
+     seconds, independent of any ranking tie-breaks *)
+  let pred_rho =
+    let cycles =
+      List.map
+        (fun (i, _) ->
+          match
+            (Cost_model.evaluate Cost_model.Analytical dev tc cands.(i))
+              .Cost_model.predicted
+          with
+          | Some p -> p.Ppat_core.Predict.cycles
+          | None -> nan)
+        simulated
+    in
+    Cost_model.spearman (Array.of_list cycles) sim_arr
+  in
+  Format.printf
+    "predictor cycles vs simulated seconds: spearman %s over %d mappings@."
+    (if Float.is_nan pred_rho then "n/a" else Printf.sprintf "%.3f" pred_rho)
+    (List.length simulated);
+  match json with
+  | None -> ()
+  | Some f ->
+    let open Ppat_profile.Jsonx in
+    let j =
+      Obj
+        [
+          ("schema", Str "ppat-modelcmp/1");
+          ("app", Str name);
+          ("pattern", Str tlabel);
+          ("feasible_candidates", Int n);
+          ("simulated", Int (List.length simulated));
+          ("predictor_spearman", Float pred_rho);
+          ( "models",
+            List
+              (List.map
+                 (fun (model, rho, regret, top1, top1_secs, pred_cycles) ->
+                   Obj
+                     [
+                       ("model", Str (Cost_model.name model));
+                       ("spearman", Float rho);
+                       ("regret", Float regret);
+                       ( "selected_mapping",
+                         Str (Ppat_core.Mapping.to_string cands.(top1)) );
+                       ("selected_sim_seconds", Float top1_secs);
+                       ( "selected_predicted_cycles",
+                         match pred_cycles with
+                         | Some c -> Float c
+                         | None -> Null );
+                     ])
+                 rows) );
+          ( "sample",
+            List
+              (List.map
+                 (fun (i, s) ->
+                   Obj
+                     [
+                       ( "mapping",
+                         Str (Ppat_core.Mapping.to_string cands.(i)) );
+                       ("sim_seconds", Float s);
+                     ])
+                 simulated) );
+        ]
+    in
+    to_file f j;
+    Format.printf "wrote modelcmp report to %s@." f
 
 let cmd_cuda name =
   let app = find_app name in
@@ -230,24 +474,42 @@ let usage () =
   print_endline
     "usage: ppat <command>\n\
      \  list                      bundled applications\n\
-     \  run APP [-s STRATEGY] [--engine E]\n\
+     \  run APP [-s STRATEGY] [--engine E] [--cost-model M]\n\
      \                            simulate and validate (auto|1d|tbt|warp)\n\
-     \  profile APP [-s STRATEGY] [--engine E] [--json FILE]\n\
-     \                            [--chrome-trace FILE]\n\
+     \  profile APP [-s STRATEGY] [--engine E] [--cost-model M]\n\
+     \                            [--json FILE] [--chrome-trace FILE]\n\
      \                            per-kernel profile of a simulated run\n\
-     \  trace-search APP [-s STRATEGY] [--json FILE]\n\
+     \  trace-search APP [-s STRATEGY] [--cost-model M] [--json FILE]\n\
      \                            ranked trace of the mapping search\n\
+     \  modelcmp APP [--engine E] [--top K] [--json FILE]\n\
+     \                            rank the mapping space under every cost\n\
+     \                            model; report rank correlation and regret\n\
+     \                            against the simulator\n\
      \  cuda APP                  print generated CUDA kernels\n\
      \  explain APP               constraints and mapping decisions\n\
      \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)\n\
      \  --engine compiled|reference selects the SIMT execution engine\n\
-     \                            (default: compiled, or $PPAT_ENGINE)"
+     \                            (default: compiled, or $PPAT_ENGINE)\n\
+     \  --cost-model soft|analytical|hybrid selects the search cost model\n\
+     \                            (default: soft, or $PPAT_COST_MODEL)"
 
-(* [-s STRAT] [--engine E] [--json FILE] [--chrome-trace FILE] in any order *)
+type flags = {
+  f_strat : Ppat_core.Strategy.t;
+  f_engine : Ppat_kernel.Interp.engine;
+  f_model : Cost_model.kind;
+  f_json : string option;
+  f_chrome : string option;
+  f_top : int;
+}
+
+(* [-s STRAT] [--engine E] [--cost-model M] [--json FILE]
+   [--chrome-trace FILE] [--top K] in any order *)
 let parse_flags rest =
   let strat = ref Ppat_core.Strategy.Auto in
   let engine = ref (Ppat_kernel.Interp.default_engine ()) in
+  let model = ref (Cost_model.default ()) in
   let json = ref None and chrome = ref None in
+  let top = ref 6 in
   let rec go = function
     | [] -> ()
     | "-s" :: s :: rest ->
@@ -256,11 +518,19 @@ let parse_flags rest =
     | "--engine" :: e :: rest ->
       engine := engine_of_string e;
       go rest
+    | "--cost-model" :: m :: rest ->
+      model := cost_model_of_string m;
+      go rest
     | "--json" :: f :: rest ->
       json := Some f;
       go rest
     | "--chrome-trace" :: f :: rest ->
       chrome := Some f;
+      go rest
+    | "--top" :: k :: rest ->
+      (match int_of_string_opt k with
+       | Some k when k > 0 -> top := k
+       | _ -> failwith (Printf.sprintf "--top expects a positive integer, got %S" k));
       go rest
     | arg :: _ ->
       Format.eprintf "unexpected argument %S@." arg;
@@ -268,28 +538,42 @@ let parse_flags rest =
       exit 1
   in
   go rest;
-  (!strat, !engine, !json, !chrome)
+  {
+    f_strat = !strat;
+    f_engine = !engine;
+    f_model = !model;
+    f_json = !json;
+    f_chrome = !chrome;
+    f_top = !top;
+  }
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "list" :: _ -> cmd_list ()
   | _ :: "run" :: name :: rest ->
-    let strat, engine, json, chrome = parse_flags rest in
-    if json <> None || chrome <> None then begin
+    let f = parse_flags rest in
+    if f.f_json <> None || f.f_chrome <> None then begin
       Format.eprintf "--json/--chrome-trace apply to 'profile' only@.";
       exit 1
     end;
-    cmd_run name strat engine
+    cmd_run name f.f_strat f.f_engine f.f_model
   | _ :: "profile" :: name :: rest ->
-    let strat, engine, json, chrome = parse_flags rest in
-    cmd_profile name strat engine json chrome
+    let f = parse_flags rest in
+    cmd_profile name f.f_strat f.f_engine f.f_model f.f_json f.f_chrome
   | _ :: "trace-search" :: name :: rest ->
-    let strat, _, json, chrome = parse_flags rest in
-    if chrome <> None then begin
+    let f = parse_flags rest in
+    if f.f_chrome <> None then begin
       Format.eprintf "--chrome-trace applies to 'profile' only@.";
       exit 1
     end;
-    cmd_trace_search name strat json
+    cmd_trace_search name f.f_strat f.f_model f.f_json
+  | _ :: "modelcmp" :: name :: rest ->
+    let f = parse_flags rest in
+    if f.f_chrome <> None then begin
+      Format.eprintf "--chrome-trace applies to 'profile' only@.";
+      exit 1
+    end;
+    cmd_modelcmp name f.f_engine f.f_top f.f_json
   | _ :: "cuda" :: name :: _ -> cmd_cuda name
   | _ :: "explain" :: name :: _ -> cmd_explain name
   | _ :: "figures" :: names -> cmd_figures names

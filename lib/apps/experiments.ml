@@ -289,7 +289,7 @@ let fig17 ?(max_points = 48) dev =
   let oracle = oracle_of app in
   let points =
     List.filter_map
-      (fun (m, score) ->
+      (fun (m, (e : Ppat_core.Cost_model.eval)) ->
         match
           Runner.run_gpu_mapped ~params:app.params dev prog
             (fun _ -> m)
@@ -300,7 +300,9 @@ let fig17 ?(max_points = 48) dev =
             Runner.check ~eps:1e-6 prog ~expected:oracle ~actual:r.data
             = Ok ()
           in
-          if ok then Some { mapping = m; score; sw_seconds = r.seconds }
+          if ok then
+            Some
+              { mapping = m; score = e.soft_score; sw_seconds = r.seconds }
           else None
         | exception Lower.Unsupported _ -> None)
       sampled

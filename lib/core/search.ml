@@ -4,6 +4,8 @@ type result = {
   score : float;
   dop : int;
   candidates : int;
+  model : Cost_model.kind;
+  predicted : Predict.t option;
 }
 
 type traced = {
@@ -12,6 +14,8 @@ type traced = {
   t_dop : int;
   t_pruned : string list;
   t_softs : Score.component list;
+  t_predicted : Predict.t option;
+  t_key : float array;
 }
 
 let block_size_candidates (dev : Ppat_gpu.Device.t) =
@@ -51,11 +55,13 @@ let hard_violations (dev : Ppat_gpu.Device.t) (m : Mapping.t) =
     m;
   List.rev !vs
 
-(* When [trace] is absent, infeasible subtrees are pruned eagerly for
-   speed. When present, every leaf candidate is assembled and reported
-   (with its hard violations, if any) before feasible ones reach [f]; the
-   set and order of feasible candidates is identical either way, so
-   tracing never changes the search outcome. *)
+(* The single candidate generator: both the search and the Figure-17
+   enumeration consume this, so the two can never drift. When [trace] is
+   absent, infeasible subtrees are pruned eagerly for speed. When present,
+   every leaf candidate is assembled and reported (with its hard
+   violations, if any) before feasible ones reach [f]; the set and order
+   of feasible candidates is identical either way, so tracing never
+   changes the search outcome. *)
 let iter_candidates ?trace dev (c : Collect.t) f =
   let nlevels = c.levels.depth in
   if nlevels > List.length Mapping.dims then
@@ -95,58 +101,52 @@ let iter_candidates ?trace dev (c : Collect.t) f =
   in
   List.iter (fun dims -> levels 0 [] dims) dim_assignments
 
-let enumerate dev (c : Collect.t) =
+let traced_of eval dev (c : Collect.t) m violations =
+  let e : Cost_model.eval = eval m in
+  {
+    t_mapping = Array.copy m;
+    t_score = e.Cost_model.soft_score;
+    t_dop = Mapping.dop ~sizes:c.level_sizes m;
+    t_pruned = violations;
+    t_softs = Score.explain dev c.softs m;
+    t_predicted = e.Cost_model.predicted;
+    t_key = e.Cost_model.key;
+  }
+
+let enumerate ?(model = Cost_model.default ()) dev (c : Collect.t) =
+  let eval = Cost_model.evaluate model dev c in
   let out = ref [] in
-  iter_candidates dev c (fun m ->
-      out := (Array.copy m, Score.score dev c.softs m) :: !out);
+  iter_candidates dev c (fun m -> out := (Array.copy m, eval m) :: !out);
   List.rev !out
 
-let search ?trace dev (c : Collect.t) =
+let search ?trace ?(model = Cost_model.default ()) dev (c : Collect.t) =
+  let eval = Cost_model.evaluate model dev c in
   let best = ref None in
   let count = ref 0 in
   let trace =
     match trace with
     | None -> None
-    | Some g ->
-      Some
-        (fun m violations ->
-          g
-            {
-              t_mapping = Array.copy m;
-              t_score = Score.score dev c.softs m;
-              t_dop = Mapping.dop ~sizes:c.level_sizes m;
-              t_pruned = violations;
-              t_softs = Score.explain dev c.softs m;
-            })
+    | Some g -> Some (fun m violations -> g (traced_of eval dev c m violations))
   in
   iter_candidates ?trace dev c (fun m ->
       incr count;
-      let s = Score.score dev c.softs m in
-      let d = Mapping.dop ~sizes:c.level_sizes m in
-      (* ties prefer blocks near 256 threads: large enough to fill an SM
-         with few blocks, small enough to spread across SMs on small
-         grids *)
-      let t =
-        let tpb = Mapping.threads_per_block m in
-        abs
-          (int_of_float (Float.round (Float.log2 (float_of_int tpb))) - 8)
-      in
+      let e = eval m in
       match !best with
-      | None -> best := Some (Array.copy m, s, d, t)
-      | Some (_, bs, bd, bt) ->
-        if
-          s > bs
-          || (s = bs && d > bd)
-          || (s = bs && d = bd && t < bt)
-        then best := Some (Array.copy m, s, d, t));
+      | None -> best := Some (Array.copy m, e)
+      | Some (_, be) ->
+        if Cost_model.better e be then best := Some (Array.copy m, e));
   match !best with
   | None -> failwith "search: no hard-feasible mapping"
-  | Some (raw, score, _, _) ->
+  | Some (raw, e) ->
     let mapping = Dop.control dev ~sizes:c.level_sizes raw in
     {
       mapping;
       raw_mapping = raw;
-      score;
+      score = e.Cost_model.soft_score;
       dop = Mapping.dop ~sizes:c.level_sizes mapping;
       candidates = !count;
+      model;
+      (* re-predict the shipped mapping (DOP control may have changed it)
+         so profiles can report predicted-vs-simulated per launch *)
+      predicted = Some (Predict.predict dev c mapping);
     }

@@ -10,6 +10,8 @@ type decision = {
   raw_mapping : Mapping.t;
   score : float;
   via : string;
+  model : Cost_model.kind;
+  predicted : Predict.t option;
 }
 
 let name = function
@@ -60,64 +62,60 @@ let preset (c : Collect.t) which =
 
 (* a preset visits exactly one candidate; report it through the same trace
    channel the auto search uses, so [trace-search] works for any strategy *)
-let trace_one trace dev (c : Collect.t) m =
+let trace_one trace model dev (c : Collect.t) m =
   match trace with
   | None -> ()
   | Some g ->
+    let e = Cost_model.evaluate model dev c m in
     g
       {
         Search.t_mapping = Array.copy m;
-        t_score = Score.score dev c.softs m;
+        t_score = e.Cost_model.soft_score;
         t_dop = Mapping.dop ~sizes:c.level_sizes m;
         t_pruned = [];
         t_softs = Score.explain dev c.softs m;
+        t_predicted = e.Cost_model.predicted;
+        t_key = e.Cost_model.key;
       }
 
-let decide ?trace dev (c : Collect.t) strat =
+(* a fixed mapping was not chosen by any model, but its prediction is
+   still recorded so profiles can report predicted-vs-simulated time *)
+let fixed_decision trace model dev (c : Collect.t) m via =
+  trace_one trace model dev c m;
+  {
+    mapping = m;
+    raw_mapping = m;
+    score = Score.score dev c.softs m;
+    via;
+    model;
+    predicted = Some (Predict.predict dev c m);
+  }
+
+let decide ?trace ?(model = Cost_model.default ()) dev (c : Collect.t) strat
+    =
   match strat with
   | Auto ->
-    let r = Search.search ?trace dev c in
+    let r = Search.search ?trace ~model dev c in
     {
       mapping = r.mapping;
       raw_mapping = r.raw_mapping;
       score = r.score;
       via =
-        Printf.sprintf "auto search (%d candidates, DOP %d)" r.candidates
-          r.dop;
+        (match model with
+         | Cost_model.Soft ->
+           Printf.sprintf "auto search (%d candidates, DOP %d)" r.candidates
+             r.dop
+         | Cost_model.Analytical | Cost_model.Hybrid ->
+           Printf.sprintf "auto search (%d candidates, DOP %d, %s model)"
+             r.candidates r.dop (Cost_model.name model));
+      model;
+      predicted = r.predicted;
     }
-  | One_d ->
-    let m = preset c `One_d in
-    trace_one trace dev c m;
-    {
-      mapping = m;
-      raw_mapping = m;
-      score = Score.score dev c.softs m;
-      via = "1D preset";
-    }
+  | One_d -> fixed_decision trace model dev c (preset c `One_d) "1D preset"
   | Thread_block_thread ->
-    let m = preset c `Tbt in
-    trace_one trace dev c m;
-    {
-      mapping = m;
-      raw_mapping = m;
-      score = Score.score dev c.softs m;
-      via = "thread-block/thread preset";
-    }
+    fixed_decision trace model dev c (preset c `Tbt)
+      "thread-block/thread preset"
   | Warp_based ->
-    let m = preset c `Warp in
-    trace_one trace dev c m;
-    {
-      mapping = m;
-      raw_mapping = m;
-      score = Score.score dev c.softs m;
-      via = "warp-based preset";
-    }
+    fixed_decision trace model dev c (preset c `Warp) "warp-based preset"
   | Fixed m ->
-    let m = respect_hard c m in
-    trace_one trace dev c m;
-    {
-      mapping = m;
-      raw_mapping = m;
-      score = Score.score dev c.softs m;
-      via = "fixed";
-    }
+    fixed_decision trace model dev c (respect_hard c m) "fixed"

@@ -29,19 +29,27 @@ type decision = {
           consumers match against this. *)
   score : float;
   via : string;  (** provenance for reports *)
+  model : Cost_model.kind;  (** the cost model active when deciding *)
+  predicted : Predict.t option;
+      (** static prediction for [mapping]; recorded for every strategy
+          (including presets, which the model did not choose) so the
+          profile layer can report predicted-vs-simulated time *)
 }
 
 val name : t -> string
 
 val decide :
   ?trace:(Search.traced -> unit) ->
+  ?model:Cost_model.kind ->
   Ppat_gpu.Device.t ->
   Collect.t ->
   t ->
   decision
 (** Resolve a strategy into a concrete mapping for an analysed nest.
     [trace] receives every candidate considered: the full enumeration for
-    [Auto] (see {!Search.search}), the single preset mapping otherwise. *)
+    [Auto] (see {!Search.search}), the single preset mapping otherwise.
+    [model] defaults to {!Cost_model.default}; it steers the ranking for
+    [Auto] and is recorded (plus a prediction) for every strategy. *)
 
 val all_fixed : t list
 (** [One_d; Thread_block_thread; Warp_based]. *)

@@ -42,14 +42,14 @@ let analysis_params (prog : Pat.prog) params =
   !extra @ params
 
 (* one mapping decision per top-level pattern of the program *)
-let decide_all dev (prog : Pat.prog) params strategy =
+let decide_all ?model dev (prog : Pat.prog) params strategy =
   let ap = analysis_params prog params in
   let decisions = ref [] in
   let rec step = function
     | Pat.Launch n ->
       if not (List.mem_assoc n.pat.Pat.pid !decisions) then begin
         let c = Collect.collect ~params:ap ?bind:n.bind dev prog n.pat in
-        decisions := (n.pat.Pat.pid, Strategy.decide dev c strategy)
+        decisions := (n.pat.Pat.pid, Strategy.decide ?model dev c strategy)
                      :: !decisions
       end
     | Pat.Host_loop { body; _ } | Pat.While_flag { body; _ } ->
@@ -60,7 +60,8 @@ let decide_all dev (prog : Pat.prog) params strategy =
   !decisions
 
 let exec_steps ?engine dev prog ~opts ~params ~mapping_of
-    ?(via_of = fun _ -> "") (data : Host.data) =
+    ?(via_of = fun _ -> "") ?(predicted_of = fun _ -> None)
+    (data : Host.data) =
   (match Pat.validate prog with
    | Ok () -> ()
    | Error e -> failwith ("invalid program: " ^ e));
@@ -87,8 +88,8 @@ let exec_steps ?engine dev prog ~opts ~params ~mapping_of
              | Ty.F64 -> Memory.alloc_f mem t.tname t.telems
              | Ty.I32 | Ty.Bool -> Memory.alloc_i mem t.tname t.telems))
         lowered.temps;
-      List.iter
-        (fun (l : Ppat_kernel.Kir.launch) ->
+      List.iteri
+        (fun li (l : Ppat_kernel.Kir.launch) ->
           let wall0 = Sys.time () in
           let s = Interp.run ?engine dev mem l in
           let wall = Sys.time () -. wall0 in
@@ -107,6 +108,11 @@ let exec_steps ?engine dev prog ~opts ~params ~mapping_of
               stats = Stats.copy s;
               breakdown = b;
               sim_wall_seconds = wall;
+              (* the decision's prediction models the pattern's main
+                 kernel; combiner launches have no prediction of their
+                 own *)
+              predicted =
+                (if li = 0 then predicted_of n.pat.Pat.pid else None);
             }
             :: !records;
           incr kernels)
@@ -139,9 +145,9 @@ let exec_steps ?engine dev prog ~opts ~params ~mapping_of
   in
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
-let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) dev prog
-    strategy data =
-  let decisions = decide_all dev prog params strategy in
+let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) ?model
+    dev prog strategy data =
+  let decisions = decide_all ?model dev prog params strategy in
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
   in
@@ -150,8 +156,14 @@ let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) dev prog
     | Some d -> d.Strategy.via
     | None -> ""
   in
+  let predicted_of pid =
+    match List.assoc_opt pid decisions with
+    | Some d -> d.Strategy.predicted
+    | None -> None
+  in
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps ?engine dev prog ~opts ~params ~mapping_of ~via_of data
+    exec_steps ?engine dev prog ~opts ~params ~mapping_of ~via_of
+      ~predicted_of data
   in
   let label_of pid =
     let found = ref "" in

@@ -26,6 +26,7 @@ val run_gpu :
   ?engine:Ppat_kernel.Interp.engine ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
+  ?model:Ppat_core.Cost_model.kind ->
   Ppat_gpu.Device.t ->
   Ppat_ir.Pat.prog ->
   Ppat_core.Strategy.t ->
@@ -33,8 +34,11 @@ val run_gpu :
   gpu_result
 (** Simulate the program under a strategy. [params] override program
     defaults; [engine] selects the SIMT execution engine (defaults to
-    {!Ppat_kernel.Interp.default_engine}[ ()]).
-    @raise Failure on invalid programs. *)
+    {!Ppat_kernel.Interp.default_engine}[ ()]); [model] selects the cost
+    model driving the mapping decisions (defaults to
+    {!Ppat_core.Cost_model.default}[ ()], i.e. [PPAT_COST_MODEL]). Each
+    decision's static prediction is attached to its pattern's main kernel
+    launches in [profile]. *)
 
 val run_gpu_mapped :
   ?engine:Ppat_kernel.Interp.engine ->

@@ -13,31 +13,43 @@ type kernel = {
   stats : Stats.t;
   breakdown : Timing.breakdown;
   sim_wall_seconds : float;
+  predicted : Ppat_core.Predict.t option;
 }
 
 type run = {
   app : string;
   strategy : string;
   device : string;
+  cost_model : string;
   kernels : kernel list;
   aggregate : Stats.t;
   total_seconds : float;
   sim_wall_total : float;
 }
 
-let make_run ~app ~strategy ~device ~total_seconds kernels =
+let make_run ~app ~strategy ~device ?(cost_model = "soft") ~total_seconds
+    kernels =
   let aggregate = Stats.create () in
   List.iter (fun k -> Stats.add aggregate k.stats) kernels;
   {
     app;
     strategy;
     device;
+    cost_model;
     kernels;
     aggregate;
     total_seconds;
     sim_wall_total =
       List.fold_left (fun acc k -> acc +. k.sim_wall_seconds) 0. kernels;
   }
+
+let prediction_error k =
+  match k.predicted with
+  | Some (p : Ppat_core.Predict.t) when k.breakdown.Timing.seconds > 0. ->
+    Some
+      ((p.Ppat_core.Predict.seconds -. k.breakdown.Timing.seconds)
+      /. k.breakdown.Timing.seconds)
+  | _ -> None
 
 let sum_stats kernels =
   let acc = Stats.create () in
@@ -86,15 +98,24 @@ let json_of_kernel k =
       ("timing", json_of_breakdown k.breakdown);
       ("stats", json_of_stats k.stats);
       ("sim_wall_seconds", Jsonx.Float k.sim_wall_seconds);
+      ( "predicted_cycles",
+        match k.predicted with
+        | Some p -> Jsonx.Float p.Ppat_core.Predict.cycles
+        | None -> Jsonx.Null );
+      ( "prediction_error",
+        match prediction_error k with
+        | Some e -> Jsonx.Float e
+        | None -> Jsonx.Null );
     ]
 
 let json_of_run r =
   Jsonx.Obj
     [
-      ("schema", Jsonx.Str "ppat-profile/1");
+      ("schema", Jsonx.Str "ppat-profile/2");
       ("app", Jsonx.Str r.app);
       ("strategy", Jsonx.Str r.strategy);
       ("device", Jsonx.Str r.device);
+      ("cost_model", Jsonx.Str r.cost_model);
       ("total_seconds", Jsonx.Float r.total_seconds);
       ("sim_wall_seconds", Jsonx.Float r.sim_wall_total);
       ("kernel_count", Jsonx.Int (List.length r.kernels));

@@ -20,12 +20,17 @@ type kernel = {
       (** full timing-model output incl. launch overhead in [seconds] *)
   sim_wall_seconds : float;
       (** host wall-clock the SIMT simulator spent on this launch *)
+  predicted : Ppat_core.Predict.t option;
+      (** static cost-model prediction for the decision behind this
+          launch; [None] for secondary kernels (combiners) the predictor
+          does not model individually *)
 }
 
 type run = {
   app : string;
   strategy : string;
   device : string;
+  cost_model : string;  (** cost model that drove the mapping decisions *)
   kernels : kernel list;
   aggregate : Ppat_gpu.Stats.t;  (** sum of all per-kernel stats *)
   total_seconds : float;  (** simulated time, as reported by the runner *)
@@ -36,9 +41,15 @@ val make_run :
   app:string ->
   strategy:string ->
   device:string ->
+  ?cost_model:string ->
   total_seconds:float ->
   kernel list ->
   run
+
+val prediction_error : kernel -> float option
+(** Relative error of the static prediction against the simulated timing
+    model: [(predicted - simulated) / simulated]. [None] when no
+    prediction was recorded or the simulated time is degenerate. *)
 
 val sum_stats : kernel list -> Ppat_gpu.Stats.t
 (** Sum of the per-kernel stats — by construction equal to the runner's
@@ -52,5 +63,7 @@ val json_of_breakdown : Ppat_gpu.Timing.breakdown -> Jsonx.t
 val json_of_kernel : kernel -> Jsonx.t
 
 val json_of_run : run -> Jsonx.t
-(** Stable schema ["ppat-profile/1"]: run header, aggregate stats, and one
-    record per kernel. *)
+(** Stable schema ["ppat-profile/2"]: run header (now including the
+    active [cost_model]), aggregate stats, and one record per kernel
+    (now including [predicted_cycles] and [prediction_error], [null]
+    when no prediction applies). *)

@@ -20,13 +20,18 @@ let pp_kernel ppf (k : Record.kernel) =
     b.resident_warps b.active_sms b.compute_cycles b.bandwidth_cycles
     b.latency_cycles b.overhead_cycles
     (Mapping.to_string k.mapping)
-    k.via k.sim_wall_seconds
+    k.via k.sim_wall_seconds;
+  match k.predicted, Record.prediction_error k with
+  | Some p, Some e ->
+    Format.fprintf ppf "@,  predicted %.3g s (%+.0f%% vs simulated)"
+      p.Ppat_core.Predict.seconds (100. *. e)
+  | _ -> ()
 
 let pp_run ppf (r : Record.run) =
   Format.fprintf ppf
-    "@[<v>profile: %s under %s on %s@,%d kernel launch%s, %.4g s simulated \
-     (%.3g s of simulator wall clock)@,@,"
-    r.app r.strategy r.device (List.length r.kernels)
+    "@[<v>profile: %s under %s on %s (cost model: %s)@,%d kernel \
+     launch%s, %.4g s simulated (%.3g s of simulator wall clock)@,@,"
+    r.app r.strategy r.device r.cost_model (List.length r.kernels)
     (if List.length r.kernels = 1 then "" else "es")
     r.total_seconds r.sim_wall_total;
   List.iter (fun k -> Format.fprintf ppf "%a@,@," pp_kernel k) r.kernels;
@@ -64,17 +69,23 @@ let verdict (st : search_trace) (t : Search.traced) =
       if missing = [] then ""
       else " (missing " ^ String.concat ", " missing ^ ")"
     in
-    if t.t_score < st.st_result.score then
-      Printf.sprintf "rejected: score %g < %g%s" t.t_score st.st_result.score
-        why_softs
-    else
-      Printf.sprintf
-        "rejected: tied score %g, lost DOP/block-size tie-break%s" t.t_score
-        why_softs
+    match (st.st_result.model, t.t_predicted) with
+    | (Ppat_core.Cost_model.Analytical | Ppat_core.Cost_model.Hybrid), Some p
+      ->
+      Printf.sprintf "rejected: predicted %.4g cycles%s"
+        p.Ppat_core.Predict.cycles why_softs
+    | _ ->
+      if t.t_score < st.st_result.score then
+        Printf.sprintf "rejected: score %g < %g%s" t.t_score
+          st.st_result.score why_softs
+      else
+        Printf.sprintf
+          "rejected: tied score %g, lost DOP/block-size tie-break%s"
+          t.t_score why_softs
   end
 
-(* chosen first, then feasible candidates by descending score (then DOP),
-   hard-pruned ones last *)
+(* chosen first, then feasible candidates in the active cost model's order
+   (descending-lexicographic ranking key), hard-pruned ones last *)
 let ranked (st : search_trace) =
   let chosen, rest =
     List.partition
@@ -85,12 +96,16 @@ let ranked (st : search_trace) =
   let feasible, pruned =
     List.partition (fun (t : Search.traced) -> t.t_pruned = []) rest
   in
-  let by_score (a : Search.traced) (b : Search.traced) =
-    match compare b.t_score a.t_score with
-    | 0 -> compare b.t_dop a.t_dop
-    | c -> c
+  let by_key (a : Search.traced) (b : Search.traced) =
+    let n = min (Array.length a.t_key) (Array.length b.t_key) in
+    let rec go i =
+      if i >= n then 0
+      else
+        match compare b.t_key.(i) a.t_key.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
   in
-  chosen @ List.sort by_score feasible @ pruned
+  chosen @ List.sort by_key feasible @ pruned
 
 let pp_search ?(limit = 16) ppf (st : search_trace) =
   let all = ranked st in
@@ -136,6 +151,17 @@ let json_of_traced (st : search_trace) (t : Search.traced) =
       ("dop", Jsonx.Int t.t_dop);
       ("pruned", Jsonx.List (List.map (fun r -> Jsonx.Str r) t.t_pruned));
       ("verdict", Jsonx.Str (verdict st t));
+      ( "predicted",
+        match t.t_predicted with
+        | Some p ->
+          Jsonx.Obj
+            [
+              ("cycles", Jsonx.Float p.Ppat_core.Predict.cycles);
+              ("utilization", Jsonx.Float p.Ppat_core.Predict.utilization);
+              ( "timing",
+                Record.json_of_breakdown p.Ppat_core.Predict.breakdown );
+            ]
+        | None -> Jsonx.Null );
       ("softs",
        Jsonx.List
          (List.map
@@ -152,7 +178,8 @@ let json_of_traced (st : search_trace) (t : Search.traced) =
 let json_of_search (st : search_trace) =
   Jsonx.Obj
     [
-      ("schema", Jsonx.Str "ppat-search-trace/1");
+      ("schema", Jsonx.Str "ppat-search-trace/2");
+      ("cost_model", Jsonx.Str (Ppat_core.Cost_model.name st.st_result.model));
       ("pattern", Jsonx.Str st.st_label);
       ("chosen", Jsonx.Str (Mapping.to_string st.st_result.mapping));
       ("score", Jsonx.Float st.st_result.score);

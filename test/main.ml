@@ -7,6 +7,7 @@ let () =
       ("levels", Test_levels.tests);
       ("mapping", Test_mapping.tests);
       ("search", Test_search.tests);
+      ("cost-model", Test_cost_model.tests);
       ("interp", Test_interp.tests);
       ("timing", Test_timing.tests);
       ("cache", Test_cache.tests);

@@ -134,7 +134,9 @@ let mapping_sweep_case =
           ~params:(Runner.analysis_params app.prog app.params)
           ?bind:n.bind dev app.prog n.pat
       in
-      let all = Ppat_core.Search.enumerate dev c in
+      let all =
+        Ppat_core.Search.enumerate ~model:Ppat_core.Cost_model.Soft dev c
+      in
       let step = max 1 (List.length all / 40) in
       List.iteri
         (fun i (m, _) ->

@@ -74,7 +74,7 @@ let test_json_roundtrip () =
   (* spot-check the schema *)
   let get k j = match Jsonx.member k j with Some v -> v | None ->
     Alcotest.fail ("missing key " ^ k) in
-  Alcotest.(check (option string)) "schema" (Some "ppat-profile/1")
+  Alcotest.(check (option string)) "schema" (Some "ppat-profile/2")
     (Jsonx.to_str (get "schema" j));
   let kernels = Option.get (Jsonx.to_list (get "kernels" j)) in
   Alcotest.(check (option int)) "kernel_count"
@@ -85,7 +85,8 @@ let test_json_roundtrip () =
       List.iter
         (fun field -> ignore (get field k))
         [ "index"; "label"; "kernel"; "grid"; "block"; "mapping"; "via";
-          "timing"; "stats"; "sim_wall_seconds" ];
+          "timing"; "stats"; "sim_wall_seconds"; "predicted_cycles";
+          "prediction_error" ];
       (* stats fields come straight from Stats.to_assoc, so the exporter
          cannot drift from the record *)
       let stats = get "stats" k in
@@ -246,15 +247,15 @@ let test_search_trace () =
   let label, c = collect_first (Ppat_apps.Sum_rows_cols.sum_cols ~r:512 ~c:64 ()) in
   let traced = ref [] in
   let decision =
-    Strategy.decide ~trace:(fun t -> traced := t :: !traced) dev c
-      Strategy.Auto
+    Strategy.decide ~trace:(fun t -> traced := t :: !traced)
+      ~model:Ppat_core.Cost_model.Soft dev c Strategy.Auto
   in
   let traced = List.rev !traced in
   let feasible, pruned =
     List.partition (fun (t : Search.traced) -> t.t_pruned = []) traced
   in
   (* tracing observes exactly the candidates the search counted *)
-  let untraced = Search.search dev c in
+  let untraced = Search.search ~model:Ppat_core.Cost_model.Soft dev c in
   Alcotest.(check int) "feasible = candidates counted" untraced.candidates
     (List.length feasible);
   Alcotest.(check bool) "tracing does not change the outcome" true
@@ -309,7 +310,7 @@ let test_search_trace () =
   | Error e -> Alcotest.fail ("search JSON invalid: " ^ e)
   | Ok j ->
     Alcotest.(check (option string)) "search schema"
-      (Some "ppat-search-trace/1")
+      (Some "ppat-search-trace/2")
       (Option.bind (Jsonx.member "schema" j) Jsonx.to_str)
 
 let test_preset_trace () =

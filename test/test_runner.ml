@@ -73,7 +73,7 @@ let test_gemm_mapping () =
       ~params:(Runner.analysis_params app.prog app.params)
       ?bind:n.bind dev app.prog n.pat
   in
-  let r = Ppat_core.Search.search dev c in
+  let r = Ppat_core.Search.search ~model:Ppat_core.Cost_model.Soft dev c in
   Alcotest.(check bool) "j on x" true (r.mapping.(1).M.dim = M.X);
   (match r.mapping.(2).M.span with
    | M.Span_all | M.Split _ -> ()
@@ -124,7 +124,7 @@ let test_device_retarget () =
         ~params:(Runner.analysis_params app.prog app.params)
         ?bind:n.bind d app.prog n.pat
     in
-    Ppat_core.Search.search d c
+    Ppat_core.Search.search ~model:Ppat_core.Cost_model.Soft d c
   in
   let rk = collect_for Ppat_gpu.Device.k20c in
   let rc = collect_for Ppat_gpu.Device.c2050 in

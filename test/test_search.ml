@@ -37,7 +37,7 @@ let test_sum_rows_mapping () =
   (* inner (column) accesses are contiguous: the reduce level must land on
      dimension x with a warp-multiple block (Figure 9) *)
   let c = collect_of (Ppat_apps.Sum_rows_cols.sum_rows ~r:4096 ~c:512 ()) in
-  let r = Search.search dev c in
+  let r = Search.search ~model:Ppat_core.Cost_model.Soft dev c in
   Alcotest.(check bool) "L1 on x" true (r.mapping.(1).M.dim = M.X);
   Alcotest.(check bool) "L0 not on x" true (r.mapping.(0).M.dim <> M.X);
   Alcotest.(check int) "L1 warp multiple" 0
@@ -49,7 +49,7 @@ let test_sum_rows_mapping () =
 let test_sum_cols_mapping () =
   (* the outer (column) index is the contiguous one: dimensions flip *)
   let c = collect_of (Ppat_apps.Sum_rows_cols.sum_cols ~r:4096 ~c:512 ()) in
-  let r = Search.search dev c in
+  let r = Search.search ~model:Ppat_core.Cost_model.Soft dev c in
   Alcotest.(check bool) "L0 on x" true (r.mapping.(0).M.dim = M.X);
   Alcotest.(check int) "L0 warp multiple" 0
     (r.mapping.(0).M.bsize mod dev.warp_size)
@@ -94,7 +94,7 @@ let test_dop_control_split () =
   (* skewed sumCols: few columns, many rows -> DOP below minimum without a
      split (paper Section IV-D) *)
   let c = collect_of (Ppat_apps.Sum_rows_cols.sum_cols ~r:16384 ~c:64 ()) in
-  let r = Search.search dev c in
+  let r = Search.search ~model:Ppat_core.Cost_model.Soft dev c in
   Alcotest.(check bool) "dop raised" true
     (r.dop >= Ppat_gpu.Device.min_dop dev / 2);
   let has_split =
