@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models bench-smoke check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke check bench bench-json clean
 
 all: build
 
@@ -42,17 +42,26 @@ cost-models: build
 	dune exec bin/ppat.exe -- modelcmp sum_rows --top 3 > /dev/null
 	@echo "cost-models: tier-1 OK under soft and analytical; modelcmp OK"
 
-check: build test smoke engines cost-models bench-smoke
+# tier-1 under both serial and multi-domain simulator defaults (every
+# statistic is bit-identical at any job count, so the whole suite must
+# pass unchanged), plus a parallel bench smoke run
+parallel: build
+	PPAT_SIM_JOBS=1 dune runtest --force
+	PPAT_SIM_JOBS=4 dune runtest --force
+	dune exec bin/ppat.exe -- run sum_rows --sim-jobs 4 > /dev/null
+	@echo "parallel: tier-1 OK at 1 and 4 sim jobs; --sim-jobs smoke OK"
+
+check: build test smoke engines cost-models parallel bench-smoke
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
 
-# the checked-in PR artifacts: reference baseline first, then the compiled
-# engine (the default). Interleave-order matters less than keeping both
-# runs on an otherwise idle machine.
+# the checked-in PR artifact for the current PR (single app worker so the
+# per-app wall clocks are not distorted by co-scheduling). The committed
+# BENCH_pr*_baseline.json files are frozen pre-change runs and are not
+# regenerated here.
 bench-json: build
-	PPAT_ENGINE=reference dune exec bench/main.exe -- --json BENCH_pr2_baseline.json
-	dune exec bench/main.exe -- --json BENCH_pr2.json
+	dune exec bench/main.exe -- -j 1 --json BENCH_pr5.json
 
 clean:
 	dune clean

@@ -9,7 +9,10 @@
      bench/main.exe --bechamel      run the Bechamel pipeline benchmarks
      bench/main.exe --json [FILE]   write a machine-readable perf trajectory
                                     (default BENCH_run.json) so successive
-                                    PRs can be diffed *)
+                                    PRs can be diffed
+     bench/main.exe -j N            app-level worker domains
+     bench/main.exe --sim-jobs N    intra-launch simulator domains per run
+                                    (statistics are identical at any N) *)
 
 let dev = Ppat_gpu.Device.k20c
 
@@ -123,33 +126,12 @@ let perf_suite () =
         } );
   ]
 
-(* worker pool: [n] tasks drained by [jobs] domains (the calling domain
-   included). Tasks must be independent; results land by index. *)
-let pool_run ~jobs n (task : int -> 'a) : 'a array =
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (task i);
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let helpers =
-    List.init
-      (max 0 (min jobs n - 1))
-      (fun _ -> Domain.spawn worker)
-  in
-  worker ();
-  List.iter Domain.join helpers;
-  Array.map (function Some r -> r | None -> assert false) results
+(* app-level fan-out rides the same process-wide domain pool the
+   simulator's intra-launch mode uses (lib/parallel) *)
+let pool_run = Ppat_parallel.pool_run
+let default_jobs = Ppat_parallel.default_jobs
 
-let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
-
-let run_json ~jobs file =
+let run_json ~jobs ~sim_jobs file =
   let module J = Ppat_profile.Jsonx in
   let suite = Array.of_list (perf_suite ()) in
   let t_suite = Unix.gettimeofday () in
@@ -159,8 +141,8 @@ let run_json ~jobs file =
         let data = Ppat_apps.App.input_data app in
         let t0 = Unix.gettimeofday () in
         let r =
-          Ppat_harness.Runner.run_gpu ?opts ~params:app.params dev app.prog
-            strat data
+          Ppat_harness.Runner.run_gpu ?opts ~sim_jobs ~params:app.params dev
+            app.prog strat data
         in
         let wall = Unix.gettimeofday () -. t0 in
         let sim_wall =
@@ -212,15 +194,15 @@ let run_json ~jobs file =
   in
   Format.printf
     "  total: %.2f s pipeline wall (%.2f s in simulator), %.2f s suite wall \
-     on %d worker(s), engine=%s@."
-    total_wall total_sim_wall suite_wall jobs
+     on %d worker(s) x %d sim job(s), engine=%s@."
+    total_wall total_sim_wall suite_wall jobs sim_jobs
     (match Ppat_kernel.Interp.default_engine () with
      | Ppat_kernel.Interp.Reference -> "reference"
      | Ppat_kernel.Interp.Compiled -> "compiled");
   J.to_file file
     (J.Obj
        [
-         ("schema", J.Str "ppat-bench/3");
+         ("schema", J.Str "ppat-bench/4");
          ( "cost_model",
            J.Str (Ppat_core.Cost_model.name (Ppat_core.Cost_model.default ())) );
          ("device", J.Str dev.Ppat_gpu.Device.dname);
@@ -230,6 +212,7 @@ let run_json ~jobs file =
               | Ppat_kernel.Interp.Reference -> "reference"
               | Ppat_kernel.Interp.Compiled -> "compiled") );
          ("jobs", J.Int jobs);
+         ("sim_jobs", J.Int sim_jobs);
          ("total_pipeline_wall_seconds", J.Float total_wall);
          ("total_sim_wall_seconds", J.Float total_sim_wall);
          ("suite_wall_seconds", J.Float suite_wall);
@@ -239,20 +222,7 @@ let run_json ~jobs file =
 
 (* ----- entry point ----- *)
 
-(* run [f] with this domain's [Format] standard formatter redirected into a
-   buffer. [Format.std_formatter] is domain-local in OCaml 5, so captures
-   on different worker domains cannot interleave. *)
-let with_captured f =
-  let buf = Buffer.create 4096 in
-  let old_out, old_flush = Format.get_formatter_output_functions () in
-  Format.set_formatter_output_functions (Buffer.add_substring buf)
-    (fun () -> ());
-  Fun.protect
-    ~finally:(fun () ->
-      Format.print_flush ();
-      Format.set_formatter_output_functions old_out old_flush)
-    f;
-  Buffer.contents buf
+let with_captured = Ppat_parallel.with_captured
 
 let run_figures ~jobs names all =
   let tasks = Array.of_list names in
@@ -272,19 +242,27 @@ let run_figures ~jobs names all =
   in
   Array.iter print_string outputs
 
-(* pull [-j N] out of the argument list; default: one worker per core,
-   capped at 8 *)
+(* pull [-j N] (app-level workers; default one per core, capped at 8) and
+   [--sim-jobs N] (intra-launch simulator domains; default $PPAT_SIM_JOBS
+   or 1) out of the argument list *)
 let parse_jobs args =
+  let jobs = ref (default_jobs ()) in
+  let sim_jobs = ref (Ppat_kernel.Interp.default_jobs ()) in
   let rec go acc = function
-    | "-j" :: n :: rest -> (int_of_string n, List.rev_append acc rest)
+    | "-j" :: n :: rest ->
+      jobs := int_of_string n;
+      go acc rest
+    | "--sim-jobs" :: n :: rest ->
+      sim_jobs := max 1 (min (int_of_string n) Ppat_parallel.max_jobs);
+      go acc rest
     | a :: rest -> go (a :: acc) rest
-    | [] -> (default_jobs (), List.rev acc)
+    | [] -> (!jobs, !sim_jobs, List.rev acc)
   in
   go [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs, args = parse_jobs args in
+  let jobs, sim_jobs, args = parse_jobs args in
   if List.mem "--json" args then begin
     let file =
       match args with
@@ -293,7 +271,7 @@ let () =
     in
     Format.printf "perf-trajectory suite on simulated %s:@."
       dev.Ppat_gpu.Device.dname;
-    run_json ~jobs file
+    run_json ~jobs ~sim_jobs file
   end
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin

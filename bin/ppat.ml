@@ -81,15 +81,15 @@ let cmd_list () =
         (if depth = 1 then "" else "s"))
     registry
 
-let cmd_run name strat engine model =
+let cmd_run name strat engine model sim_jobs =
   let app = find_app name in
   let data = A.App.input_data app in
   Format.printf "running %s (CPU oracle first)...@." app.A.App.name;
   let cpu = Ppat_harness.Runner.run_cpu ~params:app.params app.prog data in
   Format.printf "CPU model: %.4g s@." cpu.cpu_seconds;
   let r =
-    Ppat_harness.Runner.run_gpu ~engine ~params:app.params ~model dev
-      app.prog strat data
+    Ppat_harness.Runner.run_gpu ~engine ~sim_jobs ~params:app.params ~model
+      dev app.prog strat data
   in
   Format.printf "%s: %.4g s over %d kernel launches (%s cost model)@."
     (Ppat_core.Strategy.name strat)
@@ -111,19 +111,19 @@ let cmd_run name strat engine model =
     Format.printf "VALIDATION FAILED: %s@." e;
     exit 1
 
-let cmd_profile name strat engine model json chrome =
+let cmd_profile name strat engine model sim_jobs json chrome =
   let app = find_app name in
   let data = A.App.input_data app in
   let r =
-    Ppat_harness.Runner.run_gpu ~engine ~params:app.params ~model dev
-      app.prog strat data
+    Ppat_harness.Runner.run_gpu ~engine ~sim_jobs ~params:app.params ~model
+      dev app.prog strat data
   in
   let run =
     Ppat_profile.Record.make_run ~app:name
       ~strategy:(Ppat_core.Strategy.name strat)
       ~device:dev.Ppat_gpu.Device.dname
       ~cost_model:(Cost_model.name model)
-      ~total_seconds:r.seconds r.profile
+      ~sim_jobs ~total_seconds:r.seconds r.profile
   in
   Format.printf "%a@." Ppat_profile.Report.pp_run run;
   List.iter (fun n -> Format.printf "note: %s@." n) r.notes;
@@ -474,9 +474,9 @@ let usage () =
   print_endline
     "usage: ppat <command>\n\
      \  list                      bundled applications\n\
-     \  run APP [-s STRATEGY] [--engine E] [--cost-model M]\n\
+     \  run APP [-s STRATEGY] [--engine E] [--cost-model M] [--sim-jobs N]\n\
      \                            simulate and validate (auto|1d|tbt|warp)\n\
-     \  profile APP [-s STRATEGY] [--engine E] [--cost-model M]\n\
+     \  profile APP [-s STRATEGY] [--engine E] [--cost-model M] [--sim-jobs N]\n\
      \                            [--json FILE] [--chrome-trace FILE]\n\
      \                            per-kernel profile of a simulated run\n\
      \  trace-search APP [-s STRATEGY] [--cost-model M] [--json FILE]\n\
@@ -491,7 +491,10 @@ let usage () =
      \  --engine compiled|reference selects the SIMT execution engine\n\
      \                            (default: compiled, or $PPAT_ENGINE)\n\
      \  --cost-model soft|analytical|hybrid selects the search cost model\n\
-     \                            (default: soft, or $PPAT_COST_MODEL)"
+     \                            (default: soft, or $PPAT_COST_MODEL)\n\
+     \  --sim-jobs N              worker domains for intra-launch parallel\n\
+     \                            simulation; statistics are identical at\n\
+     \                            any N (default: 1, or $PPAT_SIM_JOBS)"
 
 type flags = {
   f_strat : Ppat_core.Strategy.t;
@@ -500,16 +503,18 @@ type flags = {
   f_json : string option;
   f_chrome : string option;
   f_top : int;
+  f_sim_jobs : int;
 }
 
 (* [-s STRAT] [--engine E] [--cost-model M] [--json FILE]
-   [--chrome-trace FILE] [--top K] in any order *)
+   [--chrome-trace FILE] [--top K] [--sim-jobs N] in any order *)
 let parse_flags rest =
   let strat = ref Ppat_core.Strategy.Auto in
   let engine = ref (Ppat_kernel.Interp.default_engine ()) in
   let model = ref (Cost_model.default ()) in
   let json = ref None and chrome = ref None in
   let top = ref 6 in
+  let sim_jobs = ref (Ppat_kernel.Interp.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | "-s" :: s :: rest ->
@@ -526,6 +531,13 @@ let parse_flags rest =
       go rest
     | "--chrome-trace" :: f :: rest ->
       chrome := Some f;
+      go rest
+    | "--sim-jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> sim_jobs := min n Ppat_parallel.max_jobs
+       | _ ->
+         failwith
+           (Printf.sprintf "--sim-jobs expects a positive integer, got %S" n));
       go rest
     | "--top" :: k :: rest ->
       (match int_of_string_opt k with
@@ -545,6 +557,7 @@ let parse_flags rest =
     f_json = !json;
     f_chrome = !chrome;
     f_top = !top;
+    f_sim_jobs = !sim_jobs;
   }
 
 let () =
@@ -556,10 +569,11 @@ let () =
       Format.eprintf "--json/--chrome-trace apply to 'profile' only@.";
       exit 1
     end;
-    cmd_run name f.f_strat f.f_engine f.f_model
+    cmd_run name f.f_strat f.f_engine f.f_model f.f_sim_jobs
   | _ :: "profile" :: name :: rest ->
     let f = parse_flags rest in
-    cmd_profile name f.f_strat f.f_engine f.f_model f.f_json f.f_chrome
+    cmd_profile name f.f_strat f.f_engine f.f_model f.f_sim_jobs f.f_json
+      f.f_chrome
   | _ :: "trace-search" :: name :: rest ->
     let f = parse_flags rest in
     if f.f_chrome <> None then begin

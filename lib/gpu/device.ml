@@ -20,6 +20,7 @@ type t = {
   barrier_cycles : float;
   l2_bytes : int;
   l2_gbps : float;
+  l2_slices : int;
 }
 
 let k20c =
@@ -45,6 +46,8 @@ let k20c =
     barrier_cycles = 16.;
     l2_bytes = 1_310_720;
     l2_gbps = 512.;
+    (* one slice per 64-bit memory partition of the 320-bit GDDR5 bus *)
+    l2_slices = 5;
   }
 
 let c2050 =
@@ -70,6 +73,8 @@ let c2050 =
     barrier_cycles = 20.;
     l2_bytes = 786_432;
     l2_gbps = 384.;
+    (* 384-bit bus: six 64-bit partitions *)
+    l2_slices = 6;
   }
 
 let min_dop d = d.sm_count * d.max_threads_per_sm

@@ -34,6 +34,11 @@ type t = {
       (** issue-pipeline cost of one [__syncthreads] per warp *)
   l2_bytes : int;  (** unified L2 cache capacity *)
   l2_gbps : float;  (** L2 bandwidth for hits *)
+  l2_slices : int;
+      (** number of address-hashed L2 slices — one per memory partition,
+          like the hardware's banked L2 (K20c: 5 x 256 KB over a 320-bit
+          bus). The simulator shards its cache table the same way so
+          slice state is independent per address slice. *)
 }
 
 val k20c : t

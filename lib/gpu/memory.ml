@@ -1,21 +1,35 @@
 type entry = { base : int; elem_bytes : int; data : Ppat_ir.Host.buf }
 
+(* One address slice of the approximate-LRU L2, as an open-addressed table:
+   [keys.(i)] holds a line id ([l2_empty] when the slot is free) and
+   [ticks.(i)] its last-touch tick. Linear probing, power-of-two capacity;
+   entries are only removed by the eviction rebuild, so there are no
+   tombstones. Tables are probed once per distinct line on every warp
+   memory instruction, so the lookup path must not allocate — which is why
+   this is not a Hashtbl (whose [replace] is a remove+add that allocates a
+   bucket cell on every touch).
+
+   The L2 is sharded into [Device.l2_slices] such tables, a line id hashing
+   to exactly one slice — the same address-partitioned organisation as the
+   hardware's banked L2 (one slice per memory partition). Each slice keeps
+   its own tick counter and evicts against its own share of the capacity,
+   so a slice's hit/miss outcome is a pure function of the access stream
+   routed to it. *)
+type l2_slice = {
+  mutable keys : int array;
+  mutable ticks : int array;
+  mutable mask : int;
+  mutable live : int;
+  mutable tick : int;
+}
+
 type t = {
   mutable next_base : int;
   bufs : (string, entry) Hashtbl.t;
-  (* approximate-LRU L2 as an open-addressed table: l2_keys.(i) holds a
-     line id ([l2_empty] when the slot is free) and l2_ticks.(i) its
-     last-touch tick. Linear probing, power-of-two capacity; entries are
-     only removed by the eviction rebuild, so there are no tombstones.
-     This table is probed once per distinct line on every warp memory
-     instruction, so the lookup path must not allocate — which is why it
-     is not a Hashtbl (whose [replace] is a remove+add that allocates a
-     bucket cell on every touch). *)
-  mutable l2_keys : int array;
-  mutable l2_ticks : int array;
-  mutable l2_mask : int;
-  mutable l2_live : int;
-  mutable l2_tick : int;
+  (* created lazily on first cache access, which fixes the slice count for
+     the lifetime of the memory (the engines pass [Device.l2_slices]; the
+     legacy list API models a single unified table) *)
+  mutable l2 : l2_slice array;
 }
 
 (* line ids are non-negative in practice (byte addr / transaction bytes,
@@ -23,16 +37,7 @@ type t = {
 let l2_empty = min_int
 let l2_init_capacity = 4096
 
-let create () =
-  {
-    next_base = 256;
-    bufs = Hashtbl.create 32;
-    l2_keys = Array.make l2_init_capacity l2_empty;
-    l2_ticks = Array.make l2_init_capacity 0;
-    l2_mask = l2_init_capacity - 1;
-    l2_live = 0;
-    l2_tick = 0;
-  }
+let create () = { next_base = 256; bufs = Hashtbl.create 32; l2 = [||] }
 
 let align n a = (n + a - 1) / a * a
 
@@ -99,9 +104,22 @@ let sort_prefix (a : int array) n =
 let dedup_lines ~transaction_bytes (a : int array) n =
   if n = 0 then 0
   else begin
-    for i = 0 to n - 1 do
-      a.(i) <- a.(i) / transaction_bytes
-    done;
+    (* addresses are non-negative (bounds-checked before the flush), so a
+       shift equals the division whenever the line size is a power of two *)
+    if transaction_bytes land (transaction_bytes - 1) = 0 then begin
+      let sh = ref 0 in
+      while 1 lsl !sh < transaction_bytes do
+        incr sh
+      done;
+      let sh = !sh in
+      for i = 0 to n - 1 do
+        Array.unsafe_set a i (Array.unsafe_get a i lsr sh)
+      done
+    end
+    else
+      for i = 0 to n - 1 do
+        a.(i) <- a.(i) / transaction_bytes
+      done;
     sort_prefix a n;
     let w = ref 1 in
     for i = 1 to n - 1 do
@@ -177,8 +195,62 @@ let general_bank_conflict_factor ~banks (a : int array) n =
     !factor
   end
 
+let tagged_bank_sort ~bmask (a : int array) n =
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get a i in
+    Array.unsafe_set a i (((w land bmask) lsl 52) lor w)
+  done;
+  sort_prefix a n;
+  let factor = ref 1 and run = ref 1 in
+  for i = 1 to n - 1 do
+    let k = Array.unsafe_get a i and p = Array.unsafe_get a (i - 1) in
+    if k lsr 52 = p lsr 52 then begin
+      if k <> p then begin
+        incr run;
+        if !run > !factor then factor := !run
+      end
+    end
+    else run := 1
+  done;
+  !factor
+
 let bank_conflict_factor ~banks (a : int array) n =
   if n = 0 then 1
+  else if banks > 0 && banks land (banks - 1) = 0 && banks <= 62 then begin
+    (* For power-of-two bank counts [w land bmask] is the mathematical bank
+       for any sign of [w], so the two patterns that dominate real kernels
+       can be answered in one O(n) pass with no precondition scan: every
+       lane in its own bank (conflict-free strided access, the bank
+       occupancy set fits one int at banks <= 62) and every lane on the
+       same word (broadcast). Both are factor 1 and leave the buffer
+       untouched; anything else falls through to the tagged sort. *)
+    let bmask = banks - 1 in
+    let seen = ref 0 and dup = ref false in
+    for i = 0 to n - 1 do
+      let b = Array.unsafe_get a i land bmask in
+      if !seen lsr b land 1 <> 0 then dup := true
+      else seen := !seen lor (1 lsl b)
+    done;
+    if not !dup then 1
+    else begin
+      let w0 = Array.unsafe_get a 0 in
+      let same = ref true in
+      for i = 1 to n - 1 do
+        if Array.unsafe_get a i <> w0 then same := false
+      done;
+      if !same then 1
+      else begin
+        (* the packed key needs non-negative words below 2^52 *)
+        let fits = ref true in
+        for i = 0 to n - 1 do
+          let w = Array.unsafe_get a i in
+          if w < 0 || w >= 1 lsl 52 then fits := false
+        done;
+        if !fits then tagged_bank_sort ~bmask a n
+        else general_bank_conflict_factor ~banks a n
+      end
+    end
+  end
   else begin
     let fits = ref (banks > 0 && banks land (banks - 1) = 0) in
     let i = ref 0 in
@@ -187,31 +259,32 @@ let bank_conflict_factor ~banks (a : int array) n =
       if w < 0 || w >= 1 lsl 52 then fits := false;
       incr i
     done;
-    if not !fits then general_bank_conflict_factor ~banks a n
-    else begin
-      let bmask = banks - 1 in
-      for i = 0 to n - 1 do
-        let w = Array.unsafe_get a i in
-        Array.unsafe_set a i (((w land bmask) lsl 52) lor w)
-      done;
-      sort_prefix a n;
-      let factor = ref 1 and run = ref 1 in
-      for i = 1 to n - 1 do
-        let k = Array.unsafe_get a i and p = Array.unsafe_get a (i - 1) in
-        if k lsr 52 = p lsr 52 then begin
-          if k <> p then begin
-            incr run;
-            if !run > !factor then factor := !run
-          end
-        end
-        else run := 1
-      done;
-      !factor
-    end
+    if !fits then tagged_bank_sort ~bmask:(banks - 1) a n
+    else general_bank_conflict_factor ~banks a n
   end
 
 (* multiplicative hash (Knuth), masked to the table size *)
 let l2_hash line mask = line * 0x9E3779B1 land mask
+
+(* which slice a line belongs to: different bits of the same product as the
+   in-slice probe hash, so the slice choice and the probe position are not
+   correlated *)
+let l2_slice_of line nslices =
+  if nslices = 1 then 0 else (line * 0x9E3779B1 lsr 16) mod nslices
+
+let fresh_slice () =
+  {
+    keys = Array.make l2_init_capacity l2_empty;
+    ticks = Array.make l2_init_capacity 0;
+    mask = l2_init_capacity - 1;
+    live = 0;
+    tick = 0;
+  }
+
+let l2_get t ~slices =
+  if Array.length t.l2 = 0 then
+    t.l2 <- Array.init (max 1 slices) (fun _ -> fresh_slice ());
+  t.l2
 
 (* insert a key known to be absent into fresh arrays (rebuild helper) *)
 let l2_insert keys ticks mask line tick =
@@ -223,19 +296,19 @@ let l2_insert keys ticks mask line tick =
   Array.unsafe_set ticks !i tick
 
 (* double the capacity, re-inserting every live entry *)
-let l2_grow t =
-  let cap = 2 * (t.l2_mask + 1) in
+let l2_grow (sl : l2_slice) =
+  let cap = 2 * (sl.mask + 1) in
   let keys = Array.make cap l2_empty and ticks = Array.make cap 0 in
   let mask = cap - 1 in
-  let old_keys = t.l2_keys and old_ticks = t.l2_ticks in
+  let old_keys = sl.keys and old_ticks = sl.ticks in
   for i = 0 to Array.length old_keys - 1 do
     let k = Array.unsafe_get old_keys i in
     if k <> l2_empty then
       l2_insert keys ticks mask k (Array.unsafe_get old_ticks i)
   done;
-  t.l2_keys <- keys;
-  t.l2_ticks <- ticks;
-  t.l2_mask <- mask
+  sl.keys <- keys;
+  sl.ticks <- ticks;
+  sl.mask <- mask
 
 (* in-place quickselect (median-of-three + Lomuto): the value at ascending
    rank [idx] of a.(0..n-1). Streaming workloads evict often enough that a
@@ -272,45 +345,46 @@ let nth_smallest (a : int array) n idx =
   done;
   a.(idx)
 
-let maybe_evict t ~cap_lines =
-  (* amortised eviction: when 25% over capacity, keep the newest
-     [cap_lines] lines. Ticks are strictly increasing (no ties), so the
-     survivors are exactly the entries at or above the [keep]-th largest
-     tick — a selection problem, not a sort. *)
-  if t.l2_live > cap_lines + (cap_lines / 4) then begin
-    let keys = t.l2_keys and ticks = t.l2_ticks in
-    let live = t.l2_live in
-    let tickbuf = Array.make live 0 in
-    let w = ref 0 in
-    for i = 0 to Array.length keys - 1 do
-      if keys.(i) <> l2_empty then begin
-        tickbuf.(!w) <- ticks.(i);
-        incr w
-      end
-    done;
-    let keep = min cap_lines live in
-    let threshold = nth_smallest tickbuf live (live - keep) in
-    let cap = ref l2_init_capacity in
-    while 4 * keep > 3 * !cap do
-      cap := 2 * !cap
-    done;
-    let nkeys = Array.make !cap l2_empty and nticks = Array.make !cap 0 in
-    let mask = !cap - 1 in
-    for i = 0 to Array.length keys - 1 do
-      let k = keys.(i) in
-      if k <> l2_empty && ticks.(i) >= threshold then
-        l2_insert nkeys nticks mask k ticks.(i)
-    done;
-    t.l2_keys <- nkeys;
-    t.l2_ticks <- nticks;
-    t.l2_mask <- mask;
-    t.l2_live <- keep
-  end
+let evict_slice (sl : l2_slice) ~slice_cap =
+  (* keep the newest [slice_cap] lines of this slice. Ticks are strictly
+     increasing within a slice (no ties), so the survivors are exactly the
+     entries at or above the [keep]-th largest tick — a selection problem,
+     not a sort. *)
+  let keys = sl.keys and ticks = sl.ticks in
+  let live = sl.live in
+  let tickbuf = Array.make live 0 in
+  let w = ref 0 in
+  for i = 0 to Array.length keys - 1 do
+    if keys.(i) <> l2_empty then begin
+      tickbuf.(!w) <- ticks.(i);
+      incr w
+    end
+  done;
+  let keep = min slice_cap live in
+  let threshold = nth_smallest tickbuf live (live - keep) in
+  let cap = ref l2_init_capacity in
+  while 4 * keep > 3 * !cap do
+    cap := 2 * !cap
+  done;
+  let nkeys = Array.make !cap l2_empty and nticks = Array.make !cap 0 in
+  let mask = !cap - 1 in
+  for i = 0 to Array.length keys - 1 do
+    let k = keys.(i) in
+    if k <> l2_empty && ticks.(i) >= threshold then
+      l2_insert nkeys nticks mask k ticks.(i)
+  done;
+  sl.keys <- nkeys;
+  sl.ticks <- nticks;
+  sl.mask <- mask;
+  sl.live <- keep
 
-let touch_line t line hits =
-  t.l2_tick <- t.l2_tick + 1;
-  let keys = t.l2_keys in
-  let mask = t.l2_mask in
+(* touch one line in its slice; eviction is checked per insertion
+   (amortised: the O(live) rebuild fires when 25% over the slice's share of
+   capacity), so slice state depends only on the slice's own stream *)
+let touch_line (sl : l2_slice) ~slice_cap line hits =
+  sl.tick <- sl.tick + 1;
+  let keys = sl.keys in
+  let mask = sl.mask in
   let i = ref (l2_hash line mask) in
   while
     let k = Array.unsafe_get keys !i in
@@ -320,22 +394,30 @@ let touch_line t line hits =
   done;
   if Array.unsafe_get keys !i = l2_empty then begin
     Array.unsafe_set keys !i line;
-    t.l2_live <- t.l2_live + 1;
-    Array.unsafe_set t.l2_ticks !i t.l2_tick;
-    if 4 * t.l2_live > 3 * (mask + 1) then l2_grow t
+    sl.live <- sl.live + 1;
+    Array.unsafe_set sl.ticks !i sl.tick;
+    if 4 * sl.live > 3 * (mask + 1) then l2_grow sl;
+    if sl.live > slice_cap + (slice_cap / 4) then
+      evict_slice sl ~slice_cap
   end
   else begin
     incr hits;
-    Array.unsafe_set t.l2_ticks !i t.l2_tick
+    Array.unsafe_set sl.ticks !i sl.tick
   end
 
-(* array-prefix variant of [cache_access]: lines.(0..n-1) through the L2 *)
-let cache_access_lines t ~cap_lines (lines : int array) n =
+(* array-prefix variant of [cache_access]: lines.(0..n-1) through the
+   sliced L2; [slices] fixes the shard count on the memory's first access *)
+let cache_access_lines t ~cap_lines ?(slices = 1) (lines : int array) n =
+  let l2 = l2_get t ~slices in
+  let nslices = Array.length l2 in
+  let slice_cap = max 1 (cap_lines / nslices) in
   let hits = ref 0 in
   for i = 0 to n - 1 do
-    touch_line t lines.(i) hits
+    let line = Array.unsafe_get lines i in
+    touch_line
+      (Array.unsafe_get l2 (l2_slice_of line nslices))
+      ~slice_cap line hits
   done;
-  maybe_evict t ~cap_lines;
   !hits
 
 let segments ~transaction_bytes addrs =
@@ -347,7 +429,5 @@ let coalesce ~transaction_bytes addrs =
   List.length (segments ~transaction_bytes addrs)
 
 let cache_access t ~cap_lines ~lines =
-  let hits = ref 0 in
-  List.iter (fun line -> touch_line t line hits) lines;
-  maybe_evict t ~cap_lines;
-  !hits
+  let a = Array.of_list lines in
+  cache_access_lines t ~cap_lines a (Array.length a)

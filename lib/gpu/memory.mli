@@ -69,11 +69,22 @@ val bank_conflict_factor : banks:int -> int array -> int -> int
     number of {e distinct} words landing in one of [banks] banks (>= 1;
     same-word broadcast is free). Clobbers the prefix. *)
 
-val cache_access_lines : t -> cap_lines:int -> int array -> int -> int
+val cache_access_lines :
+  t -> cap_lines:int -> ?slices:int -> int array -> int -> int
 (** Array-prefix variant of {!cache_access}: runs [lines.(0..n-1)] through
-    the L2 model and returns the hit count. *)
+    the L2 model and returns the hit count.
+
+    [slices] (default 1) shards the L2 into that many address-hashed
+    slices — one per memory partition, mirroring the hardware's banked L2
+    ({!Device.l2_slices}). A line id maps to exactly one slice; each slice
+    has its own tick clock and evicts against its own [cap_lines / slices]
+    share, so a slice's hit/miss outcome depends only on the sub-stream
+    routed to it. That independence is what makes parallel-simulation
+    replay deterministic. The slice count is fixed by the {e first} cache
+    access on a given memory and ignored afterwards. *)
 
 val cache_access : t -> cap_lines:int -> lines:int list -> int
 (** Run transaction lines through the device-lifetime L2 model (an
     approximate-LRU set of line ids, shared across kernel launches like the
-    real unified L2); returns how many of them hit. *)
+    real unified L2); returns how many of them hit. List-based legacy
+    entry point; models a single unified slice. *)

@@ -10,14 +10,34 @@
    All buffers are reusable and grow on demand — there is no per-statement
    allocation, and no hard cap on the number of memory instructions per
    statement. Both the reference tree-walker and the compiled engine drive
-   this module, so their statistics are identical by construction. *)
+   this module, so their statistics are identical by construction.
+
+   Parallel simulation and the L2 sink. The only stateful coupling between
+   blocks is the device-lifetime L2 table: coalescing, bank conflicts and
+   instruction counts are per-warp-statement and embarrassingly parallel,
+   but whether a transaction line hits depends on every line touched before
+   it. Rather than lock a shared table (non-deterministic under OS
+   scheduling), a worker domain runs with a [Log] sink: global slots are
+   priced provisionally as all-miss and their deduped line ids appended to
+   a per-chunk log. When the launch's chunks are merged — in serial block
+   order — each log is replayed through the sliced L2 and the provisional
+   bytes moved from DRAM to L2 for every hit. The replayed line stream is
+   exactly the stream a serial run would have produced, so every counter,
+   L2 included, is bit-identical to [jobs = 1]. *)
 
 type kind = Global | Shared
+
+(* flat group stream: [n; line_0 .. line_{n-1}; n'; ...] *)
+type l2_log = { mutable log_buf : int array; mutable log_len : int }
+
+type sink = Direct | Log of l2_log
 
 type t = {
   dev : Device.t;
   mem : Memory.t;
   stats : Stats.t;
+  sink : sink;
+  slices : int;
   cap_lines : int;
   tb : float;
   (* slot s holds addrs.(s).(0 .. lens.(s)-1) *)
@@ -31,12 +51,16 @@ type t = {
   mutable atomic_n : int;
 }
 
-let create (dev : Device.t) mem stats =
+let new_log () = { log_buf = Array.make 4096 0; log_len = 0 }
+
+let create ?(sink = Direct) (dev : Device.t) mem stats =
   let cap = 8 in
   {
     dev;
     mem;
     stats;
+    sink;
+    slices = dev.Device.l2_slices;
     cap_lines = dev.Device.l2_bytes / dev.Device.transaction_bytes;
     tb = float_of_int dev.Device.transaction_bytes;
     kinds = Array.make cap Global;
@@ -92,36 +116,110 @@ let record t kind addr =
 let record_global t addr = record t Global addr
 let record_shared t word = record t Shared word
 
+(* --- node-major (vectorised) engine entry points ---
+
+   The compiled engine's vector path knows each statement's memory slots at
+   compile time: [set_slots] installs their kinds once per statement and
+   [record_at] appends straight into a known slot, skipping the per-lane
+   cursor. Every active lane appends exactly once per slot (memory operands
+   sit in strictly-evaluated expression positions), so the slot buffers
+   never exceed their warp-size capacity. *)
+
+let set_slots t (kinds : kind array) n =
+  while n > Array.length t.kinds do
+    grow_slots t
+  done;
+  (* n is 1 or 2 for almost every statement: a manual loop beats the
+     blit+fill call pair *)
+  let tk = t.kinds and tl = t.lens in
+  for i = 0 to n - 1 do
+    Array.unsafe_set tk i (Array.unsafe_get kinds i);
+    Array.unsafe_set tl i 0
+  done;
+  t.nslots <- n
+
+let record_at t s addr =
+  let buf = Array.unsafe_get t.addrs s in
+  let n = Array.unsafe_get t.lens s in
+  Array.unsafe_set buf n addr;
+  Array.unsafe_set t.lens s (n + 1)
+
+let log_group lg (lines : int array) n =
+  let need = lg.log_len + n + 1 in
+  if need > Array.length lg.log_buf then begin
+    let cap = ref (2 * Array.length lg.log_buf) in
+    while need > !cap do
+      cap := 2 * !cap
+    done;
+    let b = Array.make !cap 0 in
+    Array.blit lg.log_buf 0 b 0 lg.log_len;
+    lg.log_buf <- b
+  end;
+  lg.log_buf.(lg.log_len) <- n;
+  Array.blit lines 0 lg.log_buf (lg.log_len + 1) n;
+  lg.log_len <- lg.log_len + n + 1
+
 let flush t =
   let stats = t.stats in
   for s = 0 to t.nslots - 1 do
-    let buf = t.addrs.(s) in
-    let n = t.lens.(s) in
-    (match t.kinds.(s) with
-     | Global ->
-       let nlines =
-         Memory.dedup_lines
-           ~transaction_bytes:t.dev.Device.transaction_bytes buf n
-       in
-       let trans = float_of_int nlines in
-       let hits =
-         float_of_int
-           (Memory.cache_access_lines t.mem ~cap_lines:t.cap_lines buf nlines)
-       in
-       stats.Stats.mem_insts <- stats.Stats.mem_insts +. 1.;
-       stats.Stats.transactions <- stats.Stats.transactions +. trans;
-       stats.Stats.bytes <- stats.Stats.bytes +. ((trans -. hits) *. t.tb);
-       stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb)
-     | Shared ->
-       let factor =
-         Memory.bank_conflict_factor ~banks:t.dev.Device.smem_banks buf n
-       in
-       stats.Stats.smem_insts <- stats.Stats.smem_insts +. 1.;
-       stats.Stats.smem_conflict_extra <-
-         stats.Stats.smem_conflict_extra +. float_of_int (factor - 1));
+    let buf = Array.unsafe_get t.addrs s in
+    let n = Array.unsafe_get t.lens s in
+    (* a slot with no active lane contributes nothing (the lane-major path
+       never materialises such a slot; the node-major path can) *)
+    if n > 0 then begin
+      match t.kinds.(s) with
+      | Global ->
+        let nlines =
+          Memory.dedup_lines
+            ~transaction_bytes:t.dev.Device.transaction_bytes buf n
+        in
+        let trans = float_of_int nlines in
+        stats.Stats.mem_insts <- stats.Stats.mem_insts +. 1.;
+        stats.Stats.transactions <- stats.Stats.transactions +. trans;
+        (match t.sink with
+         | Direct ->
+           let hits =
+             float_of_int
+               (Memory.cache_access_lines t.mem ~cap_lines:t.cap_lines
+                  ~slices:t.slices buf nlines)
+           in
+           stats.Stats.bytes <- stats.Stats.bytes +. ((trans -. hits) *. t.tb);
+           stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb)
+         | Log lg ->
+           (* provisionally all-miss; the replay moves hit bytes to L2 *)
+           log_group lg buf nlines;
+           stats.Stats.bytes <- stats.Stats.bytes +. (trans *. t.tb))
+      | Shared ->
+        let factor =
+          Memory.bank_conflict_factor ~banks:t.dev.Device.smem_banks buf n
+        in
+        stats.Stats.smem_insts <- stats.Stats.smem_insts +. 1.;
+        stats.Stats.smem_conflict_extra <-
+          stats.Stats.smem_conflict_extra +. float_of_int (factor - 1)
+    end;
     t.lens.(s) <- 0
   done;
   t.nslots <- 0
+
+let replay_log (dev : Device.t) mem stats lg =
+  let cap_lines = dev.Device.l2_bytes / dev.Device.transaction_bytes in
+  let tb = float_of_int dev.Device.transaction_bytes in
+  let slices = dev.Device.l2_slices in
+  let scratch = ref (Array.make dev.Device.warp_size 0) in
+  let buf = lg.log_buf in
+  let i = ref 0 in
+  while !i < lg.log_len do
+    let n = buf.(!i) in
+    if n > Array.length !scratch then scratch := Array.make n 0;
+    Array.blit buf (!i + 1) !scratch 0 n;
+    let hits =
+      float_of_int
+        (Memory.cache_access_lines mem ~cap_lines ~slices !scratch n)
+    in
+    stats.Stats.bytes <- stats.Stats.bytes -. (hits *. tb);
+    stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. tb);
+    i := !i + n + 1
+  done
 
 (* --- atomic contention --- *)
 

@@ -14,10 +14,31 @@
 
 type t
 
-val create : Device.t -> Memory.t -> Stats.t -> t
+type kind = Global | Shared
+(** Slot kinds, exposed for the node-major engine's {!set_slots}. *)
+
+type l2_log
+(** An ordered stream of deduped transaction-line groups produced by a
+    [Log]-sinked scratch — one group per global warp memory instruction,
+    in execution order. *)
+
+type sink =
+  | Direct  (** price L2 hits against the memory's table as slots flush *)
+  | Log of l2_log
+      (** price global slots provisionally as all-miss and append their
+          line groups to the log; {!replay_log} later settles them against
+          the real L2 in deterministic order. This is how parallel workers
+          keep every counter bit-identical to a serial run without sharing
+          (or locking) the L2 table. *)
+
+val new_log : unit -> l2_log
+
+val create : ?sink:sink -> Device.t -> Memory.t -> Stats.t -> t
 (** Scratch bound to one simulation run: constants derived from the
-    device, the L2 of [mem], and the stats record to update. Not shareable
-    across concurrent runs (domains create their own). *)
+    device, the L2 of [mem] (sharded into [Device.l2_slices] slices), and
+    the stats record to update. Not shareable across concurrent runs
+    (domains create their own, with their own [Log] sink). [sink] defaults
+    to [Direct]. *)
 
 val begin_lane : t -> unit
 (** Reset the slot cursor before executing a statement for the next lane. *)
@@ -29,9 +50,26 @@ val record_global : t -> int -> unit
 val record_shared : t -> int -> unit
 (** Record a shared-memory access at the given word index. *)
 
+val set_slots : t -> kind array -> int -> unit
+(** [set_slots t kinds n] installs the statement's [n] memory slots with
+    the given kinds and clears their lengths — the node-major engine knows
+    a statement's slots at compile time and skips the per-lane cursor. *)
+
+val record_at : t -> int -> int -> unit
+(** [record_at t s addr] appends [addr] to slot [s] directly. Only valid
+    after {!set_slots}, for at most one append per lane per slot (the slot
+    buffers are warp-sized and this path never grows them). *)
+
 val flush : t -> unit
 (** Price all slots of the completed warp statement into the stats and
-    clear them. *)
+    clear them. Slots no lane touched are skipped. *)
+
+val replay_log : Device.t -> Memory.t -> Stats.t -> l2_log -> unit
+(** Run a worker's logged line groups through [mem]'s sliced L2 in order,
+    moving the provisional all-miss DRAM bytes of every hit into
+    [l2_bytes]. Replaying each chunk's log in serial block order feeds the
+    L2 the exact line stream of a serial run, so hit counts match
+    [jobs = 1] bit for bit. *)
 
 val atomic_begin : t -> unit
 val atomic_record : t -> int -> unit

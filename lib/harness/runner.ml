@@ -59,7 +59,7 @@ let decide_all ?model dev (prog : Pat.prog) params strategy =
   List.iter step prog.steps;
   !decisions
 
-let exec_steps ?engine dev prog ~opts ~params ~mapping_of
+let exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
     ?(via_of = fun _ -> "") ?(predicted_of = fun _ -> None)
     (data : Host.data) =
   (match Pat.validate prog with
@@ -90,9 +90,11 @@ let exec_steps ?engine dev prog ~opts ~params ~mapping_of
         lowered.temps;
       List.iteri
         (fun li (l : Ppat_kernel.Kir.launch) ->
-          let wall0 = Sys.time () in
-          let s = Interp.run ?engine dev mem l in
-          let wall = Sys.time () -. wall0 in
+          (* real wall time, not CPU time: with [sim_jobs > 1] the
+             interesting number is elapsed time across all domains *)
+          let wall0 = Unix.gettimeofday () in
+          let s = Interp.run ?engine ?jobs:sim_jobs dev mem l in
+          let wall = Unix.gettimeofday () -. wall0 in
           Stats.add agg s;
           let b = Timing.kernel_estimate dev (Ppat_kernel.Kir.geometry l) s in
           total_time := !total_time +. b.Timing.seconds;
@@ -145,8 +147,8 @@ let exec_steps ?engine dev prog ~opts ~params ~mapping_of
   in
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
-let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) ?model
-    dev prog strategy data =
+let run_gpu ?engine ?sim_jobs ?(opts = Lower.default_options) ?(params = [])
+    ?model dev prog strategy data =
   let decisions = decide_all ?model dev prog params strategy in
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
@@ -162,8 +164,8 @@ let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) ?model
     | None -> None
   in
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps ?engine dev prog ~opts ~params ~mapping_of ~via_of
-      ~predicted_of data
+    exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
+      ~via_of ~predicted_of data
   in
   let label_of pid =
     let found = ref "" in
@@ -182,10 +184,10 @@ let run_gpu ?engine ?(opts = Lower.default_options) ?(params = []) ?model
     profile;
   }
 
-let run_gpu_mapped ?engine ?(opts = Lower.default_options) ?(params = [])
-    dev prog mapping_of data =
+let run_gpu_mapped ?engine ?sim_jobs ?(opts = Lower.default_options)
+    ?(params = []) dev prog mapping_of data =
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps ?engine dev prog ~opts ~params ~mapping_of
+    exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
       ~via_of:(fun _ -> "explicit mapping")
       data
   in

@@ -24,6 +24,7 @@ type gpu_result = {
 
 val run_gpu :
   ?engine:Ppat_kernel.Interp.engine ->
+  ?sim_jobs:int ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   ?model:Ppat_core.Cost_model.kind ->
@@ -38,10 +39,14 @@ val run_gpu :
     model driving the mapping decisions (defaults to
     {!Ppat_core.Cost_model.default}[ ()], i.e. [PPAT_COST_MODEL]). Each
     decision's static prediction is attached to its pattern's main kernel
-    launches in [profile]. *)
+    launches in [profile]. [sim_jobs] sets the simulator's intra-launch
+    worker-domain count (defaults to
+    {!Ppat_kernel.Interp.default_jobs}[ ()], i.e. [PPAT_SIM_JOBS]);
+    statistics are independent of it, only wall clock changes. *)
 
 val run_gpu_mapped :
   ?engine:Ppat_kernel.Interp.engine ->
+  ?sim_jobs:int ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   Ppat_gpu.Device.t ->

@@ -63,6 +63,16 @@ type ctx = {
   stats : Stats.t;
   sf : float array array;  (* shared float arrays of the block, by slot *)
   si : int array array;
+  (* node-major scratch, one row of [warp_size] lanes per slot. The slabs
+     are shared by every warp context of one worker state: a vector
+     statement always runs to completion before another warp resumes
+     (Sync is a statement of its own), so rows are dead between
+     statements. The const slabs are filled at state creation and
+     read-only afterwards. *)
+  vi_slab : int array;
+  vf_slab : float array;
+  vi_const : int array;
+  vf_const : float array;
 }
 
 type iexp = ctx -> int -> int
@@ -73,6 +83,45 @@ type fexp = ctx -> int -> unit
 type bexp = ctx -> int -> bool
 type texp = I of iexp | F of fexp | B of bexp
 type cstmt = ctx -> int -> unit
+
+(* Operand of a node-major vector node: one row of [warp_size] lanes.
+   [VIs]/[VFs] index the per-statement temp slab, [VIr]/[VFr] a register
+   row, [VIc]/[VFc] a prefilled constant row; thread indices read their
+   precomputed per-warp arrays directly. Booleans are canonical 0/1 rows
+   in int space. Offsets are in array cells (slot * warp_size). *)
+type visrc = VIs of int | VIr of int | VIc of int | VTx | VTy | VTz
+type vfsrc = VFs of int | VFr of int | VFc of int
+type vtexp = VI of visrc | VF of vfsrc | VB of visrc
+
+type vnode = ctx -> int -> unit
+
+(* a statement the vector engine declines (aliasing store, unsupported
+   form); the already-compiled scalar statement is used instead *)
+exception Unvectorizable
+
+(* per-launch vector-compilation state: constant rows are deduplicated
+   across the whole kernel, temp-slab sizing is the max over statements *)
+type vglobal = {
+  itbl : (int, int) Hashtbl.t;  (* const value -> const-slab offset *)
+  ftbl : (int64, int) Hashtbl.t;  (* float consts keyed by bits *)
+  mutable rev_ivals : int list;
+  mutable rev_fvals : float list;
+  mutable nic : int;
+  mutable nfc : int;
+  mutable max_ni : int;
+  mutable max_nf : int;
+}
+
+(* per-statement vector-compilation state *)
+type vstate = {
+  vg : vglobal;
+  vws : int;
+  mutable rev_nodes : vnode list;  (* emission order, reversed *)
+  mutable ni : int;  (* temp slots allocated so far *)
+  mutable nf : int;
+  mutable rev_kinds : Warp_access.kind list;  (* memory slots, reversed *)
+  mutable nmem : int;
+}
 
 type ty = TI | TF | TB
 
@@ -92,6 +141,7 @@ type env = {
   kparams : (string * int) list;
   rt : ty array;
   smem_env : (string * sref) list;
+  vg : vglobal;
 }
 
 type t = {
@@ -103,6 +153,11 @@ type t = {
   c_tpb : int;
   c_sf_sizes : int array;
   c_si_sizes : int array;
+  (* vector-engine slab sizing and constant rows (values per slot) *)
+  c_ni : int;
+  c_nf : int;
+  c_iconsts : int array;
+  c_fconsts : float array;
 }
 
 (* ----- static expression measures ----- *)
@@ -885,7 +940,1336 @@ let group ~n ~hm (write : ctx -> int -> unit) : cstmt =
       bump ctx.stats n;
       each_lane write ctx mask 0
 
+(* ----- node-major (vectorised) statement engine -----
+
+   The scalar path above walks one closure tree per lane per statement:
+   every AST node costs an indirect call per lane, and float results
+   round-trip through [facc]. The vector path stages the same statement
+   node-major: each node becomes one closure that evaluates all active
+   lanes in a tight unboxed loop over slab rows, so closure dispatch is
+   paid once per warp-node instead of once per lane-node. Node emission
+   order replays the reference engine's per-lane evaluation order
+   (Bin/Cmp right operand first, Select strict cond/then/else, a load's
+   index subtree before its record), and every memory operand takes one
+   [Warp_access] slot in that order with lanes appended in lane order —
+   the priced access stream is identical to the scalar engine's, so all
+   statistics stay bit-identical.
+
+   Only straight-line statements (Set / Store_g / Store_s) vectorise;
+   control flow keeps the scalar statement skeleton and vectorises the
+   statements of its body. A store whose statement also loads the stored
+   buffer falls back to the scalar statement: the scalar engine
+   interleaves lanes' reads and writes, the vector engine would read all
+   lanes first. The scalar compiler has always vetted a statement before
+   the vector path runs, so [Unvectorizable] is a clean per-statement
+   fallback, never a semantic change. The only observable difference is
+   trap interleaving in multi-fault warps: the scalar engine runs whole
+   lanes in order, the vector engine whole nodes in order, so when two
+   lanes would each trap the one that fires first can differ. *)
+
+let iarr ctx = function
+  | VIs _ -> ctx.vi_slab
+  | VIr _ -> ctx.ireg
+  | VIc _ -> ctx.vi_const
+  | VTx -> ctx.tidx
+  | VTy -> ctx.tidy
+  | VTz -> ctx.tidz
+
+let ioff = function VIs o | VIr o | VIc o -> o | VTx | VTy | VTz -> 0
+let farr ctx = function VFs _ -> ctx.vf_slab | VFr _ -> ctx.freg | VFc _ -> ctx.vf_const
+let foff = function VFs o | VFr o | VFc o -> o
+
+(* Lane loops mirror [each_lane]: tail-recursive on ints, no refs. Every
+   maker resolves its operand rows once per node call, then runs a
+   branch-free (bar the mask test) unboxed loop. *)
+
+let v_ibin op sa sb d : vnode =
+ fun ctx m ->
+  let a = iarr ctx sa and b = iarr ctx sb and dst = ctx.vi_slab in
+  let ao = ioff sa and bo = ioff sb in
+  let open Ppat_ir.Exp in
+  match op with
+  | Add ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) + Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Sub ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) - Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Mul ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) * Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Div ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let y = Array.unsafe_get b (bo + l) in
+          if y = 0 then trap "division by zero";
+          Array.unsafe_set dst (d + l) (Array.unsafe_get a (ao + l) / y)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Mod ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let y = Array.unsafe_get b (bo + l) in
+          if y = 0 then trap "modulo by zero";
+          Array.unsafe_set dst (d + l) (Array.unsafe_get a (ao + l) mod y)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Min ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l) (if x <= y then x else y)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Max ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l) (if x >= y then x else y)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | And ->
+    (* canonical 0/1 rows *)
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) land Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Or ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) lor Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_fbin op sa sb d : vnode =
+ fun ctx m ->
+  let a = farr ctx sa and b = farr ctx sb and dst = ctx.vf_slab in
+  let ao = foff sa and bo = foff sb in
+  let open Ppat_ir.Exp in
+  match op with
+  | Add ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) +. Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Sub ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) -. Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Mul ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) *. Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Div ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Array.unsafe_get a (ao + l) /. Array.unsafe_get b (bo + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Min ->
+    (* Float.min, like the scalar engine: NaN- and signed-zero-aware *)
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Float.min (Array.unsafe_get a (ao + l)) (Array.unsafe_get b (bo + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Max ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (Float.max (Array.unsafe_get a (ao + l)) (Array.unsafe_get b (bo + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Mod | And | Or -> assert false
+
+let v_icmp op sa sb d : vnode =
+ fun ctx m ->
+  let a = iarr ctx sa and b = iarr ctx sb and dst = ctx.vi_slab in
+  let ao = ioff sa and bo = ioff sb in
+  let open Ppat_ir.Exp in
+  match op with
+  | Eq ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) = Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Ne ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) <> Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Lt ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) < Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Le ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) <= Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Gt ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) > Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Ge ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l)
+            (if Array.unsafe_get a (ao + l) >= Array.unsafe_get b (bo + l) then 1 else 0);
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+(* Float comparisons follow the scalar engine's [Float.compare] total
+   order (NaN below everything, NaN = NaN) — spelled out with IEEE
+   operators plus NaN tests so the loop stays free of C calls. *)
+let v_fcmp op sa sb d : vnode =
+ fun ctx m ->
+  let a = farr ctx sa and b = farr ctx sb and dst = ctx.vi_slab in
+  let ao = foff sa and bo = foff sb in
+  let open Ppat_ir.Exp in
+  match op with
+  | Eq ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l)
+            (if x = y || (x <> x && y <> y) then 1 else 0)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Ne ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l)
+            (if x = y || (x <> x && y <> y) then 0 else 1)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Lt ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l)
+            (if x < y || (x <> x && y = y) then 1 else 0)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Le ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l) (if x <= y || x <> x then 1 else 0)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Gt ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l)
+            (if x > y || (y <> y && x = x) then 1 else 0)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Ge ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) and y = Array.unsafe_get b (bo + l) in
+          Array.unsafe_set dst (d + l) (if x >= y || y <> y then 1 else 0)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_iun op sa d : vnode =
+ fun ctx m ->
+  let a = iarr ctx sa and dst = ctx.vi_slab in
+  let ao = ioff sa in
+  let open Ppat_ir.Exp in
+  match op with
+  | Neg ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (-Array.unsafe_get a (ao + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Abs ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let x = Array.unsafe_get a (ao + l) in
+          Array.unsafe_set dst (d + l) (if x >= 0 then x else -x)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Not ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (1 - Array.unsafe_get a (ao + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Sqrt | Exp_ | Log_ | I2f | F2i -> assert false
+
+let v_fun_ op sa d : vnode =
+ fun ctx m ->
+  let a = farr ctx sa and dst = ctx.vf_slab in
+  let ao = foff sa in
+  let open Ppat_ir.Exp in
+  match op with
+  | Neg ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (-.Array.unsafe_get a (ao + l));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Abs ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (Float.abs (Array.unsafe_get a (ao + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Sqrt ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (Float.sqrt (Array.unsafe_get a (ao + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Exp_ ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (Float.exp (Array.unsafe_get a (ao + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Log_ ->
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then
+          Array.unsafe_set dst (d + l) (Float.log (Array.unsafe_get a (ao + l)));
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+  | Not | I2f | F2i -> assert false
+
+let v_i2f sa d : vnode =
+ fun ctx m ->
+  let a = iarr ctx sa and dst = ctx.vf_slab in
+  let ao = ioff sa in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (d + l)
+          (float_of_int (Array.unsafe_get a (ao + l)));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_f2i sa d : vnode =
+ fun ctx m ->
+  let a = farr ctx sa and dst = ctx.vi_slab in
+  let ao = foff sa in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (d + l)
+          (int_of_float (Array.unsafe_get a (ao + l)));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* the blend tests <> 0, matching [as_bexp]'s int-to-bool coercion *)
+let v_isel sc sa sb d : vnode =
+ fun ctx m ->
+  let c = iarr ctx sc and a = iarr ctx sa and b = iarr ctx sb in
+  let dst = ctx.vi_slab in
+  let co = ioff sc and ao = ioff sa and bo = ioff sb in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (d + l)
+          (if Array.unsafe_get c (co + l) <> 0 then Array.unsafe_get a (ao + l)
+           else Array.unsafe_get b (bo + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_fsel sc sa sb d : vnode =
+ fun ctx m ->
+  let c = iarr ctx sc and a = farr ctx sa and b = farr ctx sb in
+  let dst = ctx.vf_slab in
+  let co = ioff sc and ao = foff sa and bo = foff sb in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (d + l)
+          (if Array.unsafe_get c (co + l) <> 0 then Array.unsafe_get a (ao + l)
+           else Array.unsafe_get b (bo + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* block id: uniform across the warp, broadcast into a full temp row
+   (inactive lanes harmlessly get the same value) *)
+let v_bid dim ws o : vnode =
+ fun ctx _ ->
+  Array.fill ctx.vi_slab o ws
+    (match dim with Kir.X -> ctx.bidx | Kir.Y -> ctx.bidy | Kir.Z -> ctx.bidz)
+
+let v_copy_i src dbase : vnode =
+ fun ctx m ->
+  let a = iarr ctx src and dst = ctx.ireg in
+  let ao = ioff src in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (dbase + l) (Array.unsafe_get a (ao + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_copy_f src dbase : vnode =
+ fun ctx m ->
+  let a = farr ctx src and dst = ctx.freg in
+  let ao = foff src in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (dbase + l) (Array.unsafe_get a (ao + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* loads/stores: per active lane, record then bounds-check then touch the
+   data — the same order as the scalar engine, slot by slot *)
+
+let v_load_gf name (a : float array) base eb ms sidx d : vnode =
+  let len = Array.length a in
+  fun ctx m ->
+    let ia = iarr ctx sidx and dst = ctx.vf_slab and acc = ctx.acc in
+    let io = ioff sidx in
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let ix = Array.unsafe_get ia (io + l) in
+          Warp_access.record_at acc ms (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "load out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set dst (d + l) (Array.unsafe_get a ix)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_load_gi name (a : int array) base eb ms sidx d : vnode =
+  let len = Array.length a in
+  fun ctx m ->
+    let ia = iarr ctx sidx and dst = ctx.vi_slab and acc = ctx.acc in
+    let io = ioff sidx in
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let ix = Array.unsafe_get ia (io + l) in
+          Warp_access.record_at acc ms (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "load out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set dst (d + l) (Array.unsafe_get a ix)
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_load_sf name slot len ms sidx d : vnode =
+ fun ctx m ->
+  let arr = Array.unsafe_get ctx.sf slot in
+  let ia = iarr ctx sidx and dst = ctx.vf_slab and acc = ctx.acc in
+  let io = ioff sidx in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let ix = Array.unsafe_get ia (io + l) in
+        Warp_access.record_at acc ms ix;
+        if ix < 0 || ix >= len then
+          trap "shared load out of bounds: %s[%d]" name ix;
+        Array.unsafe_set dst (d + l) (Array.unsafe_get arr ix)
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_load_si name slot len ms sidx d : vnode =
+ fun ctx m ->
+  let arr = Array.unsafe_get ctx.si slot in
+  let ia = iarr ctx sidx and dst = ctx.vi_slab and acc = ctx.acc in
+  let io = ioff sidx in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let ix = Array.unsafe_get ia (io + l) in
+        Warp_access.record_at acc ms ix;
+        if ix < 0 || ix >= len then
+          trap "shared load out of bounds: %s[%d]" name ix;
+        Array.unsafe_set dst (d + l) (Array.unsafe_get arr ix)
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_store_gf name (a : float array) base eb ms sidx sv : vnode =
+  let len = Array.length a in
+  fun ctx m ->
+    let ia = iarr ctx sidx and va = farr ctx sv and acc = ctx.acc in
+    let io = ioff sidx and vo = foff sv in
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let ix = Array.unsafe_get ia (io + l) in
+          let x = Array.unsafe_get va (vo + l) in
+          Warp_access.record_at acc ms (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "store out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set a ix x
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_store_gi name (a : int array) base eb ms sidx sv : vnode =
+  let len = Array.length a in
+  fun ctx m ->
+    let ia = iarr ctx sidx and va = iarr ctx sv and acc = ctx.acc in
+    let io = ioff sidx and vo = ioff sv in
+    let rec go m l =
+      if m <> 0 then begin
+        if m land 1 <> 0 then begin
+          let ix = Array.unsafe_get ia (io + l) in
+          let x = Array.unsafe_get va (vo + l) in
+          Warp_access.record_at acc ms (base + (ix * eb));
+          if ix < 0 || ix >= len then
+            trap "store out of bounds: %s[%d] (len %d)" name ix len;
+          Array.unsafe_set a ix x
+        end;
+        go (m lsr 1) (l + 1)
+      end
+    in
+    go m 0
+
+let v_store_sf name slot len ms sidx sv : vnode =
+ fun ctx m ->
+  let arr = Array.unsafe_get ctx.sf slot in
+  let ia = iarr ctx sidx and va = farr ctx sv and acc = ctx.acc in
+  let io = ioff sidx and vo = foff sv in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let ix = Array.unsafe_get ia (io + l) in
+        let x = Array.unsafe_get va (vo + l) in
+        Warp_access.record_at acc ms ix;
+        if ix < 0 || ix >= len then
+          trap "shared store out of bounds: %s[%d]" name ix;
+        Array.unsafe_set arr ix x
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_store_si name slot len ms sidx sv : vnode =
+ fun ctx m ->
+  let arr = Array.unsafe_get ctx.si slot in
+  let ia = iarr ctx sidx and va = iarr ctx sv and acc = ctx.acc in
+  let io = ioff sidx and vo = ioff sv in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let ix = Array.unsafe_get ia (io + l) in
+        let x = Array.unsafe_get va (vo + l) in
+        Warp_access.record_at acc ms ix;
+        if ix < 0 || ix >= len then
+          trap "shared store out of bounds: %s[%d]" name ix;
+        Array.unsafe_set arr ix x
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* mask extraction and loop-counter updates for vectorised control flow *)
+
+let v_maskof src : ctx -> int -> int =
+ fun ctx m ->
+  let a = iarr ctx src in
+  let o = ioff src in
+  let rec go m l acc =
+    if m = 0 then acc
+    else
+      go (m lsr 1) (l + 1)
+        (if m land 1 <> 0 && Array.unsafe_get a (o + l) <> 0 then
+           acc lor (1 lsl l)
+         else acc)
+  in
+  go m 0 0
+
+let v_iltmask rbase src : ctx -> int -> int =
+ fun ctx m ->
+  let a = ctx.ireg and b = iarr ctx src in
+  let bo = ioff src in
+  let rec go m l acc =
+    if m = 0 then acc
+    else
+      go (m lsr 1) (l + 1)
+        (if
+           m land 1 <> 0
+           && Array.unsafe_get a (rbase + l) < Array.unsafe_get b (bo + l)
+         then acc lor (1 lsl l)
+         else acc)
+  in
+  go m 0 0
+
+(* Float.compare _ _ < 0 total order, like the scalar For cond *)
+let v_fltmask rbase src : ctx -> int -> int =
+ fun ctx m ->
+  let a = ctx.freg and b = farr ctx src in
+  let bo = foff src in
+  let rec go m l acc =
+    if m = 0 then acc
+    else
+      go (m lsr 1) (l + 1)
+        (let x = Array.unsafe_get a (rbase + l)
+         and y = Array.unsafe_get b (bo + l) in
+         if m land 1 <> 0 && (x < y || (x <> x && y = y)) then
+           acc lor (1 lsl l)
+         else acc)
+  in
+  go m 0 0
+
+let v_iaddreg rbase src : vnode =
+ fun ctx m ->
+  let a = iarr ctx src and dst = ctx.ireg in
+  let ao = ioff src in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (rbase + l)
+          (Array.unsafe_get dst (rbase + l) + Array.unsafe_get a (ao + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_faddreg rbase src : vnode =
+ fun ctx m ->
+  let a = farr ctx src and dst = ctx.freg in
+  let ao = foff src in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then
+        Array.unsafe_set dst (rbase + l)
+          (Array.unsafe_get dst (rbase + l) +. Array.unsafe_get a (ao + l));
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* ----- vector compilation ----- *)
+
+let vemit (st : vstate) n = st.rev_nodes <- n :: st.rev_nodes
+
+let valloc_i (st : vstate) =
+  let o = st.ni * st.vws in
+  st.ni <- st.ni + 1;
+  o
+
+let valloc_f (st : vstate) =
+  let o = st.nf * st.vws in
+  st.nf <- st.nf + 1;
+  o
+
+let valloc_slot (st : vstate) kind =
+  let s = st.nmem in
+  st.rev_kinds <- kind :: st.rev_kinds;
+  st.nmem <- s + 1;
+  s
+
+let vconst_i (st : vstate) v =
+  let vg = st.vg in
+  match Hashtbl.find_opt vg.itbl v with
+  | Some o -> o
+  | None ->
+    let o = vg.nic * st.vws in
+    vg.nic <- vg.nic + 1;
+    vg.rev_ivals <- v :: vg.rev_ivals;
+    Hashtbl.add vg.itbl v o;
+    o
+
+let vconst_f (st : vstate) x =
+  let vg = st.vg in
+  let key = Int64.bits_of_float x in
+  match Hashtbl.find_opt vg.ftbl key with
+  | Some o -> o
+  | None ->
+    let o = vg.nfc * st.vws in
+    vg.nfc <- vg.nfc + 1;
+    vg.rev_fvals <- x :: vg.rev_fvals;
+    Hashtbl.add vg.ftbl key o;
+    o
+
+(* does the expression load from global buffer [name] / shared [name]? *)
+let rec loads_global name (e : Kir.exp) =
+  match e with
+  | Kir.Load_g (n, i) -> String.equal n name || loads_global name i
+  | Kir.Load_s (_, i) -> loads_global name i
+  | Kir.Bin (_, a, b) | Kir.Cmp (_, a, b) ->
+    loads_global name a || loads_global name b
+  | Kir.Un (_, a) -> loads_global name a
+  | Kir.Select (c, a, b) ->
+    loads_global name c || loads_global name a || loads_global name b
+  | Kir.Int _ | Kir.Float _ | Kir.Bool _ | Kir.Reg _ | Kir.Tid _ | Kir.Bid _
+  | Kir.Bdim _ | Kir.Gdim _ | Kir.Param _ ->
+    false
+
+let rec loads_shared name (e : Kir.exp) =
+  match e with
+  | Kir.Load_s (n, i) -> String.equal n name || loads_shared name i
+  | Kir.Load_g (_, i) -> loads_shared name i
+  | Kir.Bin (_, a, b) | Kir.Cmp (_, a, b) ->
+    loads_shared name a || loads_shared name b
+  | Kir.Un (_, a) -> loads_shared name a
+  | Kir.Select (c, a, b) ->
+    loads_shared name c || loads_shared name a || loads_shared name b
+  | Kir.Int _ | Kir.Float _ | Kir.Bool _ | Kir.Reg _ | Kir.Tid _ | Kir.Bid _
+  | Kir.Bdim _ | Kir.Gdim _ | Kir.Param _ ->
+    false
+
+(* Emission order tracks the reference engine's per-lane evaluation
+   order: a node's operand rows are fully written before the node runs
+   for any lane, and memory slots are allocated exactly where the scalar
+   engine's per-lane record cursor would sit. *)
+let rec vcompile_exp env (st : vstate) (e : Kir.exp) : vtexp =
+  match cfold env e with
+  | Some (CI n) -> VI (VIc (vconst_i st n))
+  | Some (CF x) -> VF (VFc (vconst_f st x))
+  | Some (CB b) -> VB (VIc (vconst_i st (if b then 1 else 0)))
+  | None -> (
+    match e with
+    | Kir.Int _ | Kir.Float _ | Kir.Bool _ | Kir.Bdim _ | Kir.Gdim _
+    | Kir.Param _ ->
+      (* cfold always resolves these *)
+      assert false
+    | Kir.Reg r -> (
+      let base = r * env.ws in
+      match env.rt.(r) with
+      | TI -> VI (VIr base)
+      | TF -> VF (VFr base)
+      | TB -> VB (VIr base))
+    | Kir.Tid d ->
+      VI (match d with Kir.X -> VTx | Kir.Y -> VTy | Kir.Z -> VTz)
+    | Kir.Bid d ->
+      let o = valloc_i st in
+      vemit st (v_bid d env.ws o);
+      VI (VIs o)
+    | Kir.Bin (op, a, b) -> (
+      (* right operand first, like the reference engine *)
+      let tb = vcompile_exp env st b in
+      let ta = vcompile_exp env st a in
+      let open Ppat_ir.Exp in
+      match op with
+      | And | Or -> (
+        match (ta, tb) with
+        | VB xa, VB xb ->
+          let d = valloc_i st in
+          vemit st (v_ibin op xa xb d);
+          VB (VIs d)
+        | _ -> raise Unvectorizable)
+      | Add | Sub | Mul | Div | Mod | Min | Max -> (
+        match (ta, tb) with
+        | VI xa, VI xb ->
+          let d = valloc_i st in
+          vemit st (v_ibin op xa xb d);
+          VI (VIs d)
+        | VF xa, VF xb ->
+          if op = Mod then raise Unvectorizable;
+          let d = valloc_f st in
+          vemit st (v_fbin op xa xb d);
+          VF (VFs d)
+        | _ -> raise Unvectorizable))
+    | Kir.Un (op, a) -> (
+      let ta = vcompile_exp env st a in
+      let open Ppat_ir.Exp in
+      match (op, ta) with
+      | Neg, VI x | Abs, VI x ->
+        let d = valloc_i st in
+        vemit st (v_iun op x d);
+        VI (VIs d)
+      | Not, VB x ->
+        let d = valloc_i st in
+        vemit st (v_iun op x d);
+        VB (VIs d)
+      | (Neg | Abs | Sqrt | Exp_ | Log_), VF x ->
+        let d = valloc_f st in
+        vemit st (v_fun_ op x d);
+        VF (VFs d)
+      | I2f, VI x ->
+        let d = valloc_f st in
+        vemit st (v_i2f x d);
+        VF (VFs d)
+      | F2i, VF x ->
+        let d = valloc_i st in
+        vemit st (v_f2i x d);
+        VI (VIs d)
+      | _ -> raise Unvectorizable)
+    | Kir.Cmp (op, a, b) -> (
+      let tb = vcompile_exp env st b in
+      let ta = vcompile_exp env st a in
+      match (ta, tb) with
+      | VI xa, VI xb | VB xa, VB xb ->
+        (* Bool.compare on canonical 0/1 is integer compare *)
+        let d = valloc_i st in
+        vemit st (v_icmp op xa xb d);
+        VB (VIs d)
+      | VF xa, VF xb ->
+        let d = valloc_i st in
+        vemit st (v_fcmp op xa xb d);
+        VB (VIs d)
+      | _ -> raise Unvectorizable)
+    | Kir.Select (c0, a, b) -> (
+      let sc =
+        match vcompile_exp env st c0 with
+        | VB s | VI s -> s  (* [as_bexp]: ints coerce via <> 0 *)
+        | VF _ -> raise Unvectorizable
+      in
+      let ta = vcompile_exp env st a in
+      let tb = vcompile_exp env st b in
+      match (ta, tb) with
+      | VI xa, VI xb ->
+        let d = valloc_i st in
+        vemit st (v_isel sc xa xb d);
+        VI (VIs d)
+      | VB xa, VB xb ->
+        let d = valloc_i st in
+        vemit st (v_isel sc xa xb d);
+        VB (VIs d)
+      | VF xa, VF xb ->
+        let d = valloc_f st in
+        vemit st (v_fsel sc xa xb d);
+        VF (VFs d)
+      | _ -> raise Unvectorizable)
+    | Kir.Load_g (name, i) -> (
+      let entry = find_entry env name in
+      let sidx =
+        match vcompile_exp env st i with
+        | VI s | VB s -> s  (* [as_iexp]: bools coerce to 0/1 *)
+        | VF _ -> raise Unvectorizable
+      in
+      let ms = valloc_slot st Warp_access.Global in
+      let base = entry.Memory.base and eb = entry.Memory.elem_bytes in
+      match entry.Memory.data with
+      | Ppat_ir.Host.F a ->
+        let d = valloc_f st in
+        vemit st (v_load_gf name a base eb ms sidx d);
+        VF (VFs d)
+      | Ppat_ir.Host.I a ->
+        let d = valloc_i st in
+        vemit st (v_load_gi name a base eb ms sidx d);
+        VI (VIs d))
+    | Kir.Load_s (name, i) -> (
+      let sidx =
+        match vcompile_exp env st i with
+        | VI s | VB s -> s
+        | VF _ -> raise Unvectorizable
+      in
+      let ms = valloc_slot st Warp_access.Shared in
+      match List.assoc_opt name env.smem_env with
+      | Some (Sf (slot, len)) ->
+        let d = valloc_f st in
+        vemit st (v_load_sf name slot len ms sidx d);
+        VF (VFs d)
+      | Some (Si (slot, len)) ->
+        let d = valloc_i st in
+        vemit st (v_load_si name slot len ms sidx d);
+        VI (VIs d)
+      | None -> raise Unvectorizable))
+
+(* Stage one straight-line statement node-major, or [None] if the scalar
+   statement must be kept. [n] is the same precomputed instruction count
+   the scalar [group] would bump. *)
+(* Close a vector fragment into a runnable closure: slot setup, node run,
+   flush when the fragment touches memory.  No instruction bump and no
+   mask guard — the surrounding control flow does both. *)
+let vclose (st : vstate) : ctx -> int -> unit =
+  let nodes = Array.of_list (List.rev st.rev_nodes) in
+  let kinds = Array.of_list (List.rev st.rev_kinds) in
+  let nmem = st.nmem in
+  let nn = Array.length nodes in
+  let vg = st.vg in
+  vg.max_ni <- max vg.max_ni st.ni;
+  vg.max_nf <- max vg.max_nf st.nf;
+  if nmem > 0 then (fun ctx mask ->
+    Warp_access.set_slots ctx.acc kinds nmem;
+    for i = 0 to nn - 1 do
+      (Array.unsafe_get nodes i) ctx mask
+    done;
+    Warp_access.flush ctx.acc)
+  else fun ctx mask ->
+    for i = 0 to nn - 1 do
+      (Array.unsafe_get nodes i) ctx mask
+    done
+
+let vcompile_stmt env (s : Kir.stmt) : cstmt option =
+  let st =
+    {
+      vg = env.vg;
+      vws = env.ws;
+      rev_nodes = [];
+      ni = 0;
+      nf = 0;
+      rev_kinds = [];
+      nmem = 0;
+    }
+  in
+  let finish n =
+    let nodes = Array.of_list (List.rev st.rev_nodes) in
+    let kinds = Array.of_list (List.rev st.rev_kinds) in
+    let nmem = st.nmem in
+    let nn = Array.length nodes in
+    let vg = st.vg in
+    vg.max_ni <- max vg.max_ni st.ni;
+    vg.max_nf <- max vg.max_nf st.nf;
+    if nmem > 0 then
+      Some
+        (fun ctx mask ->
+          bump ctx.stats n;
+          if mask <> 0 then begin
+            Warp_access.set_slots ctx.acc kinds nmem;
+            for i = 0 to nn - 1 do
+              (Array.unsafe_get nodes i) ctx mask
+            done;
+            Warp_access.flush ctx.acc
+          end)
+    else
+      Some
+        (fun ctx mask ->
+          bump ctx.stats n;
+          if mask <> 0 then
+            for i = 0 to nn - 1 do
+              (Array.unsafe_get nodes i) ctx mask
+            done)
+  in
+  try
+    match s with
+    | Kir.Set (r, e) ->
+      let n = float_of_int (nodes e) in
+      let base = r * env.ws in
+      (match (env.rt.(r), vcompile_exp env st e) with
+       | TI, VI src | TB, VB src -> vemit st (v_copy_i src base)
+       | TF, VF src -> vemit st (v_copy_f src base)
+       | _ -> raise Unvectorizable);
+      finish n
+    | Kir.Store_g (name, i, v) ->
+      if loads_global name i || loads_global name v then raise Unvectorizable;
+      let n = float_of_int (1 + nodes i + nodes v) in
+      let entry = find_entry env name in
+      let sidx =
+        match vcompile_exp env st i with
+        | VI s | VB s -> s
+        | VF _ -> raise Unvectorizable
+      in
+      let base = entry.Memory.base and eb = entry.Memory.elem_bytes in
+      (match entry.Memory.data with
+       | Ppat_ir.Host.F a ->
+         let sv =
+           match vcompile_exp env st v with
+           | VF s -> s
+           | VI _ | VB _ -> raise Unvectorizable
+         in
+         let ms = valloc_slot st Warp_access.Global in
+         vemit st (v_store_gf name a base eb ms sidx sv)
+       | Ppat_ir.Host.I a ->
+         let sv =
+           match vcompile_exp env st v with
+           | VI s | VB s -> s
+           | VF _ -> raise Unvectorizable
+         in
+         let ms = valloc_slot st Warp_access.Global in
+         vemit st (v_store_gi name a base eb ms sidx sv));
+      finish n
+    | Kir.Store_s (name, i, v) ->
+      if loads_shared name i || loads_shared name v then raise Unvectorizable;
+      let n = float_of_int (1 + nodes i + nodes v) in
+      let sidx =
+        match vcompile_exp env st i with
+        | VI s | VB s -> s
+        | VF _ -> raise Unvectorizable
+      in
+      (match List.assoc_opt name env.smem_env with
+       | Some (Sf (slot, len)) ->
+         let sv =
+           match vcompile_exp env st v with
+           | VF s -> s
+           | VI _ | VB _ -> raise Unvectorizable
+         in
+         let ms = valloc_slot st Warp_access.Shared in
+         vemit st (v_store_sf name slot len ms sidx sv)
+       | Some (Si (slot, len)) ->
+         let sv =
+           match vcompile_exp env st v with
+           | VI s | VB s -> s
+           | VF _ -> raise Unvectorizable
+         in
+         let ms = valloc_slot st Warp_access.Shared in
+         vemit st (v_store_si name slot len ms sidx sv)
+       | None -> raise Unvectorizable);
+      finish n
+    | _ -> None
+  with Unvectorizable -> None
+
 let rec compile_stmt env (s : Kir.stmt) : cstmt =
+  match s with
+  | Kir.Set _ | Kir.Store_g _ | Kir.Store_s _ -> (
+    (* the scalar compiler always runs first — it performs every type
+       check and whole-launch fallback decision — then the vector path
+       replaces the statement closure when it supports the form *)
+    let scalar = compile_stmt_scalar env s in
+    match vcompile_stmt env s with Some v -> v | None -> scalar)
+  | Kir.If _ | Kir.For _ | Kir.While _ -> (
+    (* control flow: the vector path only accepts operand shapes the
+       scalar compiler also accepts, so trying it first cannot mask a
+       whole-launch fallback — on Unvectorizable we recompile scalar,
+       which re-runs every type check *)
+    match vcompile_ctl env s with
+    | Some v -> v
+    | None -> compile_stmt_scalar env s)
+  | _ -> compile_stmt_scalar env s
+
+(* Vectorised control flow.  The branch/loop skeleton (divergence
+   bookkeeping, per-iteration instruction bumps, the iteration guard)
+   mirrors the scalar arms exactly; only predicate/init/step evaluation
+   is node-major.  Each fragment compiles once and is replayed every
+   iteration: temp slots are fragment-local, memory slots are re-armed
+   per run by [vclose]'s set_slots. *)
+and vcompile_ctl env (s : Kir.stmt) : cstmt option =
+  let fresh () =
+    {
+      vg = env.vg;
+      vws = env.ws;
+      rev_nodes = [];
+      ni = 0;
+      nf = 0;
+      rev_kinds = [];
+      nmem = 0;
+    }
+  in
+  match s with
+  | Kir.If (c, t, e) -> (
+    let st = fresh () in
+    let src =
+      try
+        Some
+          (match vcompile_exp env st c with
+           | VB s | VI s -> s
+           | VF _ -> raise Unvectorizable)
+      with Unvectorizable -> None
+    in
+    match src with
+    | None -> None
+    | Some src ->
+      let n = float_of_int (nodes c) in
+      let run = vclose st in
+      let ext = v_maskof src in
+      let ct = Array.of_list (List.map (compile_stmt env) t) in
+      let ce = Array.of_list (List.map (compile_stmt env) e) in
+      let divergible = t <> [] || e <> [] in
+      let has_else = e <> [] in
+      Some
+        (fun ctx mask ->
+          bump ctx.stats n;
+          run ctx mask;
+          let taken = ext ctx mask in
+          let fall = mask land lnot taken in
+          let bt = taken <> 0 and bf = fall <> 0 in
+          if bt && bf && divergible then
+            ctx.stats.Stats.divergent_branches <-
+              ctx.stats.Stats.divergent_branches +. 1.;
+          if bt then run_body ct ctx taken;
+          if bf && has_else then run_body ce ctx fall))
+  | Kir.For { reg; lo; hi; step; body } -> (
+    let base = reg * env.ws in
+    let kname = env.k.Kir.kname in
+    let build init condr cond_ext stepf =
+      let cbody = Array.of_list (List.map (compile_stmt env) body) in
+      let n_lo = float_of_int (nodes lo) in
+      let n_cond = float_of_int (nodes hi + 1) in
+      let n_step = float_of_int (nodes step + 1) in
+      Some
+        (fun ctx mask ->
+          bump ctx.stats n_lo;
+          init ctx mask;
+          let rec loop active iters =
+            bump ctx.stats n_cond;
+            condr ctx active;
+            let next = cond_ext ctx active in
+            if next <> 0 then begin
+              if active land lnot next <> 0 then
+                ctx.stats.Stats.divergent_branches <-
+                  ctx.stats.Stats.divergent_branches +. 1.;
+              run_body cbody ctx next;
+              bump ctx.stats n_step;
+              stepf ctx next;
+              let iters = iters + 1 in
+              if iters > max_loop_iters then
+                trap "kernel %s: loop exceeded %d iterations" kname
+                  max_loop_iters;
+              loop next iters
+            end
+          in
+          loop mask 0)
+    in
+    match env.rt.(reg) with
+    | TB -> None
+    | TI -> (
+      try
+        let st1 = fresh () in
+        let s_lo =
+          match vcompile_exp env st1 lo with
+          | VI s -> s
+          | _ -> raise Unvectorizable
+        in
+        vemit st1 (v_copy_i s_lo base);
+        let init = vclose st1 in
+        let st2 = fresh () in
+        let s_hi =
+          match vcompile_exp env st2 hi with
+          | VI s -> s
+          | _ -> raise Unvectorizable
+        in
+        let condr = vclose st2 in
+        let st3 = fresh () in
+        let s_st =
+          match vcompile_exp env st3 step with
+          | VI s -> s
+          | _ -> raise Unvectorizable
+        in
+        vemit st3 (v_iaddreg base s_st);
+        build init condr (v_iltmask base s_hi) (vclose st3)
+      with Unvectorizable -> None)
+    | TF -> (
+      try
+        let st1 = fresh () in
+        let s_lo =
+          match vcompile_exp env st1 lo with
+          | VF s -> s
+          | _ -> raise Unvectorizable
+        in
+        vemit st1 (v_copy_f s_lo base);
+        let init = vclose st1 in
+        let st2 = fresh () in
+        let s_hi =
+          match vcompile_exp env st2 hi with
+          | VF s -> s
+          | _ -> raise Unvectorizable
+        in
+        let condr = vclose st2 in
+        let st3 = fresh () in
+        let s_st =
+          match vcompile_exp env st3 step with
+          | VF s -> s
+          | _ -> raise Unvectorizable
+        in
+        vemit st3 (v_faddreg base s_st);
+        build init condr (v_fltmask base s_hi) (vclose st3)
+      with Unvectorizable -> None))
+  | Kir.While (c, body) -> (
+    let st = fresh () in
+    let src =
+      try
+        Some
+          (match vcompile_exp env st c with
+           | VB s | VI s -> s
+           | VF _ -> raise Unvectorizable)
+      with Unvectorizable -> None
+    in
+    match src with
+    | None -> None
+    | Some src ->
+      let n_c = float_of_int (nodes c) in
+      let run = vclose st in
+      let ext = v_maskof src in
+      let cbody = Array.of_list (List.map (compile_stmt env) body) in
+      let kname = env.k.Kir.kname in
+      Some
+        (fun ctx mask ->
+          let rec loop active iters =
+            bump ctx.stats n_c;
+            run ctx active;
+            let next = ext ctx active in
+            if next <> 0 then begin
+              if active land lnot next <> 0 then
+                ctx.stats.Stats.divergent_branches <-
+                  ctx.stats.Stats.divergent_branches +. 1.;
+              run_body cbody ctx next;
+              let iters = iters + 1 in
+              if iters > max_loop_iters then
+                trap "kernel %s: loop exceeded %d iterations" kname
+                  max_loop_iters;
+              loop next iters
+            end
+          in
+          loop mask 0))
+  | _ -> None
+
+and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
   let ws = env.ws in
   match s with
   | Kir.Set (r, e) -> (
@@ -1244,6 +2628,17 @@ let compile dev mem (l : Kir.launch) : (t, string) result =
         kparams = l.kparams;
         rt = [||];
         smem_env = !senv;
+        vg =
+          {
+            itbl = Hashtbl.create 16;
+            ftbl = Hashtbl.create 16;
+            rev_ivals = [];
+            rev_fvals = [];
+            nic = 0;
+            nfc = 0;
+            max_ni = 0;
+            max_nf = 0;
+          };
       }
     in
     let rt = infer_types env0 in
@@ -1260,60 +2655,80 @@ let compile dev mem (l : Kir.launch) : (t, string) result =
         c_tpb = bx * by * bz;
         c_sf_sizes = Array.of_list !sf_sizes;
         c_si_sizes = Array.of_list !si_sizes;
+        c_ni = env.vg.max_ni;
+        c_nf = env.vg.max_nf;
+        c_iconsts = Array.of_list (List.rev env.vg.rev_ivals);
+        c_fconsts = Array.of_list (List.rev env.vg.rev_fvals);
       }
   with Fallback reason -> Error reason
 
-let execute dev (c : t) : Stats.t =
-  let stats = Stats.create () in
-  let acc = Warp_access.create dev c.c_mem stats in
+let execute ?(jobs = 1) dev (c : t) : Stats.t =
   let ws = c.c_ws in
   let tpb = c.c_tpb in
   let bx, by, _ = c.c_launch.Kir.block in
   let gx, gy, gz = c.c_launch.Kir.grid in
   let warps_per_block = (tpb + ws - 1) / ws in
-  (* Shared arrays and one context per warp slot are allocated once and
-     reused for every block (blocks run sequentially): register files can
-     be several hundred words, and a fresh pair per warp lands straight on
-     the major heap. Shared arrays are re-zeroed per block, matching the
-     reference engine's fresh allocation; register files are zeroed per
-     warp for the same reason. Thread indices and the exists mask only
-     depend on the warp slot, so they are computed once here. *)
-  let sf = Array.map (fun n -> Array.make n 0.) c.c_sf_sizes in
-  let si = Array.map (fun n -> Array.make n 0) c.c_si_sizes in
-  let slots =
-    Array.init warps_per_block (fun w ->
-        let lane0 = w * ws in
-        let exists = ref 0 in
-        for lane = 0 to ws - 1 do
-          if lane0 + lane < tpb then exists := !exists lor (1 lsl lane)
-        done;
-        let tidx = Array.make ws 0
-        and tidy = Array.make ws 0
-        and tidz = Array.make ws 0 in
-        for lane = 0 to ws - 1 do
-          let t = lane0 + lane in
-          tidx.(lane) <- t mod bx;
-          tidy.(lane) <- t / bx mod by;
-          tidz.(lane) <- t / (bx * by)
-        done;
-        {
-          ireg = Array.make (c.c_nregs * ws) 0;
-          freg = Array.make (c.c_nregs * ws) 0.;
-          tidx;
-          tidy;
-          tidz;
-          bidx = 0;
-          bidy = 0;
-          bidz = 0;
-          exists_mask = !exists;
-          facc = [| 0. |];
-          acc;
-          stats;
-          sf;
-          si;
-        })
+  (* Shared arrays and one context per warp slot are allocated once per
+     worker and reused for every block that worker runs: register files
+     can be several hundred words, and a fresh pair per warp lands
+     straight on the major heap. Shared arrays are re-zeroed per block,
+     matching the reference engine's fresh allocation; register files are
+     zeroed per warp for the same reason. Thread indices and the exists
+     mask only depend on the warp slot, so they are computed once here.
+     The serial path builds one [Direct]-sinked state; each parallel
+     worker builds its own with a [Log] sink (see Warp_access), so no
+     mutable simulation state crosses domains. *)
+  let make_state ?sink () =
+    let stats = Stats.create () in
+    let acc = Warp_access.create ?sink dev c.c_mem stats in
+    let sf = Array.map (fun n -> Array.make n 0.) c.c_sf_sizes in
+    let si = Array.map (fun n -> Array.make n 0) c.c_si_sizes in
+    let vi_slab = Array.make (c.c_ni * ws) 0 in
+    let vf_slab = Array.make (c.c_nf * ws) 0. in
+    let vi_const = Array.make (Array.length c.c_iconsts * ws) 0 in
+    let vf_const = Array.make (Array.length c.c_fconsts * ws) 0. in
+    Array.iteri (fun j v -> Array.fill vi_const (j * ws) ws v) c.c_iconsts;
+    Array.iteri (fun j v -> Array.fill vf_const (j * ws) ws v) c.c_fconsts;
+    let slots =
+      Array.init warps_per_block (fun w ->
+          let lane0 = w * ws in
+          let exists = ref 0 in
+          for lane = 0 to ws - 1 do
+            if lane0 + lane < tpb then exists := !exists lor (1 lsl lane)
+          done;
+          let tidx = Array.make ws 0
+          and tidy = Array.make ws 0
+          and tidz = Array.make ws 0 in
+          for lane = 0 to ws - 1 do
+            let t = lane0 + lane in
+            tidx.(lane) <- t mod bx;
+            tidy.(lane) <- t / bx mod by;
+            tidz.(lane) <- t / (bx * by)
+          done;
+          {
+            ireg = Array.make (c.c_nregs * ws) 0;
+            freg = Array.make (c.c_nregs * ws) 0.;
+            tidx;
+            tidy;
+            tidz;
+            bidx = 0;
+            bidy = 0;
+            bidz = 0;
+            exists_mask = !exists;
+            facc = [| 0. |];
+            acc;
+            stats;
+            sf;
+            si;
+            vi_slab;
+            vf_slab;
+            vi_const;
+            vf_const;
+          })
+    in
+    (stats, sf, si, slots)
   in
-  let run_block bxi byi bzi =
+  let run_block (sf, si, slots) bxi byi bzi =
     Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.) sf;
     Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) si;
     let waiting = ref [] in
@@ -1353,11 +2768,44 @@ let execute dev (c : t) : Stats.t =
       List.iter (fun resume -> resume ()) batch
     done
   in
-  for z = 0 to gz - 1 do
-    for y = 0 to gy - 1 do
-      for x = 0 to gx - 1 do
-        run_block x y z
+  let nblocks = gx * gy * gz in
+  if jobs <= 1 || nblocks <= 1 then begin
+    let stats, sf, si, slots = make_state () in
+    for z = 0 to gz - 1 do
+      for y = 0 to gy - 1 do
+        for x = 0 to gx - 1 do
+          run_block (sf, si, slots) x y z
+        done
       done
-    done
-  done;
-  stats
+    done;
+    stats
+  end
+  else begin
+    (* a few chunks per worker so an expensive tail block does not leave
+       the other domains idle; chunk boundaries depend only on [jobs], so
+       the merged result is reproducible for a given jobs value. Linear
+       block ids walk the grid x-innermost, matching the serial nest. *)
+    let nchunks = min nblocks (jobs * 4) in
+    let results =
+      Ppat_parallel.pool_run ~jobs nchunks (fun ci ->
+          let log = Warp_access.new_log () in
+          let stats, sf, si, slots =
+            make_state ~sink:(Warp_access.Log log) ()
+          in
+          let lo = ci * nblocks / nchunks
+          and hi = (ci + 1) * nblocks / nchunks in
+          for b = lo to hi - 1 do
+            run_block (sf, si, slots) (b mod gx) (b / gx mod gy)
+              (b / (gx * gy))
+          done;
+          (stats, log))
+    in
+    (* merge in chunk order: counters are additive; the L2 logs replay in
+       serial block order, so hit accounting matches jobs = 1 exactly *)
+    let stats = Stats.create () in
+    Array.iter (fun (s, _) -> Stats.add stats s) results;
+    Array.iter
+      (fun (_, lg) -> Warp_access.replay_log dev c.c_mem stats lg)
+      results;
+    stats
+  end

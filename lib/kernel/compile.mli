@@ -27,10 +27,17 @@ val compile :
 (** Stage the launch, or explain why it must run on the reference
     engine. *)
 
-val execute : Ppat_gpu.Device.t -> t -> Ppat_gpu.Stats.t
+val execute : ?jobs:int -> Ppat_gpu.Device.t -> t -> Ppat_gpu.Stats.t
 (** Run a compiled launch over the full grid, mutating device buffers in
     place, and return the collected statistics. Traps with
-    {!Simt_error.Trap} exactly where the reference engine would. *)
+    {!Simt_error.Trap} exactly where the reference engine would.
+
+    [jobs] (default 1) partitions the grid's blocks across that many
+    worker domains; statistics are bit-identical to the serial run (the
+    L2 settles by deterministic log replay — see {!Interp.run}). Callers
+    are expected to gate kernels with global atomics to [jobs = 1]
+    themselves ({!Interp.run} does); this function does not inspect the
+    kernel body. *)
 
 val max_loop_iters : int
 (** Same runaway-loop cap as the reference engine. *)

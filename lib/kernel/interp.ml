@@ -138,9 +138,8 @@ type _ Effect.t += Sync_eff : unit Effect.t
 
 (* ----- the interpreter ----- *)
 
-let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
-    =
-  let stats = Stats.create () in
+let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
+    (l : Kir.launch) : Stats.t =
   let k = l.kernel in
   let ws = dev.warp_size in
   let bx, by, bz = l.block in
@@ -159,18 +158,6 @@ let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
   in
   let warps_per_block = (tpb + ws - 1) / ws in
 
-  (* per-warp memory-access scratch: one slot per memory instruction in
-     the currently executing warp statement; lanes append their byte
-     addresses (global) or word indices (shared), and the end of the group
-     prices every slot. Shared with the compiled engine, which is what
-     keeps the two engines' statistics bit-identical. *)
-  let acc = Warp_access.create dev mem stats in
-  let record kind addr =
-    match kind with
-    | `G -> Warp_access.record_global acc addr
-    | `S -> Warp_access.record_shared acc addr
-  in
-
   (* shared memory per block *)
   let make_smem () =
     List.map
@@ -182,10 +169,24 @@ let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
       k.smem
   in
 
-  let count_inst () = stats.warp_insts <- stats.warp_insts +. 1. in
-
-  (* per-warp execution *)
-  let exec_warp ~smem ~bid ~lane0 =
+  (* execute one block against the given stats record and warp-access
+     scratch. The serial path threads a single [Direct]-sinked scratch
+     through every block; each parallel worker brings its own stats plus a
+     [Log]-sinked scratch so no cross-domain state is shared. The
+     per-warp memory-access scratch holds one slot per memory instruction
+     in the currently executing warp statement; lanes append their byte
+     addresses (global) or word indices (shared), and the end of the group
+     prices every slot. Shared with the compiled engine, which is what
+     keeps the two engines' statistics bit-identical. *)
+  let exec_block (stats : Stats.t) (acc : Warp_access.t) bid =
+    let record kind addr =
+      match kind with
+      | `G -> Warp_access.record_global acc addr
+      | `S -> Warp_access.record_shared acc addr
+    in
+    let count_inst () = stats.warp_insts <- stats.warp_insts +. 1. in
+    (* per-warp execution *)
+    let exec_warp ~smem ~lane0 =
     let regs = Array.init ws (fun _ -> Array.make k.nregs VU) in
     let exists = Array.init ws (fun lane -> lane0 + lane < tpb) in
     let n_exist = Array.fold_left (fun n e -> if e then n + 1 else n) 0 exists in
@@ -403,9 +404,8 @@ let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
     if n_exist > 0 then exec (Array.copy exists) k.body
   in
 
-  (* block scheduler: warps are fibers; Sync suspends until all alive warps
-     of the block reach the barrier *)
-  let run_block bid =
+    (* block scheduler: warps are fibers; Sync suspends until all alive
+       warps of the block reach the barrier *)
     let smem = make_smem () in
     let waiting = ref [] in
     let handler =
@@ -424,7 +424,7 @@ let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
     in
     for w = 0 to warps_per_block - 1 do
       Effect.Deep.match_with
-        (fun () -> exec_warp ~smem ~bid ~lane0:(w * ws))
+        (fun () -> exec_warp ~smem ~lane0:(w * ws))
         () handler
     done;
     (* a resumed continuation still runs under its original handler, so a
@@ -435,14 +435,41 @@ let run_reference (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t
       List.iter (fun resume -> resume ()) batch
     done
   in
-  for z = 0 to gz - 1 do
-    for y = 0 to gy - 1 do
-      for x = 0 to gx - 1 do
-        run_block (x, y, z)
-      done
-    done
-  done;
-  stats
+  let nblocks = gx * gy * gz in
+  (* linear block ids walk the grid x-innermost, matching the serial
+     z/y/x nest *)
+  let bid_of b = (b mod gx, b / gx mod gy, b / (gx * gy)) in
+  if jobs <= 1 || nblocks <= 1 then begin
+    let stats = Stats.create () in
+    let acc = Warp_access.create dev mem stats in
+    for b = 0 to nblocks - 1 do
+      exec_block stats acc (bid_of b)
+    done;
+    stats
+  end
+  else begin
+    (* a few chunks per worker so an expensive tail block does not leave
+       the other domains idle; chunk boundaries depend only on [jobs], so
+       the merged result is reproducible for a given jobs value *)
+    let nchunks = min nblocks (jobs * 4) in
+    let results =
+      Ppat_parallel.pool_run ~jobs nchunks (fun c ->
+          let stats = Stats.create () in
+          let log = Warp_access.new_log () in
+          let acc = Warp_access.create ~sink:(Warp_access.Log log) dev mem stats in
+          let lo = c * nblocks / nchunks and hi = (c + 1) * nblocks / nchunks in
+          for b = lo to hi - 1 do
+            exec_block stats acc (bid_of b)
+          done;
+          (stats, log))
+    in
+    (* merge in chunk order: counters are additive; the L2 logs replay in
+       serial block order, so hit accounting matches jobs = 1 exactly *)
+    let stats = Stats.create () in
+    Array.iter (fun (s, _) -> Stats.add stats s) results;
+    Array.iter (fun (_, lg) -> Warp_access.replay_log dev mem stats lg) results;
+    stats
+  end
 
 (* ----- engine selection ----- *)
 
@@ -455,6 +482,34 @@ let default_engine () =
 
 let fallbacks = ref 0
 let last_fallback : string option ref = ref None
+
+(* ----- intra-launch parallelism ----- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "PPAT_SIM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n Ppat_parallel.max_jobs
+    | Some _ | None -> 1)
+  | None -> 1
+
+let parallel_fallbacks = ref 0
+let last_parallel_fallback : string option ref = ref None
+
+(* blocks of a kernel with global atomics observe each other through the
+   atomics' results, so their relative order matters; such launches run
+   serially to stay deterministic (and identical to jobs = 1) *)
+let effective_jobs ~jobs (l : Kir.launch) =
+  if jobs <= 1 then 1
+  else if Kir.uses_global_atomics l.kernel then begin
+    incr parallel_fallbacks;
+    last_parallel_fallback :=
+      Some
+        (Printf.sprintf "kernel %s uses global atomics; running serially"
+           l.kernel.kname);
+    1
+  end
+  else jobs
 
 (* launch validation is shared by both engines; the reference engine
    re-checks harmlessly *)
@@ -470,17 +525,22 @@ let validate (dev : Device.t) (l : Kir.launch) =
     trap "kernel %s: block of %d threads exceeds device limit %d" k.kname tpb
       dev.max_threads_per_block
 
-let run ?engine (dev : Device.t) (mem : Memory.t) (l : Kir.launch) : Stats.t =
+let run ?engine ?jobs (dev : Device.t) (mem : Memory.t) (l : Kir.launch) :
+    Stats.t =
   let engine =
     match engine with Some e -> e | None -> default_engine ()
   in
+  let jobs =
+    match jobs with Some j -> max 1 (min j Ppat_parallel.max_jobs) | None -> default_jobs ()
+  in
+  let jobs = effective_jobs ~jobs l in
   match engine with
-  | Reference -> run_reference dev mem l
+  | Reference -> run_reference ~jobs dev mem l
   | Compiled -> (
     validate dev l;
     match Compile.compile dev mem l with
-    | Ok c -> Compile.execute dev c
+    | Ok c -> Compile.execute ~jobs dev c
     | Error reason ->
       incr fallbacks;
       last_fallback := Some reason;
-      run_reference dev mem l)
+      run_reference ~jobs dev mem l)

@@ -43,8 +43,21 @@ val fallbacks : int ref
 val last_fallback : string option ref
 (** Reason of the most recent fallback. *)
 
+val default_jobs : unit -> int
+(** Worker-domain count for intra-launch parallel simulation: the
+    [PPAT_SIM_JOBS] environment variable (clamped to
+    [1 .. Ppat_parallel.max_jobs]), defaulting to 1 (serial). *)
+
+val parallel_fallbacks : int ref
+(** Number of launches that requested [jobs > 1] but ran serially because
+    the kernel uses global atomics (cumulative; tests reset it). *)
+
+val last_parallel_fallback : string option ref
+(** Reason of the most recent serial fallback of a parallel run. *)
+
 val run :
   ?engine:engine ->
+  ?jobs:int ->
   Ppat_gpu.Device.t ->
   Ppat_gpu.Memory.t ->
   Kir.launch ->
@@ -52,7 +65,17 @@ val run :
 (** Execute a launch against device memory, mutating buffers in place, and
     return the collected statistics. [engine] defaults to
     {!default_engine}[ ()]; both engines produce bit-identical statistics
-    and buffer contents. *)
+    and buffer contents.
+
+    [jobs] (default {!default_jobs}[ ()]) sets the number of worker
+    domains the launch's blocks are partitioned across. Every statistic —
+    the L2 hit split included — is bit-identical to [jobs = 1]: workers
+    log their transaction lines instead of racing on the shared L2 table,
+    and the logs are replayed through the address-sliced L2 in serial
+    block order at merge time ({!Ppat_gpu.Warp_access.replay_log}).
+    Launches whose kernels use global atomics run serially regardless
+    ({!parallel_fallbacks}). Buffer mutations race only if distinct blocks
+    write the same element, which the codegen never emits. *)
 
 val max_loop_iters : int
 (** Safety cap on per-thread loop trip counts (defends tests against

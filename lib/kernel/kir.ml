@@ -97,6 +97,15 @@ let blocks l =
 
 let geometry l : Ppat_gpu.Timing.geometry = { grid = l.grid; block = l.block }
 
+let uses_global_atomics k =
+  let rec stmt = function
+    | Atomic_add_g _ | Atomic_add_ret _ -> true
+    | If (_, t, e) -> stmts t || stmts e
+    | For { body; _ } | While (_, body) -> stmts body
+    | Set _ | Store_g _ | Store_s _ | Sync | Malloc_event -> false
+  and stmts l = List.exists stmt l in
+  stmts k.body
+
 let validate k =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in

@@ -91,6 +91,11 @@ val blocks : launch -> int
 
 val geometry : launch -> Ppat_gpu.Timing.geometry
 
+val uses_global_atomics : kernel -> bool
+(** Whether any statement (at any nesting depth) is a global atomic.
+    Blocks of such kernels observe each other through atomic results, so
+    the parallel simulator runs them serially to stay deterministic. *)
+
 val validate : kernel -> (unit, string) result
 (** Checks register slots are within [nregs] and shared stores target
     declared shared arrays. *)

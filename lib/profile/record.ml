@@ -25,10 +25,11 @@ type run = {
   aggregate : Stats.t;
   total_seconds : float;
   sim_wall_total : float;
+  sim_jobs : int;
 }
 
-let make_run ~app ~strategy ~device ?(cost_model = "soft") ~total_seconds
-    kernels =
+let make_run ~app ~strategy ~device ?(cost_model = "soft") ?(sim_jobs = 1)
+    ~total_seconds kernels =
   let aggregate = Stats.create () in
   List.iter (fun k -> Stats.add aggregate k.stats) kernels;
   {
@@ -39,6 +40,7 @@ let make_run ~app ~strategy ~device ?(cost_model = "soft") ~total_seconds
     kernels;
     aggregate;
     total_seconds;
+    sim_jobs;
     sim_wall_total =
       List.fold_left (fun acc k -> acc +. k.sim_wall_seconds) 0. kernels;
   }
@@ -111,13 +113,14 @@ let json_of_kernel k =
 let json_of_run r =
   Jsonx.Obj
     [
-      ("schema", Jsonx.Str "ppat-profile/2");
+      ("schema", Jsonx.Str "ppat-profile/3");
       ("app", Jsonx.Str r.app);
       ("strategy", Jsonx.Str r.strategy);
       ("device", Jsonx.Str r.device);
       ("cost_model", Jsonx.Str r.cost_model);
       ("total_seconds", Jsonx.Float r.total_seconds);
       ("sim_wall_seconds", Jsonx.Float r.sim_wall_total);
+      ("sim_jobs", Jsonx.Int r.sim_jobs);
       ("kernel_count", Jsonx.Int (List.length r.kernels));
       ("aggregate_stats", json_of_stats r.aggregate);
       ("kernels", Jsonx.List (List.map json_of_kernel r.kernels));

@@ -35,6 +35,7 @@ type run = {
   aggregate : Ppat_gpu.Stats.t;  (** sum of all per-kernel stats *)
   total_seconds : float;  (** simulated time, as reported by the runner *)
   sim_wall_total : float;
+  sim_jobs : int;  (** simulator worker domains the run executed with *)
 }
 
 val make_run :
@@ -42,6 +43,7 @@ val make_run :
   strategy:string ->
   device:string ->
   ?cost_model:string ->
+  ?sim_jobs:int ->
   total_seconds:float ->
   kernel list ->
   run
@@ -63,7 +65,8 @@ val json_of_breakdown : Ppat_gpu.Timing.breakdown -> Jsonx.t
 val json_of_kernel : kernel -> Jsonx.t
 
 val json_of_run : run -> Jsonx.t
-(** Stable schema ["ppat-profile/2"]: run header (now including the
-    active [cost_model]), aggregate stats, and one record per kernel
-    (now including [predicted_cycles] and [prediction_error], [null]
-    when no prediction applies). *)
+(** Stable schema ["ppat-profile/3"]: run header (now including the
+    active [cost_model], [sim_jobs] and the parallel wall clock in
+    [sim_wall_seconds]), aggregate stats, and one record per kernel
+    (including [predicted_cycles] and [prediction_error], [null] when no
+    prediction applies). *)

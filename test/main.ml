@@ -22,5 +22,6 @@ let () =
       ("profile", Test_profile.tests);
       ("codegen-opts", Test_codegen_opts.tests);
       ("engine", Test_engine.tests);
+      ("parallel", Test_parallel.tests);
       ("properties", Test_props.tests);
     ]

@@ -74,8 +74,11 @@ let test_json_roundtrip () =
   (* spot-check the schema *)
   let get k j = match Jsonx.member k j with Some v -> v | None ->
     Alcotest.fail ("missing key " ^ k) in
-  Alcotest.(check (option string)) "schema" (Some "ppat-profile/2")
+  Alcotest.(check (option string)) "schema" (Some "ppat-profile/3")
     (Jsonx.to_str (get "schema" j));
+  Alcotest.(check (option int)) "sim_jobs"
+    (Some 1)
+    (Jsonx.to_int (get "sim_jobs" j));
   let kernels = Option.get (Jsonx.to_list (get "kernels" j)) in
   Alcotest.(check (option int)) "kernel_count"
     (Some (List.length kernels))
