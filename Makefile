@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models parallel bench-smoke check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke report bench-diff check bench bench-json clean
 
 all: build
 
@@ -51,7 +51,27 @@ parallel: build
 	dune exec bin/ppat.exe -- run sum_rows --sim-jobs 4 > /dev/null
 	@echo "parallel: tier-1 OK at 1 and 4 sim jobs; --sim-jobs smoke OK"
 
-check: build test smoke engines cost-models parallel bench-smoke
+# per-access-site attribution smoke: render the hot-spot table for three
+# apps (one under multi-domain simulation) and check the emitted profile
+# JSON (schema ppat-profile/4, with sites and metrics) still parses
+report: build
+	dune exec bin/ppat.exe -- report sum_rows --json /tmp/ppat_report_sum_rows.json > /dev/null
+	dune exec bin/ppat.exe -- report sum_cols --json /tmp/ppat_report_sum_cols.json > /dev/null
+	dune exec bin/ppat.exe -- report qpscd --sim-jobs 2 --json /tmp/ppat_report_qpscd.json > /dev/null
+	python3 -m json.tool /tmp/ppat_report_sum_rows.json > /dev/null
+	python3 -m json.tool /tmp/ppat_report_sum_cols.json > /dev/null
+	python3 -m json.tool /tmp/ppat_report_qpscd.json > /dev/null
+	@echo "report: hot-spot attribution path OK"
+
+# bench regression gate: regenerate the perf trajectory (single app worker
+# so wall clocks are undistorted) and diff it against the frozen artifact
+# of the previous PR. Fails on a >10% (and >50 ms) per-app sim-wall
+# regression or on any simulator-statistic drift.
+bench-diff: build
+	dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr5.json /tmp/ppat_bench_gate.json
+
+check: build test smoke engines cost-models parallel bench-smoke report bench-diff
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json

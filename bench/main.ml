@@ -10,9 +10,15 @@
      bench/main.exe --json [FILE]   write a machine-readable perf trajectory
                                     (default BENCH_run.json) so successive
                                     PRs can be diffed
+     bench/main.exe --compare BASELINE.json NEW.json
+                                    diff two --json trajectories; exits
+                                    non-zero on a >10% sim-wall regression
+                                    or any simulator-statistic mismatch
      bench/main.exe -j N            app-level worker domains
      bench/main.exe --sim-jobs N    intra-launch simulator domains per run
-                                    (statistics are identical at any N) *)
+                                    (statistics are identical at any N)
+     bench/main.exe --best-of N     timing repeats per app for --json (min
+                                    wall kept; results are deterministic) *)
 
 let dev = Ppat_gpu.Device.k20c
 
@@ -131,7 +137,7 @@ let perf_suite () =
 let pool_run = Ppat_parallel.pool_run
 let default_jobs = Ppat_parallel.default_jobs
 
-let run_json ~jobs ~sim_jobs file =
+let run_json ~jobs ~sim_jobs ~best_of file =
   let module J = Ppat_profile.Jsonx in
   let suite = Array.of_list (perf_suite ()) in
   let t_suite = Unix.gettimeofday () in
@@ -139,17 +145,32 @@ let run_json ~jobs ~sim_jobs file =
     pool_run ~jobs (Array.length suite) (fun i ->
         let name, (app : Ppat_apps.App.t), strat, opts = suite.(i) in
         let data = Ppat_apps.App.input_data app in
-        let t0 = Unix.gettimeofday () in
-        let r =
-          Ppat_harness.Runner.run_gpu ?opts ~sim_jobs ~params:app.params dev
-            app.prog strat data
+        (* every repeat produces bit-identical results and statistics; only
+           the wall clock varies, so keep the fastest (least-disturbed)
+           timing and the first run's record *)
+        let measure () =
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Ppat_harness.Runner.run_gpu ?opts ~sim_jobs ~params:app.params dev
+              app.prog strat data
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let sim_wall =
+            List.fold_left
+              (fun acc (k : Ppat_profile.Record.kernel) ->
+                acc +. k.sim_wall_seconds)
+              0. r.profile
+          in
+          (r, wall, sim_wall)
         in
-        let wall = Unix.gettimeofday () -. t0 in
-        let sim_wall =
-          List.fold_left
-            (fun acc (k : Ppat_profile.Record.kernel) ->
-              acc +. k.sim_wall_seconds)
-            0. r.profile
+        let r, wall, sim_wall =
+          let rec best ((r0, w0, sw0) as acc) k =
+            if k >= best_of then acc
+            else
+              let _, w, sw = measure () in
+              best (r0, min w0 w, min sw0 sw) (k + 1)
+          in
+          best (measure ()) 1
         in
         ( name,
           wall,
@@ -213,12 +234,115 @@ let run_json ~jobs ~sim_jobs file =
               | Ppat_kernel.Interp.Compiled -> "compiled") );
          ("jobs", J.Int jobs);
          ("sim_jobs", J.Int sim_jobs);
+         ("best_of", J.Int best_of);
          ("total_pipeline_wall_seconds", J.Float total_wall);
          ("total_sim_wall_seconds", J.Float total_sim_wall);
          ("suite_wall_seconds", J.Float suite_wall);
          ("results", J.List (Array.to_list (Array.map (fun (_, _, _, _, j) -> j) results)));
        ]);
   Format.printf "wrote perf trajectory to %s@." file
+
+(* ----- --compare: the bench regression gate. Diffs two --json
+   trajectories app by app. Simulator statistics are deterministic, so any
+   difference there is a real behaviour change and fails the gate
+   outright; wall clock is noisy, so only a regression that is both >10%
+   and >50 ms of per-app simulator wall time fails. ----- *)
+
+let regression_pct = 10.0
+let regression_abs_floor = 0.05 (* seconds of per-app sim wall *)
+
+let load_bench file =
+  let module J = Ppat_profile.Jsonx in
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match J.of_string s with
+  | Ok j -> j
+  | Error e ->
+    Format.eprintf "%s: %s@." file e;
+    exit 2
+
+let compare_bench base_file new_file =
+  let module J = Ppat_profile.Jsonx in
+  let base = load_bench base_file and next = load_bench new_file in
+  let str key j =
+    Option.value ~default:"?" (Option.bind (J.member key j) J.to_str)
+  in
+  let results j =
+    match Option.bind (J.member "results" j) J.to_list with
+    | None ->
+      Format.eprintf "not a ppat-bench trajectory (no \"results\" list)@.";
+      exit 2
+    | Some l ->
+      List.filter_map
+        (fun r ->
+          Option.map (fun n -> (n, r)) (Option.bind (J.member "name" r) J.to_str))
+        l
+  in
+  List.iter
+    (fun key ->
+      let b = str key base and n = str key next in
+      if b <> n then
+        Format.printf "note: %s differs (%s vs %s); deltas may not be comparable@."
+          key b n)
+    [ "schema"; "engine"; "cost_model"; "device"; "sim_jobs" ];
+  let brs = results base and nrs = results next in
+  let failures = ref 0 in
+  let fail fmt = Format.kasprintf (fun s -> incr failures; Format.printf "  FAIL %s@." s) fmt in
+  Format.printf "comparing %s (baseline) vs %s:@." base_file new_file;
+  Format.printf "  %-24s %12s %12s %8s  %s@." "app" "base sim-w" "new sim-w"
+    "delta" "stats";
+  List.iter
+    (fun (name, br) ->
+      match List.assoc_opt name nrs with
+      | None -> fail "%s: present in baseline only" name
+      | Some nr ->
+        let f key j =
+          Option.value ~default:nan (Option.bind (J.member key j) J.to_float)
+        in
+        let bw = f "sim_wall_seconds" br and nw = f "sim_wall_seconds" nr in
+        let pct = if bw > 0. then 100. *. (nw -. bw) /. bw else 0. in
+        let bstats = J.member "stats" br and nstats = J.member "stats" nr in
+        let stats_ok =
+          match (bstats, nstats) with
+          | Some b, Some n -> J.equal b n
+          | _ -> false
+        in
+        Format.printf "  %-24s %10.3f s %10.3f s %+7.1f%%  %s@." name bw nw pct
+          (if stats_ok then "identical" else "MISMATCH");
+        if not stats_ok then begin
+          fail "%s: simulator statistics differ" name;
+          match (bstats, nstats) with
+          | Some (J.Obj b), Some (J.Obj n) ->
+            List.iter
+              (fun (k, bv) ->
+                match List.assoc_opt k n with
+                | Some nv when J.equal bv nv -> ()
+                | Some nv ->
+                  Format.printf "       %s: %s -> %s@." k
+                    (J.to_string ~minify:true bv)
+                    (J.to_string ~minify:true nv)
+                | None -> Format.printf "       %s: missing in new@." k)
+              b
+          | _ -> ()
+        end;
+        if pct > regression_pct && nw -. bw > regression_abs_floor then
+          fail "%s: sim wall regressed %.1f%% (%.3f s -> %.3f s)" name pct bw nw)
+    brs;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name brs) then
+        Format.printf "  note: %s is new (not in baseline)@." name)
+    nrs;
+  if !failures = 0 then begin
+    Format.printf "bench gate: OK (%d apps, no regressions, stats identical)@."
+      (List.length brs);
+    exit 0
+  end
+  else begin
+    Format.printf "bench gate: %d failure(s)@." !failures;
+    exit 1
+  end
 
 (* ----- entry point ----- *)
 
@@ -242,12 +366,14 @@ let run_figures ~jobs names all =
   in
   Array.iter print_string outputs
 
-(* pull [-j N] (app-level workers; default one per core, capped at 8) and
+(* pull [-j N] (app-level workers; default one per core, capped at 8),
    [--sim-jobs N] (intra-launch simulator domains; default $PPAT_SIM_JOBS
-   or 1) out of the argument list *)
+   or 1) and [--best-of N] (timing repeats per app for --json; min wall is
+   kept, results are deterministic) out of the argument list *)
 let parse_jobs args =
   let jobs = ref (default_jobs ()) in
   let sim_jobs = ref (Ppat_kernel.Interp.default_jobs ()) in
+  let best_of = ref 1 in
   let rec go acc = function
     | "-j" :: n :: rest ->
       jobs := int_of_string n;
@@ -255,14 +381,23 @@ let parse_jobs args =
     | "--sim-jobs" :: n :: rest ->
       sim_jobs := max 1 (min (int_of_string n) Ppat_parallel.max_jobs);
       go acc rest
+    | "--best-of" :: n :: rest ->
+      best_of := max 1 (int_of_string n);
+      go acc rest
     | a :: rest -> go (a :: acc) rest
-    | [] -> (!jobs, !sim_jobs, List.rev acc)
+    | [] -> (!jobs, !sim_jobs, !best_of, List.rev acc)
   in
   go [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs, sim_jobs, args = parse_jobs args in
+  let jobs, sim_jobs, best_of, args = parse_jobs args in
+  (match args with
+   | "--compare" :: base :: next :: _ -> compare_bench base next
+   | "--compare" :: _ ->
+     Format.eprintf "--compare expects BASELINE.json NEW.json@.";
+     exit 2
+   | _ -> ());
   if List.mem "--json" args then begin
     let file =
       match args with
@@ -271,7 +406,7 @@ let () =
     in
     Format.printf "perf-trajectory suite on simulated %s:@."
       dev.Ppat_gpu.Device.dname;
-    run_json ~jobs ~sim_jobs file
+    run_json ~jobs ~sim_jobs ~best_of file
   end
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin

@@ -5,6 +5,8 @@
      run APP [-s STRATEGY]     analyse, lower, simulate and validate an app
      profile APP [-s STRAT] [--json F] [--chrome-trace F]
                                per-kernel profiles of a simulated run
+     report APP [-s STRAT] [--json F]
+                               per-access-site hot-spot attribution table
      trace-search APP [-s STRAT] [--json F]
                                ranked trace of the mapping search
      modelcmp APP [--top K] [--json F]
@@ -111,13 +113,19 @@ let cmd_run name strat engine model sim_jobs =
     Format.printf "VALIDATION FAILED: %s@." e;
     exit 1
 
-let cmd_profile name strat engine model sim_jobs json chrome =
+(* profile and report share the attributed run: site attribution on, the
+   metrics registry reset at the start so the snapshot covers exactly
+   this run, and span recording on for the Chrome-trace timeline *)
+let attributed_run name strat engine model sim_jobs =
   let app = find_app name in
   let data = A.App.input_data app in
+  Ppat_profile.Metrics.reset ();
+  Ppat_profile.Metrics.set_span_recording true;
   let r =
-    Ppat_harness.Runner.run_gpu ~engine ~sim_jobs ~params:app.params ~model
-      dev app.prog strat data
+    Ppat_harness.Runner.run_gpu ~engine ~sim_jobs ~attr:true
+      ~params:app.params ~model dev app.prog strat data
   in
+  Ppat_profile.Metrics.set_span_recording false;
   let run =
     Ppat_profile.Record.make_run ~app:name
       ~strategy:(Ppat_core.Strategy.name strat)
@@ -125,18 +133,40 @@ let cmd_profile name strat engine model sim_jobs json chrome =
       ~cost_model:(Cost_model.name model)
       ~sim_jobs ~total_seconds:r.seconds r.profile
   in
+  (r, run)
+
+let cmd_profile name strat engine model sim_jobs json chrome =
+  let r, run = attributed_run name strat engine model sim_jobs in
   Format.printf "%a@." Ppat_profile.Report.pp_run run;
   List.iter (fun n -> Format.printf "note: %s@." n) r.notes;
   (match json with
    | None -> ()
    | Some f ->
-     Ppat_profile.Jsonx.to_file f (Ppat_profile.Record.json_of_run run);
+     Ppat_profile.Jsonx.to_file f
+       (Ppat_profile.Record.json_of_run
+          ~metrics:(Ppat_profile.Metrics.snapshot_json ())
+          run);
      Format.printf "wrote JSON profile to %s@." f);
   match chrome with
   | None -> ()
   | Some f ->
-    Ppat_profile.Chrome_trace.to_file f run;
+    Ppat_profile.Chrome_trace.to_file
+      ~spans:(Ppat_profile.Metrics.spans ())
+      f run;
     Format.printf "wrote Chrome trace to %s (load in about://tracing)@." f
+
+let cmd_report name strat engine model sim_jobs json =
+  let _, run = attributed_run name strat engine model sim_jobs in
+  Format.printf "%a@." Ppat_profile.Report.pp_hotspots run;
+  Format.printf "run metrics:@.%a@." Ppat_profile.Metrics.pp_snapshot ();
+  match json with
+  | None -> ()
+  | Some f ->
+    Ppat_profile.Jsonx.to_file f
+      (Ppat_profile.Record.json_of_run
+         ~metrics:(Ppat_profile.Metrics.snapshot_json ())
+         run);
+    Format.printf "wrote JSON profile to %s@." f
 
 (* iterate launches of the program once, for cuda/explain/modelcmp *)
 let iter_launches (app : A.App.t) f =
@@ -479,6 +509,11 @@ let usage () =
      \  profile APP [-s STRATEGY] [--engine E] [--cost-model M] [--sim-jobs N]\n\
      \                            [--json FILE] [--chrome-trace FILE]\n\
      \                            per-kernel profile of a simulated run\n\
+     \  report APP [-s STRATEGY] [--engine E] [--cost-model M] [--sim-jobs N]\n\
+     \                            [--json FILE]\n\
+     \                            per-access-site hot-spot table (transactions,\n\
+     \                            conflicts, divergence, prediction error per\n\
+     \                            buffer) plus the run's engine metrics\n\
      \  trace-search APP [-s STRATEGY] [--cost-model M] [--json FILE]\n\
      \                            ranked trace of the mapping search\n\
      \  modelcmp APP [--engine E] [--top K] [--json FILE]\n\
@@ -574,6 +609,13 @@ let () =
     let f = parse_flags rest in
     cmd_profile name f.f_strat f.f_engine f.f_model f.f_sim_jobs f.f_json
       f.f_chrome
+  | _ :: "report" :: name :: rest ->
+    let f = parse_flags rest in
+    if f.f_chrome <> None then begin
+      Format.eprintf "--chrome-trace applies to 'profile' only@.";
+      exit 1
+    end;
+    cmd_report name f.f_strat f.f_engine f.f_model f.f_sim_jobs f.f_json
   | _ :: "trace-search" :: name :: rest ->
     let f = parse_flags rest in
     if f.f_chrome <> None then begin

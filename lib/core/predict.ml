@@ -4,6 +4,13 @@ module Timing = Ppat_gpu.Timing
 module Access = Ppat_ir.Access
 module Levels = Ppat_ir.Levels
 
+type access_est = {
+  ae_buf : string;
+  ae_store : bool;
+  ae_tx_per_warp : float;
+  ae_transactions : float;
+}
+
 type t = {
   geometry : Timing.geometry;
   stats : Stats.t;
@@ -11,6 +18,7 @@ type t = {
   breakdown : Timing.breakdown;
   cycles : float;
   seconds : float;
+  per_access : access_est list;
 }
 
 (* element sizes are not visible in the access analysis; assume doubles.
@@ -127,6 +135,7 @@ let predict (dev : Device.t) (c : Collect.t) (m : Mapping.t) =
   in
   let stats = Stats.create () in
   let scalar_ops = ref (insts_per_index *. total_work) in
+  let per_access = ref [] in
   List.iter
     (fun (a : Access.access) ->
       if a.Access.alocal then
@@ -136,11 +145,20 @@ let predict (dev : Device.t) (c : Collect.t) (m : Mapping.t) =
         (* weight/warp full-warp executions of the access, inflated by
            lane padding; each generates tx_per_warp transactions *)
         let winsts = a.Access.weight /. warp /. util in
-        let tx = transactions_per_warp dev c m a *. (a.Access.weight /. warp) in
+        let txw = transactions_per_warp dev c m a in
+        let tx = txw *. (a.Access.weight /. warp) in
         stats.Stats.mem_insts <- stats.Stats.mem_insts +. winsts;
         stats.Stats.transactions <- stats.Stats.transactions +. tx;
         stats.Stats.bytes <-
-          stats.Stats.bytes +. (tx *. float_of_int dev.transaction_bytes)
+          stats.Stats.bytes +. (tx *. float_of_int dev.transaction_bytes);
+        per_access :=
+          {
+            ae_buf = a.Access.abuf;
+            ae_store = a.Access.is_store;
+            ae_tx_per_warp = txw;
+            ae_transactions = tx;
+          }
+          :: !per_access
       end)
     c.accesses;
   stats.Stats.warp_insts <- !scalar_ops /. warp /. util;
@@ -178,4 +196,5 @@ let predict (dev : Device.t) (c : Collect.t) (m : Mapping.t) =
     breakdown;
     cycles = breakdown.Timing.seconds *. dev.clock_ghz *. 1e9;
     seconds = breakdown.Timing.seconds;
+    per_access = List.rev !per_access;
   }

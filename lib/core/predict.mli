@@ -19,6 +19,17 @@
     the same way they move the simulator, so candidate {e rankings}
     agree ([ppat modelcmp] measures exactly that). *)
 
+type access_est = {
+  ae_buf : string;  (** buffer the access analysis attributed it to *)
+  ae_store : bool;
+  ae_tx_per_warp : float;
+      (** estimated transactions per warp-wide execution
+          ({!transactions_per_warp}) *)
+  ae_transactions : float;
+      (** estimated total transactions over the whole nest — the quantity
+          the profile report joins against simulated per-site counts *)
+}
+
 type t = {
   geometry : Ppat_gpu.Timing.geometry;
       (** launch geometry the mapping lowers to (same derivation as
@@ -32,6 +43,9 @@ type t = {
           [geometry] *)
   cycles : float;  (** predicted total cycles, the ranking quantity *)
   seconds : float;  (** [breakdown.seconds], for simulator comparison *)
+  per_access : access_est list;
+      (** one estimate per global access, in analysis order — lets the
+          report localise prediction error to individual buffers *)
 }
 
 val predict : Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> t

@@ -62,7 +62,7 @@ let hard_violations (dev : Ppat_gpu.Device.t) (m : Mapping.t) =
    violations, if any) before feasible ones reach [f]; the set and order
    of feasible candidates is identical either way, so tracing never
    changes the search outcome. *)
-let iter_candidates ?trace dev (c : Collect.t) f =
+let iter_candidates ?trace ?(on_prune = fun () -> ()) dev (c : Collect.t) f =
   let nlevels = c.levels.depth in
   if nlevels > List.length Mapping.dims then
     invalid_arg
@@ -82,7 +82,7 @@ let iter_candidates ?trace dev (c : Collect.t) f =
       let m = Array.of_list (List.rev acc) in
       let violations = hard_violations dev m in
       (match trace with Some g -> g m violations | None -> ());
-      if violations = [] then f m
+      if violations = [] then f m else on_prune ()
     end
     else
       match dims with
@@ -96,7 +96,8 @@ let iter_candidates ?trace dev (c : Collect.t) f =
                   levels (l + 1)
                     ({ Mapping.dim; bsize; span } :: acc)
                     dims_rest)
-                (spans_for l))
+                (spans_for l)
+            else on_prune ())
           bsizes
   in
   List.iter (fun dims -> levels 0 [] dims) dim_assignments
@@ -123,13 +124,21 @@ let search ?trace ?(model = Cost_model.default ()) dev (c : Collect.t) =
   let eval = Cost_model.evaluate model dev c in
   let best = ref None in
   let count = ref 0 in
+  let labels = [ ("model", Cost_model.name model) ] in
+  let m_evaluated =
+    Ppat_metrics.Metrics.counter ~labels "search.candidates_evaluated"
+  and m_pruned =
+    Ppat_metrics.Metrics.counter ~labels "search.candidates_pruned"
+  in
   let trace =
     match trace with
     | None -> None
     | Some g -> Some (fun m violations -> g (traced_of eval dev c m violations))
   in
-  iter_candidates ?trace dev c (fun m ->
+  let on_prune () = Ppat_metrics.Metrics.incr m_pruned in
+  iter_candidates ?trace ~on_prune dev c (fun m ->
       incr count;
+      Ppat_metrics.Metrics.incr m_evaluated;
       let e = eval m in
       match !best with
       | None -> best := Some (Array.copy m, e)

@@ -1,0 +1,98 @@
+(* Per-access-site counters.
+
+   A site is a static occurrence of a memory access (or branch, or atomic)
+   in a kernel body; the kernel-side annotation pass numbers them 0..n-1
+   and describes each one. This module only holds the matching counter
+   matrix: one row per site, one column per attributed statistic, all
+   integral-valued floats so sums are exact and order-independent (same
+   representation argument as [Stats.t]).
+
+   Attribution is total by construction: updates naming a site outside
+   [0, n) land in a dedicated overflow row instead of being dropped, so
+   the column sums always equal the corresponding aggregate [Stats.t]
+   counters bit for bit — a mis-annotated engine shows up as a non-zero
+   overflow row, not as a silently leaking total. *)
+
+type t = {
+  n : int;  (* declared sites; the matrix has one extra overflow row *)
+  cells : float array;  (* row-major, (n + 1) * ncols *)
+}
+
+let ncols = 9
+
+let col_mem_insts = 0
+let col_transactions = 1
+let col_bytes = 2
+let col_l2_bytes = 3
+let col_smem_insts = 4
+let col_smem_conflict_extra = 5
+let col_atomics = 6
+let col_atomic_serial_extra = 7
+let col_divergent_branches = 8
+
+let col_names =
+  [|
+    "mem_insts";
+    "transactions";
+    "bytes";
+    "l2_bytes";
+    "smem_insts";
+    "smem_conflict_extra";
+    "atomics";
+    "atomic_serial_extra";
+    "divergent_branches";
+  |]
+
+let create n =
+  if n < 0 then invalid_arg "Site_stats.create";
+  { n; cells = Array.make ((n + 1) * ncols) 0. }
+
+let create_like t = create t.n
+let sites t = t.n
+
+let row_of t site = if site >= 0 && site < t.n then site else t.n
+
+let bump t site col v =
+  let i = (row_of t site * ncols) + col in
+  t.cells.(i) <- t.cells.(i) +. v
+
+let get t site col = t.cells.((row_of t site * ncols) + col)
+
+let add acc t =
+  if acc.n <> t.n then invalid_arg "Site_stats.add: site count mismatch";
+  let a = acc.cells and b = t.cells in
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) +. b.(i)
+  done
+
+let reset t = Array.fill t.cells 0 (Array.length t.cells) 0.
+
+let equal a b = a.n = b.n && a.cells = b.cells
+
+let row t site =
+  Array.to_list
+    (Array.mapi (fun c name -> (name, get t site c)) col_names)
+
+let overflow t = row t t.n
+let overflow_is_zero t = List.for_all (fun (_, v) -> v = 0.) (overflow t)
+
+(* Column sums over every row including overflow, folded into a [Stats.t]
+   whose unattributed counters (warp_insts, syncs, mallocs) stay zero.
+   With a correct engine these equal the aggregate counters exactly. *)
+let totals t =
+  let s = Stats.create () in
+  for site = 0 to t.n do
+    s.Stats.mem_insts <- s.Stats.mem_insts +. get t site col_mem_insts;
+    s.Stats.transactions <- s.Stats.transactions +. get t site col_transactions;
+    s.Stats.bytes <- s.Stats.bytes +. get t site col_bytes;
+    s.Stats.l2_bytes <- s.Stats.l2_bytes +. get t site col_l2_bytes;
+    s.Stats.smem_insts <- s.Stats.smem_insts +. get t site col_smem_insts;
+    s.Stats.smem_conflict_extra <-
+      s.Stats.smem_conflict_extra +. get t site col_smem_conflict_extra;
+    s.Stats.atomics <- s.Stats.atomics +. get t site col_atomics;
+    s.Stats.atomic_serial_extra <-
+      s.Stats.atomic_serial_extra +. get t site col_atomic_serial_extra;
+    s.Stats.divergent_branches <-
+      s.Stats.divergent_branches +. get t site col_divergent_branches
+  done;
+  s

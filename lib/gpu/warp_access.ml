@@ -27,7 +27,7 @@
 
 type kind = Global | Shared
 
-(* flat group stream: [n; line_0 .. line_{n-1}; n'; ...] *)
+(* flat group stream: [site; n; line_0 .. line_{n-1}; site'; n'; ...] *)
 type l2_log = { mutable log_buf : int array; mutable log_len : int }
 
 type sink = Direct | Log of l2_log
@@ -36,6 +36,7 @@ type t = {
   dev : Device.t;
   mem : Memory.t;
   stats : Stats.t;
+  attr : Site_stats.t option;
   sink : sink;
   slices : int;
   cap_lines : int;
@@ -46,6 +47,10 @@ type t = {
   mutable lens : int array;
   mutable nslots : int;
   mutable lane_slot : int;
+  (* site ids of the current statement's slots, installed by the engines
+     before each flush group; slot s belongs to sites.(s). An empty array
+     (or a short one) attributes to the overflow row, never traps. *)
+  mutable sites : int array;
   (* reusable buffer for atomic contention accounting *)
   mutable atomic_idx : int array;
   mutable atomic_n : int;
@@ -53,12 +58,15 @@ type t = {
 
 let new_log () = { log_buf = Array.make 4096 0; log_len = 0 }
 
-let create ?(sink = Direct) (dev : Device.t) mem stats =
+let no_sites : int array = [||]
+
+let create ?(sink = Direct) ?attr (dev : Device.t) mem stats =
   let cap = 8 in
   {
     dev;
     mem;
     stats;
+    attr;
     sink;
     slices = dev.Device.l2_slices;
     cap_lines = dev.Device.l2_bytes / dev.Device.transaction_bytes;
@@ -68,6 +76,7 @@ let create ?(sink = Direct) (dev : Device.t) mem stats =
     lens = Array.make cap 0;
     nslots = 0;
     lane_slot = 0;
+    sites = no_sites;
     atomic_idx = Array.make dev.Device.warp_size 0;
     atomic_n = 0;
   }
@@ -116,6 +125,13 @@ let record t kind addr =
 let record_global t addr = record t Global addr
 let record_shared t word = record t Shared word
 
+(* Install the per-slot site ids of the statement about to flush. Both
+   engines arm this before every group that can hold memory slots, so a
+   stale array can never survive into a later flush. *)
+let set_sites t sites = t.sites <- sites
+
+let site_of t s = if s < Array.length t.sites then t.sites.(s) else -1
+
 (* --- node-major (vectorised) engine entry points ---
 
    The compiled engine's vector path knows each statement's memory slots at
@@ -144,8 +160,8 @@ let record_at t s addr =
   Array.unsafe_set buf n addr;
   Array.unsafe_set t.lens s (n + 1)
 
-let log_group lg (lines : int array) n =
-  let need = lg.log_len + n + 1 in
+let log_group lg site (lines : int array) n =
+  let need = lg.log_len + n + 2 in
   if need > Array.length lg.log_buf then begin
     let cap = ref (2 * Array.length lg.log_buf) in
     while need > !cap do
@@ -155,9 +171,10 @@ let log_group lg (lines : int array) n =
     Array.blit lg.log_buf 0 b 0 lg.log_len;
     lg.log_buf <- b
   end;
-  lg.log_buf.(lg.log_len) <- n;
-  Array.blit lines 0 lg.log_buf (lg.log_len + 1) n;
-  lg.log_len <- lg.log_len + n + 1
+  lg.log_buf.(lg.log_len) <- site;
+  lg.log_buf.(lg.log_len + 1) <- n;
+  Array.blit lines 0 lg.log_buf (lg.log_len + 2) n;
+  lg.log_len <- lg.log_len + n + 2
 
 let flush t =
   let stats = t.stats in
@@ -167,6 +184,7 @@ let flush t =
     (* a slot with no active lane contributes nothing (the lane-major path
        never materialises such a slot; the node-major path can) *)
     if n > 0 then begin
+      let site = site_of t s in
       match t.kinds.(s) with
       | Global ->
         let nlines =
@@ -184,42 +202,92 @@ let flush t =
                   ~slices:t.slices buf nlines)
            in
            stats.Stats.bytes <- stats.Stats.bytes +. ((trans -. hits) *. t.tb);
-           stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb)
+           stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb);
+           (match t.attr with
+            | None -> ()
+            | Some a ->
+              Site_stats.bump a site Site_stats.col_mem_insts 1.;
+              Site_stats.bump a site Site_stats.col_transactions trans;
+              Site_stats.bump a site Site_stats.col_bytes
+                ((trans -. hits) *. t.tb);
+              Site_stats.bump a site Site_stats.col_l2_bytes (hits *. t.tb))
          | Log lg ->
-           (* provisionally all-miss; the replay moves hit bytes to L2 *)
-           log_group lg buf nlines;
-           stats.Stats.bytes <- stats.Stats.bytes +. (trans *. t.tb))
+           (* provisionally all-miss; the replay moves hit bytes to L2,
+              per site, so the log carries the slot's site id *)
+           log_group lg site buf nlines;
+           stats.Stats.bytes <- stats.Stats.bytes +. (trans *. t.tb);
+           (match t.attr with
+            | None -> ()
+            | Some a ->
+              Site_stats.bump a site Site_stats.col_mem_insts 1.;
+              Site_stats.bump a site Site_stats.col_transactions trans;
+              Site_stats.bump a site Site_stats.col_bytes (trans *. t.tb)))
       | Shared ->
         let factor =
           Memory.bank_conflict_factor ~banks:t.dev.Device.smem_banks buf n
         in
         stats.Stats.smem_insts <- stats.Stats.smem_insts +. 1.;
         stats.Stats.smem_conflict_extra <-
-          stats.Stats.smem_conflict_extra +. float_of_int (factor - 1)
+          stats.Stats.smem_conflict_extra +. float_of_int (factor - 1);
+        (match t.attr with
+         | None -> ()
+         | Some a ->
+           Site_stats.bump a site Site_stats.col_smem_insts 1.;
+           Site_stats.bump a site Site_stats.col_smem_conflict_extra
+             (float_of_int (factor - 1)))
     end;
     t.lens.(s) <- 0
   done;
   t.nslots <- 0
 
-let replay_log (dev : Device.t) mem stats lg =
+(* Returns the number of L2 lines replayed, for the pool metrics. *)
+let replay_log ?attr (dev : Device.t) mem stats lg =
   let cap_lines = dev.Device.l2_bytes / dev.Device.transaction_bytes in
   let tb = float_of_int dev.Device.transaction_bytes in
   let slices = dev.Device.l2_slices in
   let scratch = ref (Array.make dev.Device.warp_size 0) in
   let buf = lg.log_buf in
   let i = ref 0 in
+  let lines = ref 0 in
   while !i < lg.log_len do
-    let n = buf.(!i) in
+    let site = buf.(!i) in
+    let n = buf.(!i + 1) in
     if n > Array.length !scratch then scratch := Array.make n 0;
-    Array.blit buf (!i + 1) !scratch 0 n;
+    Array.blit buf (!i + 2) !scratch 0 n;
     let hits =
       float_of_int
         (Memory.cache_access_lines mem ~cap_lines ~slices !scratch n)
     in
     stats.Stats.bytes <- stats.Stats.bytes -. (hits *. tb);
     stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. tb);
-    i := !i + n + 1
-  done
+    (match attr with
+     | None -> ()
+     | Some a ->
+       Site_stats.bump a site Site_stats.col_bytes (-.(hits *. tb));
+       Site_stats.bump a site Site_stats.col_l2_bytes (hits *. tb));
+    lines := !lines + n;
+    i := !i + n + 2
+  done;
+  !lines
+
+(* --- divergence --- *)
+
+(* Both engines detect divergent branches themselves; funnelling the bump
+   through here keeps the aggregate counter and the per-site row in one
+   place (and therefore equal by construction). *)
+let divergent t site =
+  t.stats.Stats.divergent_branches <- t.stats.Stats.divergent_branches +. 1.;
+  match t.attr with
+  | None -> ()
+  | Some a -> Site_stats.bump a site Site_stats.col_divergent_branches 1.
+
+(* Attribution-only half of [divergent], for the compiled engine: its
+   hottest loop closures keep the aggregate bump inline and only pay this
+   call on attributed runs (guarded by a per-context flag). *)
+let attr_divergent t site =
+  match t.attr with
+  | None -> ()
+  | Some a -> Site_stats.bump a site Site_stats.col_divergent_branches 1.
 
 (* --- atomic contention --- *)
 
@@ -235,7 +303,7 @@ let atomic_record t idx =
   t.atomic_idx.(n) <- idx;
   t.atomic_n <- n + 1
 
-let atomic_commit t (entry : Memory.entry) =
+let atomic_commit t site (entry : Memory.entry) =
   let distinct, worst = Memory.distinct_and_worst t.atomic_idx t.atomic_n in
   if distinct > 0 then begin
     let stats = t.stats in
@@ -247,5 +315,15 @@ let atomic_commit t (entry : Memory.entry) =
       stats.Stats.l2_bytes
       +. float_of_int (distinct * 2 * entry.Memory.elem_bytes);
     stats.Stats.atomic_serial_extra <-
-      stats.Stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1))
+      stats.Stats.atomic_serial_extra +. float_of_int (max 0 (worst - 1));
+    match t.attr with
+    | None -> ()
+    | Some a ->
+      Site_stats.bump a site Site_stats.col_atomics 1.;
+      Site_stats.bump a site Site_stats.col_transactions
+        (float_of_int distinct);
+      Site_stats.bump a site Site_stats.col_l2_bytes
+        (float_of_int (distinct * 2 * entry.Memory.elem_bytes));
+      Site_stats.bump a site Site_stats.col_atomic_serial_extra
+        (float_of_int (max 0 (worst - 1)))
   end

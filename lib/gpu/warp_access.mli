@@ -33,12 +33,20 @@ type sink =
 
 val new_log : unit -> l2_log
 
-val create : ?sink:sink -> Device.t -> Memory.t -> Stats.t -> t
+val create : ?sink:sink -> ?attr:Site_stats.t -> Device.t -> Memory.t -> Stats.t -> t
 (** Scratch bound to one simulation run: constants derived from the
     device, the L2 of [mem] (sharded into [Device.l2_slices] slices), and
     the stats record to update. Not shareable across concurrent runs
     (domains create their own, with their own [Log] sink). [sink] defaults
-    to [Direct]. *)
+    to [Direct]. When [attr] is given, every counter update is also
+    attributed to the access site of its slot (see {!set_sites}). *)
+
+val set_sites : t -> int array -> unit
+(** Install the per-slot site ids of the statement about to execute:
+    slot [s] of the next {!flush} is attributed to [sites.(s)]. Engines
+    arm this before every group that can hold memory slots; a missing or
+    short array routes to the attribution overflow row. Cheap (one store),
+    with no effect when the scratch has no [attr]. *)
 
 val begin_lane : t -> unit
 (** Reset the slot cursor before executing a statement for the next lane. *)
@@ -64,17 +72,32 @@ val flush : t -> unit
 (** Price all slots of the completed warp statement into the stats and
     clear them. Slots no lane touched are skipped. *)
 
-val replay_log : Device.t -> Memory.t -> Stats.t -> l2_log -> unit
+val replay_log : ?attr:Site_stats.t -> Device.t -> Memory.t -> Stats.t -> l2_log -> int
 (** Run a worker's logged line groups through [mem]'s sliced L2 in order,
     moving the provisional all-miss DRAM bytes of every hit into
-    [l2_bytes]. Replaying each chunk's log in serial block order feeds the
-    L2 the exact line stream of a serial run, so hit counts match
-    [jobs = 1] bit for bit. *)
+    [l2_bytes] — per site when [attr] is given (each log group carries the
+    site id of the slot that produced it). Replaying each chunk's log in
+    serial block order feeds the L2 the exact line stream of a serial run,
+    so hit counts match [jobs = 1] bit for bit. Returns the number of L2
+    lines replayed. *)
+
+val divergent : t -> int -> unit
+(** Count one divergent branch, attributed to the given branch site. The
+    reference engine funnels its divergence detection through this so the
+    aggregate counter and the per-site row stay equal by construction. *)
+
+val attr_divergent : t -> int -> unit
+(** The attribution half of {!divergent} alone: bump only the per-site
+    row. For the compiled engine, whose loop closures keep the aggregate
+    bump inline and guard this call with a per-context flag — an
+    unattributed run must not pay a cross-module call per divergent
+    branch. *)
 
 val atomic_begin : t -> unit
 val atomic_record : t -> int -> unit
 
-val atomic_commit : t -> Memory.entry -> unit
-(** Fold the element indices recorded since [atomic_begin] into the
-    atomic-contention counters (one warp atomic instruction: distinct
-    addresses cost a transaction each, pile-ups serialise). *)
+val atomic_commit : t -> int -> Memory.entry -> unit
+(** [atomic_commit t site entry] folds the element indices recorded since
+    [atomic_begin] into the atomic-contention counters (one warp atomic
+    instruction: distinct addresses cost a transaction each, pile-ups
+    serialise), attributed to the atomic's access site. *)

@@ -49,8 +49,11 @@ let decide_all ?model dev (prog : Pat.prog) params strategy =
     | Pat.Launch n ->
       if not (List.mem_assoc n.pat.Pat.pid !decisions) then begin
         let c = Collect.collect ~params:ap ?bind:n.bind dev prog n.pat in
-        decisions := (n.pat.Pat.pid, Strategy.decide ?model dev c strategy)
-                     :: !decisions
+        let d =
+          Ppat_metrics.Metrics.span ~cat:"search" "mapping search"
+            (fun () -> Strategy.decide ?model dev c strategy)
+        in
+        decisions := (n.pat.Pat.pid, d) :: !decisions
       end
     | Pat.Host_loop { body; _ } | Pat.While_flag { body; _ } ->
       List.iter step body
@@ -59,8 +62,8 @@ let decide_all ?model dev (prog : Pat.prog) params strategy =
   List.iter step prog.steps;
   !decisions
 
-let exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
-    ?(via_of = fun _ -> "") ?(predicted_of = fun _ -> None)
+let exec_steps ?engine ?sim_jobs ?(attr = false) dev prog ~opts ~params
+    ~mapping_of ?(via_of = fun _ -> "") ?(predicted_of = fun _ -> None)
     (data : Host.data) =
   (match Pat.validate prog with
    | Ok () -> ()
@@ -90,10 +93,24 @@ let exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
         lowered.temps;
       List.iteri
         (fun li (l : Ppat_kernel.Kir.launch) ->
+          (* per-site attribution: the canonical annotation pass sizes the
+             matrix; both engines fill it bit-identically *)
+          let site_attr =
+            if not attr then None
+            else
+              let infos, _ = Ppat_kernel.Site.annotate l.kernel in
+              Some
+                ( infos,
+                  Ppat_gpu.Site_stats.create (Array.length infos) )
+          in
           (* real wall time, not CPU time: with [sim_jobs > 1] the
              interesting number is elapsed time across all domains *)
           let wall0 = Unix.gettimeofday () in
-          let s = Interp.run ?engine ?jobs:sim_jobs dev mem l in
+          let s =
+            Interp.run ?engine ?jobs:sim_jobs
+              ?attr:(Option.map snd site_attr)
+              dev mem l
+          in
           let wall = Unix.gettimeofday () -. wall0 in
           Stats.add agg s;
           let b = Timing.kernel_estimate dev (Ppat_kernel.Kir.geometry l) s in
@@ -115,6 +132,7 @@ let exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
                  own *)
               predicted =
                 (if li = 0 then predicted_of n.pat.Pat.pid else None);
+              site_attr;
             }
             :: !records;
           incr kernels)
@@ -147,8 +165,8 @@ let exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
   in
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
-let run_gpu ?engine ?sim_jobs ?(opts = Lower.default_options) ?(params = [])
-    ?model dev prog strategy data =
+let run_gpu ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
+    ?(params = []) ?model dev prog strategy data =
   let decisions = decide_all ?model dev prog params strategy in
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
@@ -164,7 +182,7 @@ let run_gpu ?engine ?sim_jobs ?(opts = Lower.default_options) ?(params = [])
     | None -> None
   in
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
+    exec_steps ?engine ?sim_jobs ?attr dev prog ~opts ~params ~mapping_of
       ~via_of ~predicted_of data
   in
   let label_of pid =
@@ -184,10 +202,10 @@ let run_gpu ?engine ?sim_jobs ?(opts = Lower.default_options) ?(params = [])
     profile;
   }
 
-let run_gpu_mapped ?engine ?sim_jobs ?(opts = Lower.default_options)
+let run_gpu_mapped ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
     ?(params = []) dev prog mapping_of data =
   let seconds, kernels, stats, out, notes, profile =
-    exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
+    exec_steps ?engine ?sim_jobs ?attr dev prog ~opts ~params ~mapping_of
       ~via_of:(fun _ -> "explicit mapping")
       data
   in

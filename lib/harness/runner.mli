@@ -25,6 +25,7 @@ type gpu_result = {
 val run_gpu :
   ?engine:Ppat_kernel.Interp.engine ->
   ?sim_jobs:int ->
+  ?attr:bool ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   ?model:Ppat_core.Cost_model.kind ->
@@ -42,11 +43,15 @@ val run_gpu :
     launches in [profile]. [sim_jobs] sets the simulator's intra-launch
     worker-domain count (defaults to
     {!Ppat_kernel.Interp.default_jobs}[ ()], i.e. [PPAT_SIM_JOBS]);
-    statistics are independent of it, only wall clock changes. *)
+    statistics are independent of it, only wall clock changes.
+    [attr] (default false) collects per-access-site counter attribution
+    into each profile record's [site_attr] — engine- and jobs-invariant,
+    summing exactly to the launch's aggregate stats. *)
 
 val run_gpu_mapped :
   ?engine:Ppat_kernel.Interp.engine ->
   ?sim_jobs:int ->
+  ?attr:bool ->
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   Ppat_gpu.Device.t ->

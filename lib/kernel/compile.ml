@@ -52,6 +52,10 @@ type ctx = {
   mutable bidy : int;
   mutable bidz : int;
   exists_mask : int;  (* lanes backed by a real thread *)
+  attr_on : bool;
+      (* site attribution enabled for this run. Checked inline in the
+         divergence hot path so unattributed runs pay one load+branch,
+         not a cross-module call, per divergent branch. *)
   facc : float array;
       (* one-element float-expression result slot. A flat float array is
          the only unboxed mutable float cell available in a mixed record
@@ -929,10 +933,11 @@ let rec pred_mask (f : bexp) hm ctx m lane taken =
 (* one warp statement: [write] per active lane, then price the accesses.
    Instruction counting is the precomputed [n] — the reference engine
    counts the same nodes while evaluating the first active lane. *)
-let group ~n ~hm (write : ctx -> int -> unit) : cstmt =
+let group ~n ~hm ~sites (write : ctx -> int -> unit) : cstmt =
   if hm then
     fun ctx mask ->
       bump ctx.stats n;
+      Warp_access.set_sites ctx.acc sites;
       each_lane_rec write ctx mask 0;
       Warp_access.flush ctx.acc
   else
@@ -1947,8 +1952,11 @@ let rec vcompile_exp env (st : vstate) (e : Kir.exp) : vtexp =
    the scalar [group] would bump. *)
 (* Close a vector fragment into a runnable closure: slot setup, node run,
    flush when the fragment touches memory.  No instruction bump and no
-   mask guard — the surrounding control flow does both. *)
-let vclose (st : vstate) : ctx -> int -> unit =
+   mask guard — the surrounding control flow does both. [sites] holds the
+   fragment's per-slot site ids; slot allocation order equals the
+   fragment's record order (both replay the reference evaluation order),
+   so index s names slot s. *)
+let vclose (st : vstate) (sites : int array) : ctx -> int -> unit =
   let nodes = Array.of_list (List.rev st.rev_nodes) in
   let kinds = Array.of_list (List.rev st.rev_kinds) in
   let nmem = st.nmem in
@@ -1957,6 +1965,7 @@ let vclose (st : vstate) : ctx -> int -> unit =
   vg.max_ni <- max vg.max_ni st.ni;
   vg.max_nf <- max vg.max_nf st.nf;
   if nmem > 0 then (fun ctx mask ->
+    Warp_access.set_sites ctx.acc sites;
     Warp_access.set_slots ctx.acc kinds nmem;
     for i = 0 to nn - 1 do
       (Array.unsafe_get nodes i) ctx mask
@@ -1967,7 +1976,16 @@ let vclose (st : vstate) : ctx -> int -> unit =
       (Array.unsafe_get nodes i) ctx mask
     done
 
-let vcompile_stmt env (s : Kir.stmt) : cstmt option =
+(* the flush-group site array of a straight-line statement's annotation *)
+let simple_sites (a : Site.ann) =
+  match a with Site.A_simple s -> s | _ -> Site.no_sites
+
+(* operand sites and the atomic's own site; [-1] routes a malformed
+   annotation to the overflow row instead of dropping the counts *)
+let atomic_sites (a : Site.ann) =
+  match a with Site.A_atomic (ops, s) -> (ops, s) | _ -> (Site.no_sites, -1)
+
+let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
   let st =
     {
       vg = env.vg;
@@ -1979,6 +1997,7 @@ let vcompile_stmt env (s : Kir.stmt) : cstmt option =
       nmem = 0;
     }
   in
+  let sites = simple_sites a in
   let finish n =
     let nodes = Array.of_list (List.rev st.rev_nodes) in
     let kinds = Array.of_list (List.rev st.rev_kinds) in
@@ -1992,6 +2011,7 @@ let vcompile_stmt env (s : Kir.stmt) : cstmt option =
         (fun ctx mask ->
           bump ctx.stats n;
           if mask <> 0 then begin
+            Warp_access.set_sites ctx.acc sites;
             Warp_access.set_slots ctx.acc kinds nmem;
             for i = 0 to nn - 1 do
               (Array.unsafe_get nodes i) ctx mask
@@ -2075,23 +2095,33 @@ let vcompile_stmt env (s : Kir.stmt) : cstmt option =
     | _ -> None
   with Unvectorizable -> None
 
-let rec compile_stmt env (s : Kir.stmt) : cstmt =
+let rec compile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt =
   match s with
   | Kir.Set _ | Kir.Store_g _ | Kir.Store_s _ -> (
     (* the scalar compiler always runs first — it performs every type
        check and whole-launch fallback decision — then the vector path
        replaces the statement closure when it supports the form *)
-    let scalar = compile_stmt_scalar env s in
-    match vcompile_stmt env s with Some v -> v | None -> scalar)
+    let scalar = compile_stmt_scalar env s a in
+    match vcompile_stmt env s a with
+    | Some v ->
+      Ppat_metrics.Metrics.incr Engine_metrics.vector_stmts;
+      v
+    | None ->
+      Ppat_metrics.Metrics.incr Engine_metrics.scalar_stmts;
+      scalar)
   | Kir.If _ | Kir.For _ | Kir.While _ -> (
     (* control flow: the vector path only accepts operand shapes the
        scalar compiler also accepts, so trying it first cannot mask a
        whole-launch fallback — on Unvectorizable we recompile scalar,
        which re-runs every type check *)
-    match vcompile_ctl env s with
-    | Some v -> v
-    | None -> compile_stmt_scalar env s)
-  | _ -> compile_stmt_scalar env s
+    match vcompile_ctl env s a with
+    | Some v ->
+      Ppat_metrics.Metrics.incr Engine_metrics.vector_ctl;
+      v
+    | None ->
+      Ppat_metrics.Metrics.incr Engine_metrics.scalar_ctl;
+      compile_stmt_scalar env s a)
+  | _ -> compile_stmt_scalar env s a
 
 (* Vectorised control flow.  The branch/loop skeleton (divergence
    bookkeeping, per-iteration instruction bumps, the iteration guard)
@@ -2099,7 +2129,7 @@ let rec compile_stmt env (s : Kir.stmt) : cstmt =
    is node-major.  Each fragment compiles once and is replayed every
    iteration: temp slots are fragment-local, memory slots are re-armed
    per run by [vclose]'s set_slots. *)
-and vcompile_ctl env (s : Kir.stmt) : cstmt option =
+and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
   let fresh () =
     {
       vg = env.vg;
@@ -2111,8 +2141,8 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
       nmem = 0;
     }
   in
-  match s with
-  | Kir.If (c, t, e) -> (
+  match s, a with
+  | Kir.If (c, t, e), Site.A_if (csites, bsite, ta, ea) -> (
     let st = fresh () in
     let src =
       try
@@ -2126,10 +2156,10 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
     | None -> None
     | Some src ->
       let n = float_of_int (nodes c) in
-      let run = vclose st in
+      let run = vclose st csites in
       let ext = v_maskof src in
-      let ct = Array.of_list (List.map (compile_stmt env) t) in
-      let ce = Array.of_list (List.map (compile_stmt env) e) in
+      let ct = Array.of_list (List.map2 (compile_stmt env) t ta) in
+      let ce = Array.of_list (List.map2 (compile_stmt env) e ea) in
       let divergible = t <> [] || e <> [] in
       let has_else = e <> [] in
       Some
@@ -2140,15 +2170,19 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           let fall = mask land lnot taken in
           let bt = taken <> 0 and bf = fall <> 0 in
           if bt && bf && divergible then
-            ctx.stats.Stats.divergent_branches <-
-              ctx.stats.Stats.divergent_branches +. 1.;
+            begin
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
           if bt then run_body ct ctx taken;
           if bf && has_else then run_body ce ctx fall))
-  | Kir.For { reg; lo; hi; step; body } -> (
+  | Kir.For { reg; lo; hi; step; body }, Site.A_for (los, his, sts, bsite, ba)
+    -> (
     let base = reg * env.ws in
     let kname = env.k.Kir.kname in
     let build init condr cond_ext stepf =
-      let cbody = Array.of_list (List.map (compile_stmt env) body) in
+      let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
       let n_lo = float_of_int (nodes lo) in
       let n_cond = float_of_int (nodes hi + 1) in
       let n_step = float_of_int (nodes step + 1) in
@@ -2162,8 +2196,11 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
             let next = cond_ext ctx active in
             if next <> 0 then begin
               if active land lnot next <> 0 then
-                ctx.stats.Stats.divergent_branches <-
-                  ctx.stats.Stats.divergent_branches +. 1.;
+                begin
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
               run_body cbody ctx next;
               bump ctx.stats n_step;
               stepf ctx next;
@@ -2187,14 +2224,14 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           | _ -> raise Unvectorizable
         in
         vemit st1 (v_copy_i s_lo base);
-        let init = vclose st1 in
+        let init = vclose st1 los in
         let st2 = fresh () in
         let s_hi =
           match vcompile_exp env st2 hi with
           | VI s -> s
           | _ -> raise Unvectorizable
         in
-        let condr = vclose st2 in
+        let condr = vclose st2 his in
         let st3 = fresh () in
         let s_st =
           match vcompile_exp env st3 step with
@@ -2202,7 +2239,7 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           | _ -> raise Unvectorizable
         in
         vemit st3 (v_iaddreg base s_st);
-        build init condr (v_iltmask base s_hi) (vclose st3)
+        build init condr (v_iltmask base s_hi) (vclose st3 sts)
       with Unvectorizable -> None)
     | TF -> (
       try
@@ -2213,14 +2250,14 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           | _ -> raise Unvectorizable
         in
         vemit st1 (v_copy_f s_lo base);
-        let init = vclose st1 in
+        let init = vclose st1 los in
         let st2 = fresh () in
         let s_hi =
           match vcompile_exp env st2 hi with
           | VF s -> s
           | _ -> raise Unvectorizable
         in
-        let condr = vclose st2 in
+        let condr = vclose st2 his in
         let st3 = fresh () in
         let s_st =
           match vcompile_exp env st3 step with
@@ -2228,9 +2265,9 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           | _ -> raise Unvectorizable
         in
         vemit st3 (v_faddreg base s_st);
-        build init condr (v_fltmask base s_hi) (vclose st3)
+        build init condr (v_fltmask base s_hi) (vclose st3 sts)
       with Unvectorizable -> None))
-  | Kir.While (c, body) -> (
+  | Kir.While (c, body), Site.A_while (csites, bsite, ba) -> (
     let st = fresh () in
     let src =
       try
@@ -2244,9 +2281,9 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
     | None -> None
     | Some src ->
       let n_c = float_of_int (nodes c) in
-      let run = vclose st in
+      let run = vclose st csites in
       let ext = v_maskof src in
-      let cbody = Array.of_list (List.map (compile_stmt env) body) in
+      let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
       let kname = env.k.Kir.kname in
       Some
         (fun ctx mask ->
@@ -2256,8 +2293,11 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
             let next = ext ctx active in
             if next <> 0 then begin
               if active land lnot next <> 0 then
-                ctx.stats.Stats.divergent_branches <-
-                  ctx.stats.Stats.divergent_branches +. 1.;
+                begin
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
               run_body cbody ctx next;
               let iters = iters + 1 in
               if iters > max_loop_iters then
@@ -2269,8 +2309,9 @@ and vcompile_ctl env (s : Kir.stmt) : cstmt option =
           loop mask 0))
   | _ -> None
 
-and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
+and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
   let ws = env.ws in
+  let sites = simple_sites a in
   match s with
   | Kir.Set (r, e) -> (
     let n = float_of_int (nodes e) in
@@ -2279,14 +2320,14 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
     let base = r * ws in
     match (env.rt.(r), te) with
     | TI, I f ->
-      group ~n ~hm (fun ctx lane ->
+      group ~n ~hm ~sites (fun ctx lane ->
           Array.unsafe_set ctx.ireg (base + lane) (f ctx lane))
     | TF, F f ->
-      group ~n ~hm (fun ctx lane ->
+      group ~n ~hm ~sites (fun ctx lane ->
           f ctx lane;
           Array.unsafe_set ctx.freg (base + lane) (Array.unsafe_get ctx.facc 0))
     | TB, B f ->
-      group ~n ~hm (fun ctx lane ->
+      group ~n ~hm ~sites (fun ctx lane ->
           Array.unsafe_set ctx.ireg (base + lane) (if f ctx lane then 1 else 0))
     | _ -> fallback "register/expression type mismatch")
   | Kir.Store_g (name, i, v) -> (
@@ -2298,7 +2339,7 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
     | Ppat_ir.Host.F a ->
       let fv = as_fexp (compile_exp env v) in
       let len = Array.length a in
-      group ~n ~hm:true (fun ctx lane ->
+      group ~n ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           fv ctx lane;
           let x = (Array.unsafe_get ctx.facc 0) in
@@ -2309,7 +2350,7 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
     | Ppat_ir.Host.I a ->
       let fv = as_iexp (compile_exp env v) in
       let len = Array.length a in
-      group ~n ~hm:true (fun ctx lane ->
+      group ~n ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           let x = fv ctx lane in
           Warp_access.record_global ctx.acc (base + (ix * eb));
@@ -2323,7 +2364,7 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
     | None -> fallback "undeclared shared array %S" name
     | Some (Sf (slot, len)) ->
       let fv = as_fexp (compile_exp env v) in
-      group ~n ~hm:true (fun ctx lane ->
+      group ~n ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           fv ctx lane;
           let x = (Array.unsafe_get ctx.facc 0) in
@@ -2333,7 +2374,7 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
           Array.unsafe_set (Array.unsafe_get ctx.sf slot) ix x)
     | Some (Si (slot, len)) ->
       let fv = as_iexp (compile_exp env v) in
-      group ~n ~hm:true (fun ctx lane ->
+      group ~n ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           let x = fv ctx lane in
           Warp_access.record_shared ctx.acc ix;
@@ -2344,6 +2385,7 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
     let n = float_of_int (1 + nodes i + nodes v) in
     let entry = find_entry env name in
     let fi = as_iexp (compile_exp env i) in
+    let ops, asite = atomic_sites a in
     match entry.Memory.data with
     | Ppat_ir.Host.F a ->
       let fv = as_fexp (compile_exp env v) in
@@ -2360,9 +2402,10 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
+        Warp_access.set_sites ctx.acc ops;
         each_lane_rec write ctx mask 0;
         Warp_access.flush ctx.acc;
-        Warp_access.atomic_commit ctx.acc entry
+        Warp_access.atomic_commit ctx.acc asite entry
     | Ppat_ir.Host.I a ->
       let fv = as_iexp (compile_exp env v) in
       let len = Array.length a in
@@ -2377,14 +2420,16 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
+        Warp_access.set_sites ctx.acc ops;
         each_lane_rec write ctx mask 0;
         Warp_access.flush ctx.acc;
-        Warp_access.atomic_commit ctx.acc entry)
+        Warp_access.atomic_commit ctx.acc asite entry)
   | Kir.Atomic_add_ret { reg; buf; idx; value } -> (
     let n = float_of_int (1 + nodes idx + nodes value) in
     let entry = find_entry env buf in
     let fi = as_iexp (compile_exp env idx) in
     let base = reg * ws in
+    let ops, asite = atomic_sites a in
     match (entry.Memory.data, env.rt.(reg)) with
     | Ppat_ir.Host.F a, TF ->
       let fv = as_fexp (compile_exp env value) in
@@ -2403,9 +2448,10 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
+        Warp_access.set_sites ctx.acc ops;
         each_lane_rec write ctx mask 0;
         Warp_access.flush ctx.acc;
-        Warp_access.atomic_commit ctx.acc entry
+        Warp_access.atomic_commit ctx.acc asite entry
     | Ppat_ir.Host.I a, TI ->
       let fv = as_iexp (compile_exp env value) in
       let len = Array.length a in
@@ -2422,38 +2468,56 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
+        Warp_access.set_sites ctx.acc ops;
         each_lane_rec write ctx mask 0;
         Warp_access.flush ctx.acc;
-        Warp_access.atomic_commit ctx.acc entry
+        Warp_access.atomic_commit ctx.acc asite entry
     | _ -> fallback "atomic return register type mismatch")
   | Kir.If (c, t, e) ->
+    let csites, bsite, ta, ea =
+      match a with
+      | Site.A_if (cs, b, ta, ea) -> (cs, b, ta, ea)
+      | _ -> (Site.no_sites, -1, List.map (fun _ -> Site.A_none) t,
+              List.map (fun _ -> Site.A_none) e)
+    in
     let n = float_of_int (nodes c) in
     let hm = has_mem c in
     let fc = as_bexp (compile_exp env c) in
-    let ct = Array.of_list (List.map (compile_stmt env) t) in
-    let ce = Array.of_list (List.map (compile_stmt env) e) in
+    let ct = Array.of_list (List.map2 (compile_stmt env) t ta) in
+    let ce = Array.of_list (List.map2 (compile_stmt env) e ea) in
     let divergible = t <> [] || e <> [] in
     let has_else = e <> [] in
     fun ctx mask ->
       bump ctx.stats n;
+      if hm then Warp_access.set_sites ctx.acc csites;
       let taken = pred_mask fc hm ctx mask 0 0 in
       if hm then Warp_access.flush ctx.acc;
       (* every active lane lands in exactly one branch *)
       let fall = mask land lnot taken in
       let bt = taken <> 0 and bf = fall <> 0 in
       if bt && bf && divergible then
-        ctx.stats.Stats.divergent_branches <-
-          ctx.stats.Stats.divergent_branches +. 1.;
+        begin
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
       if bt then run_body ct ctx taken;
       if bf && has_else then run_body ce ctx fall
   | Kir.For { reg; lo; hi; step; body } -> (
+    let los, his, sts, bsite, ba =
+      match a with
+      | Site.A_for (los, his, sts, b, ba) -> (los, his, sts, b, ba)
+      | _ ->
+        (Site.no_sites, Site.no_sites, Site.no_sites, -1,
+         List.map (fun _ -> Site.A_none) body)
+    in
     let n_lo = float_of_int (nodes lo) in
     let hm_lo = has_mem lo in
     let n_cond = float_of_int (nodes hi + 1) in
     let hm_hi = has_mem hi in
     let n_step = float_of_int (nodes step + 1) in
     let hm_step = has_mem step in
-    let cbody = Array.of_list (List.map (compile_stmt env) body) in
+    let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
     let base = reg * ws in
     let kname = env.k.Kir.kname in
     let loop_guard iters =
@@ -2480,21 +2544,27 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n_lo;
         if hm_lo then begin
+          Warp_access.set_sites ctx.acc los;
           each_lane_rec winit ctx mask 0;
           Warp_access.flush ctx.acc
         end
         else each_lane winit ctx mask 0;
         let rec loop active iters =
           bump ctx.stats n_cond;
+          if hm_hi then Warp_access.set_sites ctx.acc his;
           let next = pred_mask cond hm_hi ctx active 0 0 in
           if hm_hi then Warp_access.flush ctx.acc;
           if next <> 0 then begin
             if active land lnot next <> 0 then
+              begin
               ctx.stats.Stats.divergent_branches <-
                 ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
             run_body cbody ctx next;
             bump ctx.stats n_step;
             if hm_step then begin
+              Warp_access.set_sites ctx.acc sts;
               each_lane_rec wstep ctx next 0;
               Warp_access.flush ctx.acc
             end
@@ -2525,21 +2595,27 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
       fun ctx mask ->
         bump ctx.stats n_lo;
         if hm_lo then begin
+          Warp_access.set_sites ctx.acc los;
           each_lane_rec winit ctx mask 0;
           Warp_access.flush ctx.acc
         end
         else each_lane winit ctx mask 0;
         let rec loop active iters =
           bump ctx.stats n_cond;
+          if hm_hi then Warp_access.set_sites ctx.acc his;
           let next = pred_mask cond hm_hi ctx active 0 0 in
           if hm_hi then Warp_access.flush ctx.acc;
           if next <> 0 then begin
             if active land lnot next <> 0 then
+              begin
               ctx.stats.Stats.divergent_branches <-
                 ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
             run_body cbody ctx next;
             bump ctx.stats n_step;
             if hm_step then begin
+              Warp_access.set_sites ctx.acc sts;
               each_lane_rec wstep ctx next 0;
               Warp_access.flush ctx.acc
             end
@@ -2552,20 +2628,29 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
         loop mask 0
     | TB -> fallback "boolean loop counter")
   | Kir.While (c, body) ->
+    let csites, bsite, ba =
+      match a with
+      | Site.A_while (cs, b, ba) -> (cs, b, ba)
+      | _ -> (Site.no_sites, -1, List.map (fun _ -> Site.A_none) body)
+    in
     let n_c = float_of_int (nodes c) in
     let hm_c = has_mem c in
     let fc = as_bexp (compile_exp env c) in
-    let cbody = Array.of_list (List.map (compile_stmt env) body) in
+    let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
     let kname = env.k.Kir.kname in
     fun ctx mask ->
       let rec loop active iters =
         bump ctx.stats n_c;
+        if hm_c then Warp_access.set_sites ctx.acc csites;
         let next = pred_mask fc hm_c ctx active 0 0 in
         if hm_c then Warp_access.flush ctx.acc;
         if next <> 0 then begin
           if active land lnot next <> 0 then
-            ctx.stats.Stats.divergent_branches <-
-              ctx.stats.Stats.divergent_branches +. 1.;
+            begin
+              ctx.stats.Stats.divergent_branches <-
+                ctx.stats.Stats.divergent_branches +. 1.;
+              if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
+            end;
           run_body cbody ctx next;
           let iters = iters + 1 in
           if iters > max_loop_iters then
@@ -2588,7 +2673,8 @@ and compile_stmt_scalar env (s : Kir.stmt) : cstmt =
         ctx.stats.Stats.mallocs +. float_of_int (popcount mask);
       ctx.stats.Stats.warp_insts <- ctx.stats.Stats.warp_insts +. 1.
 
-and compile_stmts env l = Array.of_list (List.map (compile_stmt env) l)
+and compile_stmts env l anns =
+  Array.of_list (List.map2 (compile_stmt env) l anns)
 
 (* ----- entry points ----- *)
 
@@ -2644,7 +2730,11 @@ let compile dev mem (l : Kir.launch) : (t, string) result =
     let rt = infer_types env0 in
     check_definite_assignment k;
     let env = { env0 with rt } in
-    let body = compile_stmts env k.Kir.body in
+    (* the canonical annotation pass: compiled closures arm each flush
+       group with exactly the site array the reference engine would use,
+       so per-site attribution is engine-invariant *)
+    let _, anns = Site.annotate k in
+    let body = compile_stmts env k.Kir.body anns in
     Ok
       {
         c_launch = l;
@@ -2662,7 +2752,7 @@ let compile dev mem (l : Kir.launch) : (t, string) result =
       }
   with Fallback reason -> Error reason
 
-let execute ?(jobs = 1) dev (c : t) : Stats.t =
+let execute ?(jobs = 1) ?attr dev (c : t) : Stats.t =
   let ws = c.c_ws in
   let tpb = c.c_tpb in
   let bx, by, _ = c.c_launch.Kir.block in
@@ -2678,9 +2768,9 @@ let execute ?(jobs = 1) dev (c : t) : Stats.t =
      The serial path builds one [Direct]-sinked state; each parallel
      worker builds its own with a [Log] sink (see Warp_access), so no
      mutable simulation state crosses domains. *)
-  let make_state ?sink () =
+  let make_state ?sink ?attr () =
     let stats = Stats.create () in
-    let acc = Warp_access.create ?sink dev c.c_mem stats in
+    let acc = Warp_access.create ?sink ?attr dev c.c_mem stats in
     let sf = Array.map (fun n -> Array.make n 0.) c.c_sf_sizes in
     let si = Array.map (fun n -> Array.make n 0) c.c_si_sizes in
     let vi_slab = Array.make (c.c_ni * ws) 0 in
@@ -2715,6 +2805,7 @@ let execute ?(jobs = 1) dev (c : t) : Stats.t =
             bidy = 0;
             bidz = 0;
             exists_mask = !exists;
+            attr_on = Option.is_some attr;
             facc = [| 0. |];
             acc;
             stats;
@@ -2770,7 +2861,7 @@ let execute ?(jobs = 1) dev (c : t) : Stats.t =
   in
   let nblocks = gx * gy * gz in
   if jobs <= 1 || nblocks <= 1 then begin
-    let stats, sf, si, slots = make_state () in
+    let stats, sf, si, slots = make_state ?attr () in
     for z = 0 to gz - 1 do
       for y = 0 to gy - 1 do
         for x = 0 to gx - 1 do
@@ -2788,24 +2879,41 @@ let execute ?(jobs = 1) dev (c : t) : Stats.t =
     let nchunks = min nblocks (jobs * 4) in
     let results =
       Ppat_parallel.pool_run ~jobs nchunks (fun ci ->
-          let log = Warp_access.new_log () in
-          let stats, sf, si, slots =
-            make_state ~sink:(Warp_access.Log log) ()
-          in
-          let lo = ci * nblocks / nchunks
-          and hi = (ci + 1) * nblocks / nchunks in
-          for b = lo to hi - 1 do
-            run_block (sf, si, slots) (b mod gx) (b / gx mod gy)
-              (b / (gx * gy))
-          done;
-          (stats, log))
+          Ppat_metrics.Metrics.span ~cat:"chunk" "sim chunk" (fun () ->
+              let log = Warp_access.new_log () in
+              let wattr = Option.map Site_stats.create_like attr in
+              let stats, sf, si, slots =
+                make_state ~sink:(Warp_access.Log log) ?attr:wattr ()
+              in
+              let lo = ci * nblocks / nchunks
+              and hi = (ci + 1) * nblocks / nchunks in
+              Ppat_metrics.Metrics.incr Engine_metrics.sim_chunks;
+              Ppat_metrics.Metrics.observe Engine_metrics.chunk_blocks
+                (float_of_int (hi - lo));
+              for b = lo to hi - 1 do
+                run_block (sf, si, slots) (b mod gx) (b / gx mod gy)
+                  (b / (gx * gy))
+              done;
+              (stats, wattr, log)))
     in
     (* merge in chunk order: counters are additive; the L2 logs replay in
        serial block order, so hit accounting matches jobs = 1 exactly *)
     let stats = Stats.create () in
-    Array.iter (fun (s, _) -> Stats.add stats s) results;
-    Array.iter
-      (fun (_, lg) -> Warp_access.replay_log dev c.c_mem stats lg)
-      results;
+    Array.iter (fun (s, _, _) -> Stats.add stats s) results;
+    (match attr with
+     | None -> ()
+     | Some a ->
+       Array.iter
+         (fun (_, w, _) -> Option.iter (Site_stats.add a) w)
+         results);
+    let lines = ref 0 in
+    Ppat_metrics.Metrics.span ~cat:"replay" "l2 replay" (fun () ->
+        Array.iter
+          (fun (_, _, lg) ->
+            lines :=
+              !lines + Warp_access.replay_log ?attr dev c.c_mem stats lg)
+          results);
+    Ppat_metrics.Metrics.add Engine_metrics.replayed_l2_lines
+      (float_of_int !lines);
     stats
   end

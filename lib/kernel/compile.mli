@@ -27,10 +27,19 @@ val compile :
 (** Stage the launch, or explain why it must run on the reference
     engine. *)
 
-val execute : ?jobs:int -> Ppat_gpu.Device.t -> t -> Ppat_gpu.Stats.t
+val execute :
+  ?jobs:int ->
+  ?attr:Ppat_gpu.Site_stats.t ->
+  Ppat_gpu.Device.t ->
+  t ->
+  Ppat_gpu.Stats.t
 (** Run a compiled launch over the full grid, mutating device buffers in
     place, and return the collected statistics. Traps with
     {!Simt_error.Trap} exactly where the reference engine would.
+
+    [attr], when given, must be sized by {!Site.count} for the compiled
+    kernel; attributable counters are then also accumulated per access
+    site, bit-identically to the reference engine (see {!Interp.run}).
 
     [jobs] (default 1) partitions the grid's blocks across that many
     worker domains; statistics are bit-identical to the serial run (the

@@ -138,9 +138,13 @@ type _ Effect.t += Sync_eff : unit Effect.t
 
 (* ----- the interpreter ----- *)
 
-let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
+let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
     (l : Kir.launch) : Stats.t =
   let k = l.kernel in
+  (* one canonical site numbering per launch; the compiled engine derives
+     the same ids from the same pass, which is what makes the two engines'
+     per-site matrices bit-identical *)
+  let _, anns = Site.annotate k in
   let ws = dev.warp_size in
   let bx, by, bz = l.block in
   let gx, gy, gz = l.grid in
@@ -253,8 +257,10 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
         record `S idx;
         read_smem name sa idx
     in
-    (* run [f] per active lane as one warp instruction group *)
-    let group mask f =
+    (* run [f] per active lane as one warp instruction group whose memory
+       slots belong to [sites] (slot s -> sites.(s), see {!Site}) *)
+    let group sites mask f =
+      Warp_access.set_sites acc sites;
       let first = ref true in
       for lane = 0 to ws - 1 do
         if mask.(lane) then begin
@@ -266,32 +272,37 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
       Warp_access.flush acc
     in
     let any mask = Array.exists (fun x -> x) mask in
-    let rec exec mask (stmts : Kir.stmt list) = List.iter (stmt mask) stmts
-    and stmt mask (s : Kir.stmt) =
-      match s with
-      | Kir.Set (r, e) ->
-        group mask (fun lane counting ->
+    let ann_mismatch () =
+      trap "kernel %s: internal error: site annotation shape mismatch"
+        k.kname
+    in
+    let rec exec mask (stmts : Kir.stmt list) (anns : Site.ann list) =
+      List.iter2 (stmt mask) stmts anns
+    and stmt mask (s : Kir.stmt) (a : Site.ann) =
+      match s, a with
+      | Kir.Set (r, e), Site.A_simple sites ->
+        group sites mask (fun lane counting ->
             regs.(lane).(r) <- eval lane counting e)
-      | Kir.Store_g (name, i, e) ->
+      | Kir.Store_g (name, i, e), Site.A_simple sites ->
         let entry = Memory.find mem name in
-        group mask (fun lane counting ->
+        group sites mask (fun lane counting ->
             if counting then count_inst ();
             let idx = as_int (eval lane counting i) in
             let v = eval lane counting e in
             record `G (Memory.addr entry idx);
             write_buf entry name idx v)
-      | Kir.Store_s (name, i, e) ->
-        group mask (fun lane counting ->
+      | Kir.Store_s (name, i, e), Site.A_simple sites ->
+        group sites mask (fun lane counting ->
             if counting then count_inst ();
             let idx = as_int (eval lane counting i) in
             let v = eval lane counting e in
             let sa = smem_of name in
             record `S idx;
             write_smem name sa idx v)
-      | Kir.Atomic_add_g (name, i, e) ->
+      | Kir.Atomic_add_g (name, i, e), Site.A_atomic (ops, asite) ->
         let entry = Memory.find mem name in
         Warp_access.atomic_begin acc;
-        group mask (fun lane counting ->
+        group ops mask (fun lane counting ->
             if counting then count_inst ();
             let idx = as_int (eval lane counting i) in
             let v = eval lane counting e in
@@ -303,11 +314,12 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
              | a, b ->
                trap "atomicAdd type mismatch on %s: %s += %s" name (v_name a)
                  (v_name b)));
-        Warp_access.atomic_commit acc entry
-      | Kir.Atomic_add_ret { reg; buf; idx; value } ->
+        Warp_access.atomic_commit acc asite entry
+      | Kir.Atomic_add_ret { reg; buf; idx; value }, Site.A_atomic (ops, asite)
+        ->
         let entry = Memory.find mem buf in
         Warp_access.atomic_begin acc;
-        group mask (fun lane counting ->
+        group ops mask (fun lane counting ->
             if counting then count_inst ();
             let i = as_int (eval lane counting idx) in
             let v = eval lane counting value in
@@ -321,27 +333,28 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
             | a, b ->
               trap "atomicAdd type mismatch on %s: %s += %s" buf (v_name a)
                 (v_name b));
-        Warp_access.atomic_commit acc entry
-      | Kir.If (c, t, e) ->
+        Warp_access.atomic_commit acc asite entry
+      | Kir.If (c, t, e), Site.A_if (csites, bsite, ta, ea) ->
         let taken = Array.make ws false in
         let fallthrough = Array.make ws false in
-        group mask (fun lane counting ->
+        group csites mask (fun lane counting ->
             if as_bool (eval lane counting c) then taken.(lane) <- true
             else fallthrough.(lane) <- true);
         let bt = any taken and bf = any fallthrough in
         if bt && bf && (t <> [] || e <> []) then
-          stats.divergent_branches <- stats.divergent_branches +. 1.;
-        if bt then exec taken t;
-        if bf && e <> [] then exec fallthrough e
-      | Kir.For { reg; lo; hi; step; body } ->
-        group mask (fun lane counting ->
+          Warp_access.divergent acc bsite;
+        if bt then exec taken t ta;
+        if bf && e <> [] then exec fallthrough e ea
+      | Kir.For { reg; lo; hi; step; body }, Site.A_for (los, his, sts, bsite, ba)
+        ->
+        group los mask (fun lane counting ->
             regs.(lane).(reg) <- eval lane counting lo);
         let active = Array.copy mask in
         let iters = ref 0 in
         let continue_ = ref true in
         while !continue_ do
           let next = Array.make ws false in
-          group active (fun lane counting ->
+          group his active (fun lane counting ->
               let cond =
                 eval_cmp Ppat_ir.Exp.Lt regs.(lane).(reg)
                   (eval lane counting hi)
@@ -351,10 +364,10 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
           if not (any next) then continue_ := false
           else begin
             if Array.exists2 (fun a n -> a && not n) active next then
-              stats.divergent_branches <- stats.divergent_branches +. 1.;
+              Warp_access.divergent acc bsite;
             Array.blit next 0 active 0 ws;
-            exec active body;
-            group active (fun lane counting ->
+            exec active body ba;
+            group sts active (fun lane counting ->
                 let s = eval lane counting step in
                 if counting then count_inst ();
                 regs.(lane).(reg) <- eval_bin Ppat_ir.Exp.Add regs.(lane).(reg) s);
@@ -364,27 +377,27 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
                 max_loop_iters
           end
         done
-      | Kir.While (c, body) ->
+      | Kir.While (c, body), Site.A_while (csites, bsite, ba) ->
         let active = Array.copy mask in
         let iters = ref 0 in
         let continue_ = ref true in
         while !continue_ do
           let next = Array.make ws false in
-          group active (fun lane counting ->
+          group csites active (fun lane counting ->
               if as_bool (eval lane counting c) then next.(lane) <- true);
           if not (any next) then continue_ := false
           else begin
             if Array.exists2 (fun a n -> a && not n) active next then
-              stats.divergent_branches <- stats.divergent_branches +. 1.;
+              Warp_access.divergent acc bsite;
             Array.blit next 0 active 0 ws;
-            exec active body;
+            exec active body ba;
             incr iters;
             if !iters > max_loop_iters then
               trap "kernel %s: loop exceeded %d iterations" k.kname
                 max_loop_iters
           end
         done
-      | Kir.Sync ->
+      | Kir.Sync, Site.A_none ->
         let full =
           Array.for_all2 (fun m e -> m = e) mask exists
         in
@@ -394,14 +407,15 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
         stats.syncs <- stats.syncs +. 1.;
         count_inst ();
         Effect.perform Sync_eff
-      | Kir.Malloc_event ->
+      | Kir.Malloc_event, Site.A_none ->
         let active =
           Array.fold_left (fun n m -> if m then n + 1 else n) 0 mask
         in
         stats.mallocs <- stats.mallocs +. float_of_int active;
         count_inst ()
+      | _, _ -> ann_mismatch ()
     in
-    if n_exist > 0 then exec (Array.copy exists) k.body
+    if n_exist > 0 then exec (Array.copy exists) k.body anns
   in
 
     (* block scheduler: warps are fibers; Sync suspends until all alive
@@ -441,7 +455,7 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
   let bid_of b = (b mod gx, b / gx mod gy, b / (gx * gy)) in
   if jobs <= 1 || nblocks <= 1 then begin
     let stats = Stats.create () in
-    let acc = Warp_access.create dev mem stats in
+    let acc = Warp_access.create ?attr dev mem stats in
     for b = 0 to nblocks - 1 do
       exec_block stats acc (bid_of b)
     done;
@@ -454,20 +468,43 @@ let run_reference ?(jobs = 1) (dev : Device.t) (mem : Memory.t)
     let nchunks = min nblocks (jobs * 4) in
     let results =
       Ppat_parallel.pool_run ~jobs nchunks (fun c ->
-          let stats = Stats.create () in
-          let log = Warp_access.new_log () in
-          let acc = Warp_access.create ~sink:(Warp_access.Log log) dev mem stats in
-          let lo = c * nblocks / nchunks and hi = (c + 1) * nblocks / nchunks in
-          for b = lo to hi - 1 do
-            exec_block stats acc (bid_of b)
-          done;
-          (stats, log))
+          Ppat_metrics.Metrics.span ~cat:"chunk" "sim chunk" (fun () ->
+              let stats = Stats.create () in
+              let wattr = Option.map Site_stats.create_like attr in
+              let log = Warp_access.new_log () in
+              let acc =
+                Warp_access.create ~sink:(Warp_access.Log log) ?attr:wattr
+                  dev mem stats
+              in
+              let lo = c * nblocks / nchunks
+              and hi = (c + 1) * nblocks / nchunks in
+              Ppat_metrics.Metrics.incr Engine_metrics.sim_chunks;
+              Ppat_metrics.Metrics.observe Engine_metrics.chunk_blocks
+                (float_of_int (hi - lo));
+              for b = lo to hi - 1 do
+                exec_block stats acc (bid_of b)
+              done;
+              (stats, wattr, log)))
     in
-    (* merge in chunk order: counters are additive; the L2 logs replay in
-       serial block order, so hit accounting matches jobs = 1 exactly *)
+    (* merge in chunk order: counters (aggregate and per-site) are
+       additive; the L2 logs replay in serial block order, so hit
+       accounting matches jobs = 1 exactly *)
     let stats = Stats.create () in
-    Array.iter (fun (s, _) -> Stats.add stats s) results;
-    Array.iter (fun (_, lg) -> Warp_access.replay_log dev mem stats lg) results;
+    Array.iter (fun (s, _, _) -> Stats.add stats s) results;
+    (match attr with
+     | None -> ()
+     | Some a ->
+       Array.iter
+         (fun (_, w, _) -> match w with Some w -> Site_stats.add a w | None -> ())
+         results);
+    let lines = ref 0 in
+    Ppat_metrics.Metrics.span ~cat:"replay" "l2 replay" (fun () ->
+        Array.iter
+          (fun (_, _, lg) ->
+            lines := !lines + Warp_access.replay_log ?attr dev mem stats lg)
+          results);
+    Ppat_metrics.Metrics.add Engine_metrics.replayed_l2_lines
+      (float_of_int !lines);
     stats
   end
 
@@ -503,6 +540,7 @@ let effective_jobs ~jobs (l : Kir.launch) =
   if jobs <= 1 then 1
   else if Kir.uses_global_atomics l.kernel then begin
     incr parallel_fallbacks;
+    Ppat_metrics.Metrics.incr Engine_metrics.parallel_fallbacks;
     last_parallel_fallback :=
       Some
         (Printf.sprintf "kernel %s uses global atomics; running serially"
@@ -525,8 +563,8 @@ let validate (dev : Device.t) (l : Kir.launch) =
     trap "kernel %s: block of %d threads exceeds device limit %d" k.kname tpb
       dev.max_threads_per_block
 
-let run ?engine ?jobs (dev : Device.t) (mem : Memory.t) (l : Kir.launch) :
-    Stats.t =
+let run ?engine ?jobs ?attr (dev : Device.t) (mem : Memory.t)
+    (l : Kir.launch) : Stats.t =
   let engine =
     match engine with Some e -> e | None -> default_engine ()
   in
@@ -535,12 +573,16 @@ let run ?engine ?jobs (dev : Device.t) (mem : Memory.t) (l : Kir.launch) :
   in
   let jobs = effective_jobs ~jobs l in
   match engine with
-  | Reference -> run_reference ~jobs dev mem l
+  | Reference -> run_reference ~jobs ?attr dev mem l
   | Compiled -> (
     validate dev l;
-    match Compile.compile dev mem l with
-    | Ok c -> Compile.execute ~jobs dev c
+    match
+      Ppat_metrics.Metrics.span ~cat:"staging" "compile launch" (fun () ->
+          Compile.compile dev mem l)
+    with
+    | Ok c -> Compile.execute ~jobs ?attr dev c
     | Error reason ->
       incr fallbacks;
+      Ppat_metrics.Metrics.incr Engine_metrics.fallbacks;
       last_fallback := Some reason;
-      run_reference ~jobs dev mem l)
+      run_reference ~jobs ?attr dev mem l)

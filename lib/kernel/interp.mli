@@ -58,6 +58,7 @@ val last_parallel_fallback : string option ref
 val run :
   ?engine:engine ->
   ?jobs:int ->
+  ?attr:Ppat_gpu.Site_stats.t ->
   Ppat_gpu.Device.t ->
   Ppat_gpu.Memory.t ->
   Kir.launch ->
@@ -66,6 +67,13 @@ val run :
     return the collected statistics. [engine] defaults to
     {!default_engine}[ ()]; both engines produce bit-identical statistics
     and buffer contents.
+
+    [attr], when given, must be sized by {!Site.count} for the launch's
+    kernel; every attributable counter update is then also accumulated
+    per access site. Attribution is engine- and jobs-invariant: the
+    matrix is bit-identical across both engines and any [jobs], and its
+    column totals equal the aggregate counters exactly
+    ({!Ppat_gpu.Site_stats.totals}).
 
     [jobs] (default {!default_jobs}[ ()]) sets the number of worker
     domains the launch's blocks are partitioned across. Every statistic —

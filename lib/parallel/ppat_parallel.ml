@@ -36,6 +36,12 @@ type pool = {
   nworkers : int;
 }
 
+(* pool.tasks counts every claimed item; pool.steals the subset claimed
+   by a parked worker domain rather than the submitting caller's own
+   drain — the pool's measure of how much work actually migrated. *)
+let m_tasks = Ppat_metrics.Metrics.counter "pool.tasks"
+let m_steals = Ppat_metrics.Metrics.counter "pool.steals"
+
 let finish_item pool b =
   if Atomic.fetch_and_add b.unfinished (-1) = 1 then begin
     (* last item of the batch: wake the caller blocked in [run] (and any
@@ -45,11 +51,14 @@ let finish_item pool b =
     Mutex.unlock pool.lock
   end
 
-(* claim and run items of [b] until none are left *)
-let drain pool b =
+(* claim and run items of [b] until none are left; [steal] marks drains
+   running on a parked worker domain rather than the submitting caller *)
+let drain ?(steal = false) pool b =
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.size then begin
+      Ppat_metrics.Metrics.incr m_tasks;
+      if steal then Ppat_metrics.Metrics.incr m_steals;
       b.run_item i;
       finish_item pool b;
       go ()
@@ -78,7 +87,7 @@ let worker pool =
     (match get () with
      | Some b ->
        Mutex.unlock pool.lock;
-       drain pool b
+       drain ~steal:true pool b
      | None ->
        Mutex.unlock pool.lock;
        live := false)

@@ -29,17 +29,57 @@ let slice_args (k : Record.kernel) =
       ("active_sms", Jsonx.Int b.active_sms);
     ]
 
-let metadata ~name ~tid what =
+let metadata ?(pid = 0) ~name ~tid what =
   Jsonx.Obj
     [
       ("name", Jsonx.Str what);
       ("ph", Jsonx.Str "M");
-      ("pid", Jsonx.Int 0);
+      ("pid", Jsonx.Int pid);
       ("tid", Jsonx.Int tid);
       ("args", Jsonx.Obj [ ("name", Jsonx.Str name) ]);
     ]
 
-let export (r : Record.run) =
+(* host-side simulator spans (search / staging / chunk / replay) on their
+   own process row, one thread per recording domain — parallel simulation
+   shows up as genuinely parallel tracks instead of one fused row *)
+let simulator_events (spans : Metrics.span list) =
+  match spans with
+  | [] -> []
+  | spans ->
+    let t0 =
+      List.fold_left
+        (fun acc (s : Metrics.span) -> Float.min acc s.Metrics.sp_start)
+        infinity spans
+    in
+    let domains =
+      List.sort_uniq compare
+        (List.map (fun (s : Metrics.span) -> s.Metrics.sp_domain) spans)
+    in
+    metadata ~pid:1 ~tid:0 ~name:"ppat simulator (host)" "process_name"
+    :: List.map
+         (fun d ->
+           metadata ~pid:1 ~tid:d
+             ~name:(Printf.sprintf "domain %d" d)
+             "thread_name")
+         domains
+    @ List.map
+        (fun (s : Metrics.span) ->
+          Jsonx.Obj
+            [
+              ("name", Jsonx.Str s.Metrics.sp_name);
+              ("cat", Jsonx.Str s.Metrics.sp_cat);
+              ("ph", Jsonx.Str "X");
+              ("ts", Jsonx.Float (us_of_seconds (s.Metrics.sp_start -. t0)));
+              ( "dur",
+                Jsonx.Float
+                  (us_of_seconds (s.Metrics.sp_stop -. s.Metrics.sp_start))
+              );
+              ("pid", Jsonx.Int 1);
+              ("tid", Jsonx.Int s.Metrics.sp_domain);
+            ])
+        spans
+
+let export ?(spans = []) (r : Record.run) =
   let max_sms =
     List.fold_left
       (fun acc (k : Record.kernel) -> max acc k.breakdown.active_sms)
@@ -78,9 +118,11 @@ let export (r : Record.run) =
         Jsonx.Obj
           [
             ("name", Jsonx.Str "resident warps/SM");
+            ("cat", Jsonx.Str "occupancy");
             ("ph", Jsonx.Str "C");
             ("ts", Jsonx.Float ts);
             ("pid", Jsonx.Int 0);
+            ("tid", Jsonx.Int 0);
             ("args",
              Jsonx.Obj [ ("warps", Jsonx.Int k.breakdown.resident_warps) ]);
           ]
@@ -90,7 +132,9 @@ let export (r : Record.run) =
   Jsonx.Obj
     [
       ("traceEvents",
-       Jsonx.List (meta @ List.rev !slices @ List.rev !counters));
+       Jsonx.List
+         (meta @ List.rev !slices @ List.rev !counters
+         @ simulator_events spans));
       ("displayTimeUnit", Jsonx.Str "ms");
       ("otherData",
        Jsonx.Obj
@@ -101,4 +145,4 @@ let export (r : Record.run) =
          ]);
     ]
 
-let to_file path r = Jsonx.to_file path (export r)
+let to_file ?spans path r = Jsonx.to_file path (export ?spans r)

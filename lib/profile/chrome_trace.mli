@@ -5,10 +5,16 @@
     occupies (tracks [0 .. active_sms-1] of process 0), so under-occupied
     launches show up as mostly-empty tracks. Timing-model cycles, the
     mapping and the launch geometry ride along as slice args; a counter
-    track plots resident warps per SM over the run. *)
+    track plots resident warps per SM over the run.
 
-val export : Record.run -> Jsonx.t
+    [spans], when given (usually {!Metrics.spans}[ ()]), adds the
+    host-side simulator timeline as process 1: search / staging / chunk /
+    replay phases as "X" slices with their {!Metrics.span} category as
+    [cat], one thread row per recording domain — parallel simulation
+    renders as genuinely parallel tracks. *)
+
+val export : ?spans:Metrics.span list -> Record.run -> Jsonx.t
 (** The full document: [{"traceEvents": [...], "displayTimeUnit": "ms",
     "otherData": {...}}]. *)
 
-val to_file : string -> Record.run -> unit
+val to_file : ?spans:Metrics.span list -> string -> Record.run -> unit

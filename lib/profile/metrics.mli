@@ -1,0 +1,13 @@
+(** Profile-layer surface over {!Ppat_metrics.Metrics}: the registry
+    itself (re-exported, so profile consumers need only one module) plus
+    the JSON and console renderings of a snapshot. *)
+
+include module type of Ppat_metrics.Metrics
+
+val snapshot_json : unit -> Jsonx.t
+(** The full registry as a JSON list, one object per instrument:
+    [{name; labels; type: "counter"|"histogram"; ...}] — embedded under
+    the ["metrics"] key of the ppat-profile/4 schema. *)
+
+val pp_snapshot : Format.formatter -> unit -> unit
+(** Console rendering of {!snapshot}, one instrument per line. *)

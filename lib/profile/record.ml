@@ -14,6 +14,8 @@ type kernel = {
   breakdown : Timing.breakdown;
   sim_wall_seconds : float;
   predicted : Ppat_core.Predict.t option;
+  site_attr :
+    (Ppat_kernel.Site.info array * Ppat_gpu.Site_stats.t) option;
 }
 
 type run = {
@@ -87,6 +89,20 @@ let json_of_breakdown (b : Timing.breakdown) =
       ("active_sms", Jsonx.Int b.active_sms);
     ]
 
+let json_of_site_attr (infos, (ss : Ppat_gpu.Site_stats.t)) =
+  let module Site = Ppat_kernel.Site in
+  let site i (info : Site.info) =
+    Jsonx.Obj
+      (("id", Jsonx.Int i)
+      :: ("kind", Jsonx.Str (Site.kind_name info.Site.skind))
+      :: ("buf", Jsonx.Str info.Site.sbuf)
+      :: ("path", Jsonx.Str info.Site.spath)
+      :: List.map
+           (fun (name, v) -> (name, Jsonx.Float v))
+           (Ppat_gpu.Site_stats.row ss i))
+  in
+  Jsonx.List (Array.to_list (Array.mapi site infos))
+
 let json_of_kernel k =
   Jsonx.Obj
     [
@@ -108,12 +124,19 @@ let json_of_kernel k =
         match prediction_error k with
         | Some e -> Jsonx.Float e
         | None -> Jsonx.Null );
+      ( "sites",
+        match k.site_attr with
+        | Some sa -> json_of_site_attr sa
+        | None -> Jsonx.Null );
     ]
 
-let json_of_run r =
+let json_of_run ?metrics r =
+  let metrics_field =
+    match metrics with Some j -> [ ("metrics", j) ] | None -> []
+  in
   Jsonx.Obj
-    [
-      ("schema", Jsonx.Str "ppat-profile/3");
+    ([
+      ("schema", Jsonx.Str "ppat-profile/4");
       ("app", Jsonx.Str r.app);
       ("strategy", Jsonx.Str r.strategy);
       ("device", Jsonx.Str r.device);
@@ -125,3 +148,4 @@ let json_of_run r =
       ("aggregate_stats", json_of_stats r.aggregate);
       ("kernels", Jsonx.List (List.map json_of_kernel r.kernels));
     ]
+    @ metrics_field)

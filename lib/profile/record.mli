@@ -24,6 +24,11 @@ type kernel = {
       (** static cost-model prediction for the decision behind this
           launch; [None] for secondary kernels (combiners) the predictor
           does not model individually *)
+  site_attr :
+    (Ppat_kernel.Site.info array * Ppat_gpu.Site_stats.t) option;
+      (** per-access-site counter attribution (site table + matrix),
+          collected when the runner is asked to attribute; column totals
+          equal [stats] exactly for the attributable counters *)
 }
 
 type run = {
@@ -64,9 +69,12 @@ val json_of_stats : Ppat_gpu.Stats.t -> Jsonx.t
 val json_of_breakdown : Ppat_gpu.Timing.breakdown -> Jsonx.t
 val json_of_kernel : kernel -> Jsonx.t
 
-val json_of_run : run -> Jsonx.t
-(** Stable schema ["ppat-profile/3"]: run header (now including the
-    active [cost_model], [sim_jobs] and the parallel wall clock in
+val json_of_run : ?metrics:Jsonx.t -> run -> Jsonx.t
+(** Stable schema ["ppat-profile/4"]: run header (the active
+    [cost_model], [sim_jobs] and the parallel wall clock in
     [sim_wall_seconds]), aggregate stats, and one record per kernel
-    (including [predicted_cycles] and [prediction_error], [null] when no
-    prediction applies). *)
+    (including [predicted_cycles], [prediction_error], and the per-site
+    attribution under ["sites"], [null] when not collected). [metrics],
+    when given, is embedded verbatim under a top-level ["metrics"] key —
+    callers pass {!Metrics.snapshot_json} to ship the process-wide
+    registry with the run. *)

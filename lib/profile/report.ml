@@ -27,6 +27,174 @@ let pp_kernel ppf (k : Record.kernel) =
       p.Ppat_core.Predict.seconds (100. *. e)
   | _ -> ()
 
+(* ----- per-access-site hot-spot report ----- *)
+
+module Site = Ppat_kernel.Site
+module Site_stats = Ppat_gpu.Site_stats
+
+type hotspot = {
+  hs_site : int;
+  hs_kind : string;
+  hs_buf : string;
+  hs_path : string;
+  hs_tx : float;  (** global transactions (atomic rounds included) *)
+  hs_conflicts : float;  (** shared-memory conflict extra accesses *)
+  hs_divergent : float;
+  hs_bytes : float;  (** DRAM bytes (after L2 filtering) *)
+  hs_l2_bytes : float;
+}
+
+(* sites of one kernel, heaviest first: primary key transactions, then
+   shared conflicts, then divergence — the quantities the timing model
+   charges for *)
+let hotspots (infos : Site.info array) (ss : Site_stats.t) =
+  let row i (info : Site.info) =
+    {
+      hs_site = i;
+      hs_kind = Site.kind_name info.Site.skind;
+      hs_buf = info.Site.sbuf;
+      hs_path = info.Site.spath;
+      hs_tx = Site_stats.get ss i Site_stats.col_transactions;
+      hs_conflicts = Site_stats.get ss i Site_stats.col_smem_conflict_extra;
+      hs_divergent = Site_stats.get ss i Site_stats.col_divergent_branches;
+      hs_bytes = Site_stats.get ss i Site_stats.col_bytes;
+      hs_l2_bytes = Site_stats.get ss i Site_stats.col_l2_bytes;
+    }
+  in
+  let rows = Array.to_list (Array.mapi row infos) in
+  List.sort
+    (fun a b ->
+      match compare b.hs_tx a.hs_tx with
+      | 0 -> (
+        match compare b.hs_conflicts a.hs_conflicts with
+        | 0 -> compare b.hs_divergent a.hs_divergent
+        | c -> c)
+      | c -> c)
+    rows
+
+let pct part total = if total > 0. then 100. *. part /. total else 0.
+
+(* simulated vs predicted transactions per buffer: where the static
+   predictor's coalescing estimate diverges from what the simulator
+   measured, listed worst-first *)
+let prediction_join (k : Record.kernel) rows =
+  match k.predicted with
+  | None -> []
+  | Some (p : Ppat_core.Predict.t) ->
+    let sim = Hashtbl.create 8 in
+    List.iter
+      (fun hs ->
+        if hs.hs_buf <> "" then
+          let cur = try Hashtbl.find sim hs.hs_buf with Not_found -> 0. in
+          Hashtbl.replace sim hs.hs_buf (cur +. hs.hs_tx))
+      rows;
+    let pred = Hashtbl.create 8 in
+    List.iter
+      (fun (ae : Ppat_core.Predict.access_est) ->
+        let cur = try Hashtbl.find pred ae.ae_buf with Not_found -> 0. in
+        Hashtbl.replace pred ae.ae_buf (cur +. ae.ae_transactions))
+      p.Ppat_core.Predict.per_access;
+    let bufs =
+      List.sort_uniq compare
+        (Hashtbl.fold (fun b _ acc -> b :: acc) sim []
+        @ Hashtbl.fold (fun b _ acc -> b :: acc) pred [])
+    in
+    let joined =
+      List.map
+        (fun b ->
+          let s = try Hashtbl.find sim b with Not_found -> 0. in
+          let p = try Hashtbl.find pred b with Not_found -> 0. in
+          let err = if s > 0. then (p -. s) /. s else Float.nan in
+          (b, s, p, err))
+        bufs
+    in
+    List.sort
+      (fun (_, _, _, a) (_, _, _, b) ->
+        compare (Float.abs b) (Float.abs a))
+      (List.filter (fun (_, s, p, _) -> s > 0. || p > 0.) joined)
+
+let pp_kernel_hotspots ?(limit = 12) ppf (k : Record.kernel) =
+  match k.site_attr with
+  | None -> ()
+  | Some (infos, ss) ->
+    let rows = hotspots infos ss in
+    let tot_tx = Site_stats.totals ss in
+    let ttx = tot_tx.Stats.transactions
+    and tconf = tot_tx.Stats.smem_conflict_extra
+    and tdiv = tot_tx.Stats.divergent_branches in
+    Format.fprintf ppf
+      "@[<v>#%-3d %s:%s — %d access sites, %.4g transactions@,"
+      k.index k.label k.kname (Array.length infos) ttx;
+    Format.fprintf ppf
+      "  %-4s %-13s %-12s %-26s %10s %6s %9s %6s %8s@," "site" "kind" "buf"
+      "path" "tx" "tx%" "conflicts" "conf%" "diverge";
+    let trunc w s =
+      if String.length s <= w then s else String.sub s 0 (w - 1) ^ "~"
+    in
+    let shown = ref 0 in
+    List.iter
+      (fun hs ->
+        if
+          !shown < limit
+          && (hs.hs_tx > 0. || hs.hs_conflicts > 0. || hs.hs_divergent > 0.)
+        then begin
+          incr shown;
+          Format.fprintf ppf
+            "  %-4d %-13s %-12s %-26s %10.4g %5.1f%% %9.4g %5.1f%% %8.4g@,"
+            hs.hs_site hs.hs_kind (trunc 12 hs.hs_buf) (trunc 26 hs.hs_path)
+            hs.hs_tx
+            (pct hs.hs_tx ttx) hs.hs_conflicts
+            (pct hs.hs_conflicts tconf)
+            hs.hs_divergent
+        end)
+      rows;
+    if !shown = 0 then Format.fprintf ppf "  (no priced accesses)@,";
+    let quiet =
+      List.length
+        (List.filter
+           (fun hs ->
+             hs.hs_tx = 0. && hs.hs_conflicts = 0. && hs.hs_divergent = 0.)
+           rows)
+    in
+    if quiet > 0 then
+      Format.fprintf ppf "  ... %d site%s with no priced traffic@," quiet
+        (if quiet = 1 then "" else "s");
+    ignore tdiv;
+    (match prediction_join k rows with
+     | [] -> ()
+     | joined ->
+       Format.fprintf ppf "  predicted vs simulated transactions per buffer:@,";
+       List.iter
+         (fun (b, s, p, err) ->
+           let b = trunc 20 b in
+           if Float.is_nan err then
+             Format.fprintf ppf
+               "    %-20s simulated %10.4g  predicted %10.4g@," b s p
+           else
+             Format.fprintf ppf
+               "    %-20s simulated %10.4g  predicted %10.4g  (%+.0f%%)@," b
+               s p (100. *. err))
+         joined);
+    Format.fprintf ppf "@]"
+
+let pp_hotspots ppf (r : Record.run) =
+  Format.fprintf ppf
+    "@[<v>hot spots: %s under %s on %s (cost model: %s)@,@," r.app
+    r.strategy r.device r.cost_model;
+  let any = ref false in
+  List.iter
+    (fun (k : Record.kernel) ->
+      if k.site_attr <> None then begin
+        any := true;
+        Format.fprintf ppf "%a@,@," (pp_kernel_hotspots ?limit:None) k
+      end)
+    r.kernels;
+  if not !any then
+    Format.fprintf ppf
+      "(no site attribution recorded — run the profile with attribution \
+       enabled)@,";
+  Format.fprintf ppf "@]"
+
 let pp_run ppf (r : Record.run) =
   Format.fprintf ppf
     "@[<v>profile: %s under %s on %s (cost model: %s)@,%d kernel \

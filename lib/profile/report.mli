@@ -7,6 +7,42 @@ val pp_run : Format.formatter -> Record.run -> unit
 (** Run header, one block per kernel launch (geometry, timing breakdown,
     mapping, provenance), and the aggregate statistics. *)
 
+type hotspot = {
+  hs_site : int;
+  hs_kind : string;
+  hs_buf : string;
+  hs_path : string;
+  hs_tx : float;  (** global transactions (atomic rounds included) *)
+  hs_conflicts : float;  (** shared-memory conflict extra accesses *)
+  hs_divergent : float;
+  hs_bytes : float;  (** DRAM bytes (after L2 filtering) *)
+  hs_l2_bytes : float;  (** bytes served from the L2 *)
+}
+
+val hotspots :
+  Ppat_kernel.Site.info array -> Ppat_gpu.Site_stats.t -> hotspot list
+(** One row per access site of a kernel, heaviest first (transactions,
+    then shared conflicts, then divergence). Exposed for tests and the
+    [ppat report] command. *)
+
+val prediction_join :
+  Record.kernel -> hotspot list -> (string * float * float * float) list
+(** [(buffer, simulated_tx, predicted_tx, relative_error)] per global
+    buffer, worst absolute error first — localises the static
+    predictor's coalescing error to individual buffers. [relative_error]
+    is NaN when the simulator saw no transactions for the buffer. *)
+
+val pp_kernel_hotspots :
+  ?limit:int -> Format.formatter -> Record.kernel -> unit
+(** Hot-spot table of one kernel: site rank, kind, buffer, pattern path,
+    transactions and conflicts with their shares, then the per-buffer
+    predicted-vs-simulated join. Prints nothing when the kernel has no
+    site attribution. [limit] rows (default 12). *)
+
+val pp_hotspots : Format.formatter -> Record.run -> unit
+(** [pp_kernel_hotspots] for every kernel of the run — the body of
+    [ppat report]. *)
+
 type search_trace = {
   st_label : string;  (** pattern label the search ran for *)
   st_result : Ppat_core.Strategy.decision;

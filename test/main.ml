@@ -22,6 +22,7 @@ let () =
       ("profile", Test_profile.tests);
       ("codegen-opts", Test_codegen_opts.tests);
       ("engine", Test_engine.tests);
+      ("attr", Test_attr.tests);
       ("parallel", Test_parallel.tests);
       ("properties", Test_props.tests);
     ]

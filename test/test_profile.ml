@@ -74,7 +74,7 @@ let test_json_roundtrip () =
   (* spot-check the schema *)
   let get k j = match Jsonx.member k j with Some v -> v | None ->
     Alcotest.fail ("missing key " ^ k) in
-  Alcotest.(check (option string)) "schema" (Some "ppat-profile/3")
+  Alcotest.(check (option string)) "schema" (Some "ppat-profile/4")
     (Jsonx.to_str (get "schema" j));
   Alcotest.(check (option int)) "sim_jobs"
     (Some 1)
