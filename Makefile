@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models parallel bench-smoke report bench-diff check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve bench-diff check bench bench-json clean
 
 all: build
 
@@ -63,6 +63,21 @@ report: build
 	python3 -m json.tool /tmp/ppat_report_qpscd.json > /dev/null
 	@echo "report: hot-spot attribution path OK"
 
+# mapping-service smoke: pipe three requests (the third repeats the first)
+# through a stdin server and assert the repeat was answered from the staged
+# plan cache
+serve: build
+	printf '%s\n' \
+	  '{"app":"sum_rows","params":{"R":48,"C":32}}' \
+	  '{"app":"sum_cols","params":{"R":32,"C":24}}' \
+	  '{"app":"sum_rows","params":{"R":48,"C":32}}' \
+	  | dune exec bin/ppat.exe -- serve > /tmp/ppat_serve_smoke.jsonl
+	@test "$$(wc -l < /tmp/ppat_serve_smoke.jsonl)" -eq 3 \
+	  || { echo "serve: expected 3 responses"; exit 1; }
+	@grep -q '"plan": "hit"' /tmp/ppat_serve_smoke.jsonl \
+	  || { echo "serve: repeated request was not a cache hit"; exit 1; }
+	@echo "serve: stdin protocol OK, repeat request hit the plan cache"
+
 # bench regression gate: regenerate the perf trajectory (single app worker
 # so wall clocks are undistorted) and diff it against the frozen artifact
 # of the previous PR. Fails on a >10% (and >50 ms) per-app sim-wall
@@ -70,8 +85,10 @@ report: build
 bench-diff: build
 	dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_gate.json
 	dune exec bench/main.exe -- --compare BENCH_pr5.json /tmp/ppat_bench_gate.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json /tmp/ppat_serve_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr7_baseline.json /tmp/ppat_serve_gate.json
 
-check: build test smoke engines cost-models parallel bench-smoke report bench-diff
+check: build test smoke engines cost-models parallel bench-smoke report serve bench-diff
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
@@ -82,6 +99,8 @@ bench:
 # regenerated here.
 bench-json: build
 	dune exec bench/main.exe -- -j 1 --json BENCH_pr5.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr7_baseline.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr7.json
 
 clean:
 	dune clean

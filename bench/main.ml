@@ -13,7 +13,21 @@
      bench/main.exe --compare BASELINE.json NEW.json
                                     diff two --json trajectories; exits
                                     non-zero on a >10% sim-wall regression
-                                    or any simulator-statistic mismatch
+                                    or any simulator-statistic mismatch —
+                                    every regressing app is reported before
+                                    exiting. Serve-mode trajectories gate
+                                    answer bit-identity, warm-vs-cold p50
+                                    speedup (>=2x) and the hit path's
+                                    search+staging share (<10%) instead
+     bench/main.exe --serve N [--zipf S] [--no-cache] [--json FILE]
+                                    served-traffic bench: N requests drawn
+                                    Zipf(S)-distributed (default s=1.1) from
+                                    a fixed config menu through the mapping
+                                    service; reports p50/p99 cold and warm
+                                    latency, hit rate and the warm speedup
+                                    (schema ppat-bench/5). --no-cache sends
+                                    every request with caches bypassed (the
+                                    cold baseline artifact)
      bench/main.exe -j N            app-level worker domains
      bench/main.exe --sim-jobs N    intra-launch simulator domains per run
                                     (statistics are identical at any N)
@@ -242,6 +256,248 @@ let run_json ~jobs ~sim_jobs ~best_of file =
        ]);
   Format.printf "wrote perf trajectory to %s@." file
 
+(* ----- --serve: served-traffic bench for the mapping service. N requests
+   are drawn from a fixed config menu with a Zipfian repeat distribution
+   (seeded, so the trace — and therefore the hit sequence — is
+   deterministic) and pushed through an in-process server via the same
+   line protocol `ppat serve` speaks. Each config's answers must be
+   bit-identical across all its requests (cold or cached), which is the
+   service's correctness contract; latencies are reported as p50/p99 for
+   the cold (plan miss / bypass) and warm (plan hit) populations. ----- *)
+
+(* modest shapes where the amortisable work (search, lowering, closure
+   compilation) is a real share of a cold request; the analytical model
+   makes the search deliberately expensive on the multi-level nests *)
+let serve_configs =
+  [
+    ("gemm16-analytical", "gemm",
+     [ ("M", 16); ("N", 16); ("K", 16) ], "auto", "analytical");
+    ("gemm24-analytical", "gemm",
+     [ ("M", 24); ("N", 24); ("K", 12) ], "auto", "analytical");
+    ("msm64-analytical", "msm_cluster",
+     [ ("T", 64); ("KC", 8); ("D", 8) ], "auto", "analytical");
+    ("gemm8-hybrid", "gemm",
+     [ ("M", 8); ("N", 8); ("K", 8) ], "auto", "hybrid");
+    ("gemm32-analytical", "gemm",
+     [ ("M", 32); ("N", 16); ("K", 16) ], "auto", "analytical");
+    ("msm96-analytical", "msm_cluster",
+     [ ("T", 96); ("KC", 8); ("D", 8) ], "auto", "analytical");
+    ("gemm12-analytical", "gemm",
+     [ ("M", 12); ("N", 12); ("K", 12) ], "auto", "analytical");
+    ("sumRows-64x48", "sum_rows", [ ("R", 64); ("C", 48) ], "auto", "soft");
+    ("sumCols-64x48", "sum_cols", [ ("R", 64); ("C", 48) ], "auto", "soft");
+    ("sumCols-48x32-tbt", "sum_cols", [ ("R", 48); ("C", 32) ], "tbt", "soft");
+  ]
+
+(* inverse-CDF sampling of rank r with P(r) ∝ 1/r^s over the config menu *)
+let zipf_sampler ~s k =
+  let w = Array.init k (fun i -> 1.0 /. Float.pow (float (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cum = Array.make k 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cum.(i) <- !acc)
+    w;
+  fun rng ->
+    let u = Random.State.float rng 1.0 in
+    let rec find i = if i >= k - 1 || u <= cum.(i) then i else find (i + 1) in
+    find 0
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float n)) - 1)))
+
+let run_serve ~n ~zipf ~no_cache file =
+  let module J = Ppat_profile.Jsonx in
+  let server = Ppat_serve.Serve.create () in
+  let configs = Array.of_list serve_configs in
+  let k = Array.length configs in
+  let sample = zipf_sampler ~s:zipf k in
+  let rng = Random.State.make [| 42 |] in
+  let request_line id (name, app, params, strategy, model) =
+    ignore name;
+    J.to_string ~minify:true
+      (J.Obj
+         [
+           ("id", J.Int id);
+           ("app", J.Str app);
+           ("params", J.Obj (List.map (fun (p, v) -> (p, J.Int v)) params));
+           ("strategy", J.Str strategy);
+           ("cost_model", J.Str model);
+           ("no_cache", J.Bool no_cache);
+         ])
+  in
+  let str_at path j =
+    let rec go j = function
+      | [] -> J.to_str j
+      | f :: rest -> Option.bind (J.member f j) (fun v -> go v rest)
+    in
+    go j path
+  in
+  let num_at path j =
+    let rec go j = function
+      | [] -> J.to_float j
+      | f :: rest -> Option.bind (J.member f j) (fun v -> go v rest)
+    in
+    go j path
+  in
+  let digests = Array.make k None in
+  let counts = Array.make k 0 in
+  let cold_ms = Array.make k nan and warm_ms = Array.make k [] in
+  let cold = ref [] and warm = ref [] and hit_share = ref [] in
+  let mismatches = ref 0 in
+  for i = 0 to n - 1 do
+    let ci = sample rng in
+    let line = request_line i configs.(ci) in
+    let t0 = Unix.gettimeofday () in
+    let resp, _stop = Ppat_serve.Serve.handle_line server line in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let j =
+      match J.of_string resp with
+      | Ok j -> j
+      | Error e ->
+        Format.eprintf "serve bench: unparseable response: %s@." e;
+        exit 2
+    in
+    (match J.member "ok" j with
+     | Some (J.Bool true) -> ()
+     | _ ->
+       Format.eprintf "serve bench: request failed: %s@." resp;
+       exit 2);
+    let digest = Option.value ~default:"?" (str_at [ "answer"; "digest" ] j) in
+    (match digests.(ci) with
+     | None -> digests.(ci) <- Some digest
+     | Some d when d = digest -> ()
+     | Some d ->
+       incr mismatches;
+       Format.eprintf "serve bench: %s answered %s then %s@."
+         (let name, _, _, _, _ = configs.(ci) in name)
+         d digest);
+    counts.(ci) <- counts.(ci) + 1;
+    let plan = Option.value ~default:"?" (str_at [ "cache"; "plan" ] j) in
+    if plan = "hit" then begin
+      warm := wall_ms :: !warm;
+      warm_ms.(ci) <- wall_ms :: warm_ms.(ci);
+      let total = Option.value ~default:nan (num_at [ "timing_ms"; "total" ] j)
+      and search =
+        Option.value ~default:nan (num_at [ "timing_ms"; "search" ] j)
+      and stage =
+        Option.value ~default:nan (num_at [ "timing_ms"; "stage" ] j)
+      in
+      if total > 0. then hit_share := ((search +. stage) /. total) :: !hit_share
+    end
+    else begin
+      cold := wall_ms :: !cold;
+      if Float.is_nan cold_ms.(ci) then cold_ms.(ci) <- wall_ms
+    end
+  done;
+  let pcts l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    (Array.length a, percentile a 50., percentile a 99.)
+  in
+  let n_cold, cold_p50, cold_p99 = pcts !cold in
+  let n_warm, warm_p50, warm_p99 = pcts !warm in
+  let _, all_p50, all_p99 = pcts (!cold @ !warm) in
+  let hit_rate = float n_warm /. float n in
+  let share =
+    match !hit_share with
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0. l /. float (List.length l)
+  in
+  let speedup = cold_p50 /. warm_p50 in
+  let answers_digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";"
+            (List.map
+               (fun i ->
+                 let name, _, _, _, _ = configs.(i) in
+                 name ^ "=" ^ Option.value ~default:"-" digests.(i))
+               (List.init k Fun.id))))
+  in
+  Format.printf
+    "served %d requests over %d configs (zipf s=%.2f%s): %d cold, %d warm \
+     (hit rate %.2f)@."
+    n k zipf
+    (if no_cache then ", caches bypassed" else "")
+    n_cold n_warm hit_rate;
+  Format.printf "  all : p50 %8.2f ms   p99 %8.2f ms@." all_p50 all_p99;
+  Format.printf "  cold: p50 %8.2f ms   p99 %8.2f ms@." cold_p50 cold_p99;
+  if n_warm > 0 then begin
+    Format.printf "  warm: p50 %8.2f ms   p99 %8.2f ms@." warm_p50 warm_p99;
+    Format.printf
+      "  warm-vs-cold p50 speedup %.1fx; search+staging share of hit wall \
+       %.2f%%@."
+      speedup (100. *. share)
+  end;
+  if !mismatches > 0 then begin
+    Format.printf
+      "serve bench: %d answer mismatch(es) — cache hits are NOT bit-identical@."
+      !mismatches;
+    exit 1
+  end;
+  (match file with
+   | None -> ()
+   | Some file ->
+     let cfg_json =
+       List.map
+         (fun i ->
+           let name, app, _, strategy, model = configs.(i) in
+           let wp =
+             let a = Array.of_list warm_ms.(i) in
+             Array.sort compare a;
+             percentile a 50.
+           in
+           J.Obj
+             ([
+                ("name", J.Str name);
+                ("app", J.Str app);
+                ("strategy", J.Str strategy);
+                ("cost_model", J.Str model);
+                ("requests", J.Int counts.(i));
+                ("digest", J.Str (Option.value ~default:"-" digests.(i)));
+              ]
+             @ (if Float.is_nan cold_ms.(i) then []
+                else [ ("cold_ms", J.Float cold_ms.(i)) ])
+             @ if Float.is_nan wp then [] else [ ("warm_p50_ms", J.Float wp) ]))
+         (List.init k Fun.id)
+     in
+     J.to_file file
+       (J.Obj
+          ([
+            ("schema", J.Str "ppat-bench/5");
+            ("mode", J.Str "serve");
+            ("device", J.Str dev.Ppat_gpu.Device.dname);
+            ("zipf", J.Float zipf);
+            ("requests", J.Int n);
+            ("no_cache", J.Bool no_cache);
+            ("cold_count", J.Int n_cold);
+            ("warm_count", J.Int n_warm);
+            ("hit_rate", J.Float hit_rate);
+            ("p50_ms", J.Float all_p50);
+            ("p99_ms", J.Float all_p99);
+            ("cold_p50_ms", J.Float cold_p50);
+            ("cold_p99_ms", J.Float cold_p99);
+          ]
+          @ (if n_warm = 0 then []
+             else
+               [
+                 ("warm_p50_ms", J.Float warm_p50);
+                 ("warm_p99_ms", J.Float warm_p99);
+                 ("warm_vs_cold_p50_speedup", J.Float speedup);
+                 ("hit_search_stage_share", J.Float share);
+               ])
+          @ [
+              ("answers_digest", J.Str answers_digest);
+              ("configs", J.List cfg_json);
+            ]));
+     Format.printf "wrote served-traffic trajectory to %s@." file)
+
 (* ----- --compare: the bench regression gate. Diffs two --json
    trajectories app by app. Simulator statistics are deterministic, so any
    difference there is a real behaviour change and fails the gate
@@ -262,12 +518,113 @@ let load_bench file =
     Format.eprintf "%s: %s@." file e;
     exit 2
 
+(* every failure is recorded with the app/config it concerns and the gate
+   keeps going, so one CI log shows the full regression picture; the exit
+   summary enumerates every failing app *)
+let gate_exit what failed total =
+  if !failed = [] then begin
+    Format.printf "bench gate: OK (%d %s, no regressions)@." total what;
+    exit 0
+  end
+  else begin
+    let names = List.sort_uniq compare (List.rev !failed) in
+    Format.printf "bench gate: %d failure(s) across %d %s: %s@."
+      (List.length !failed) (List.length names) what
+      (String.concat ", " names);
+    exit 1
+  end
+
+(* serve-mode trajectories (schema ppat-bench/5): the baseline is normally
+   the cache-bypassed run and the candidate the cached run of the same
+   trace, so the gate asserts the serving contract — per-config answers
+   bit-identical to cold, warm p50 at least 2x faster than the cold p50,
+   and the hit path dominated by simulation, not search/staging *)
+let compare_serve base_file new_file base next =
+  let module J = Ppat_profile.Jsonx in
+  let failed = ref [] in
+  let fail name fmt =
+    Format.kasprintf
+      (fun s ->
+        failed := name :: !failed;
+        Format.printf "  FAIL %s@." s)
+      fmt
+  in
+  let num key j =
+    Option.value ~default:nan (Option.bind (J.member key j) J.to_float)
+  in
+  let str key j =
+    Option.value ~default:"?" (Option.bind (J.member key j) J.to_str)
+  in
+  let configs j =
+    match Option.bind (J.member "configs" j) J.to_list with
+    | None -> []
+    | Some l ->
+      List.filter_map
+        (fun c ->
+          Option.map
+            (fun n -> (n, str "digest" c))
+            (Option.bind (J.member "name" c) J.to_str))
+        l
+  in
+  Format.printf "comparing served-traffic %s (baseline) vs %s:@." base_file
+    new_file;
+  let bc = configs base and nc = configs next in
+  List.iter
+    (fun (name, bd) ->
+      match List.assoc_opt name nc with
+      | None -> fail name "%s: config present in baseline only" name
+      | Some nd when nd <> bd ->
+        fail name "%s: answers differ from baseline (%s vs %s)" name bd nd
+      | Some _ -> ())
+    bc;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name bc) then
+        Format.printf "  note: config %s is new (not in baseline)@." name)
+    nc;
+  let bdig = str "answers_digest" base and ndig = str "answers_digest" next in
+  Format.printf "  answers digest: %s vs %s (%s)@." bdig ndig
+    (if bdig = ndig then "identical" else "MISMATCH");
+  if bdig <> ndig then fail "answers_digest" "served answers drifted from baseline";
+  let cold_p50 = num "cold_p50_ms" base in
+  let warm_p50 = num "warm_p50_ms" next in
+  let warm_count =
+    Option.value ~default:0 (Option.bind (J.member "warm_count" next) J.to_int)
+  in
+  if warm_count = 0 then
+    Format.printf
+      "  note: candidate run has no warm requests (cache bypassed?); skipping \
+       latency gates@."
+  else begin
+    Format.printf
+      "  cold p50 %.2f ms (baseline) vs warm p50 %.2f ms: %.1fx@." cold_p50
+      warm_p50
+      (cold_p50 /. warm_p50);
+    if not (cold_p50 >= 2.0 *. warm_p50) then
+      fail "warm-speedup" "warm p50 %.2f ms is not 2x faster than cold p50 %.2f ms"
+        warm_p50 cold_p50;
+    let share = num "hit_search_stage_share" next in
+    Format.printf "  search+staging share of hit wall: %.2f%%@." (100. *. share);
+    if not (share < 0.10) then
+      fail "hit-share" "search+staging is %.1f%% of the hit path (gate: <10%%)"
+        (100. *. share)
+  end;
+  gate_exit "serve configs" failed (List.length bc)
+
 let compare_bench base_file new_file =
   let module J = Ppat_profile.Jsonx in
   let base = load_bench base_file and next = load_bench new_file in
   let str key j =
     Option.value ~default:"?" (Option.bind (J.member key j) J.to_str)
   in
+  let mode j = Option.bind (J.member "mode" j) J.to_str in
+  (match (mode base, mode next) with
+   | Some "serve", Some "serve" -> compare_serve base_file new_file base next
+   | Some "serve", _ | _, Some "serve" ->
+     Format.eprintf
+       "cannot compare a serve-mode trajectory against a classic one@.";
+     exit 2
+   | _ -> ());
   let results j =
     match Option.bind (J.member "results" j) J.to_list with
     | None ->
@@ -287,15 +644,21 @@ let compare_bench base_file new_file =
           key b n)
     [ "schema"; "engine"; "cost_model"; "device"; "sim_jobs" ];
   let brs = results base and nrs = results next in
-  let failures = ref 0 in
-  let fail fmt = Format.kasprintf (fun s -> incr failures; Format.printf "  FAIL %s@." s) fmt in
+  let failed = ref [] in
+  let fail name fmt =
+    Format.kasprintf
+      (fun s ->
+        failed := name :: !failed;
+        Format.printf "  FAIL %s@." s)
+      fmt
+  in
   Format.printf "comparing %s (baseline) vs %s:@." base_file new_file;
   Format.printf "  %-24s %12s %12s %8s  %s@." "app" "base sim-w" "new sim-w"
     "delta" "stats";
   List.iter
     (fun (name, br) ->
       match List.assoc_opt name nrs with
-      | None -> fail "%s: present in baseline only" name
+      | None -> fail name "%s: present in baseline only" name
       | Some nr ->
         let f key j =
           Option.value ~default:nan (Option.bind (J.member key j) J.to_float)
@@ -311,7 +674,7 @@ let compare_bench base_file new_file =
         Format.printf "  %-24s %10.3f s %10.3f s %+7.1f%%  %s@." name bw nw pct
           (if stats_ok then "identical" else "MISMATCH");
         if not stats_ok then begin
-          fail "%s: simulator statistics differ" name;
+          fail name "%s: simulator statistics differ" name;
           match (bstats, nstats) with
           | Some (J.Obj b), Some (J.Obj n) ->
             List.iter
@@ -327,22 +690,15 @@ let compare_bench base_file new_file =
           | _ -> ()
         end;
         if pct > regression_pct && nw -. bw > regression_abs_floor then
-          fail "%s: sim wall regressed %.1f%% (%.3f s -> %.3f s)" name pct bw nw)
+          fail name "%s: sim wall regressed %.1f%% (%.3f s -> %.3f s)" name pct
+            bw nw)
     brs;
   List.iter
     (fun (name, _) ->
       if not (List.mem_assoc name brs) then
         Format.printf "  note: %s is new (not in baseline)@." name)
     nrs;
-  if !failures = 0 then begin
-    Format.printf "bench gate: OK (%d apps, no regressions, stats identical)@."
-      (List.length brs);
-    exit 0
-  end
-  else begin
-    Format.printf "bench gate: %d failure(s)@." !failures;
-    exit 1
-  end
+  gate_exit "apps" failed (List.length brs)
 
 (* ----- entry point ----- *)
 
@@ -374,6 +730,9 @@ let parse_jobs args =
   let jobs = ref (default_jobs ()) in
   let sim_jobs = ref (Ppat_kernel.Interp.default_jobs ()) in
   let best_of = ref 1 in
+  let serve = ref None in
+  let zipf = ref 1.1 in
+  let no_cache = ref false in
   let rec go acc = function
     | "-j" :: n :: rest ->
       jobs := int_of_string n;
@@ -384,20 +743,38 @@ let parse_jobs args =
     | "--best-of" :: n :: rest ->
       best_of := max 1 (int_of_string n);
       go acc rest
+    | "--serve" :: n :: rest ->
+      serve := Some (max 1 (int_of_string n));
+      go acc rest
+    | "--zipf" :: s :: rest ->
+      zipf := float_of_string s;
+      go acc rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      go acc rest
     | a :: rest -> go (a :: acc) rest
-    | [] -> (!jobs, !sim_jobs, !best_of, List.rev acc)
+    | [] -> (!jobs, !sim_jobs, !best_of, !serve, !zipf, !no_cache, List.rev acc)
   in
   go [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs, sim_jobs, best_of, args = parse_jobs args in
+  let jobs, sim_jobs, best_of, serve, zipf, no_cache, args = parse_jobs args in
   (match args with
    | "--compare" :: base :: next :: _ -> compare_bench base next
    | "--compare" :: _ ->
      Format.eprintf "--compare expects BASELINE.json NEW.json@.";
      exit 2
    | _ -> ());
+  match serve with
+  | Some n ->
+    let file =
+      match args with
+      | "--json" :: f :: _ when Filename.check_suffix f ".json" -> Some f
+      | _ -> None
+    in
+    run_serve ~n ~zipf ~no_cache file
+  | None ->
   if List.mem "--json" args then begin
     let file =
       match args with

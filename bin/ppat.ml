@@ -21,31 +21,7 @@ let dev = Ppat_gpu.Device.k20c
 module A = Ppat_apps
 module Cost_model = Ppat_core.Cost_model
 
-let registry : (string * (unit -> A.App.t)) list =
-  [
-    ("sum_rows", fun () -> A.Sum_rows_cols.sum_rows ());
-    ("sum_cols", fun () -> A.Sum_rows_cols.sum_cols ());
-    ("sum_weighted_rows", fun () -> A.Sum_rows_cols.sum_weighted_rows ());
-    ("sum_weighted_cols", fun () -> A.Sum_rows_cols.sum_weighted_cols ());
-    ("nearest_neighbor", fun () -> A.Nearest_neighbor.app ());
-    ("gaussian", fun () -> A.Gaussian.app ~n:128 A.Gaussian.R);
-    ("gaussian_c", fun () -> A.Gaussian.app ~n:128 A.Gaussian.C);
-    ("bfs", fun () -> A.Bfs.app ~nodes:8192 ~avg_degree:8 ());
-    ("hotspot", fun () -> A.Hotspot.app ~n:128 ~steps:4 A.Hotspot.R);
-    ("hotspot_c", fun () -> A.Hotspot.app ~n:128 ~steps:4 A.Hotspot.C);
-    ("mandelbrot", fun () -> A.Mandelbrot.app ~h:128 ~w:128 ~max_iter:32 A.Mandelbrot.R);
-    ("mandelbrot_c", fun () -> A.Mandelbrot.app ~h:128 ~w:128 ~max_iter:32 A.Mandelbrot.C);
-    ("srad", fun () -> A.Srad.app ~n:96 ~iters:2 A.Srad.R);
-    ("srad_c", fun () -> A.Srad.app ~n:96 ~iters:2 A.Srad.C);
-    ("pathfinder", fun () -> A.Pathfinder.app ~rows:24 ~cols:8192 ());
-    ("lud", fun () -> A.Lud.app ~n:96 A.Lud.R);
-    ("pagerank", fun () -> A.Pagerank.app ~nodes:8192 ~avg_degree:8 ~iters:3 ());
-    ("qpscd", fun () -> A.Qpscd.app ~samples:1024 ~dim:1024 ());
-    ("msm_cluster", fun () -> A.Msm_cluster.app ());
-    ("naive_bayes", fun () -> A.Naive_bayes.app ~docs:1024 ~words:512 ());
-    ("gemm", fun () -> A.Gemm.app ~m:128 ~n:128 ~k:128 ());
-    ("fig8", fun () -> A.Experiments.fig8_app ());
-  ]
+let registry : (string * (unit -> A.App.t)) list = A.Registry.all
 
 let strategy_of_string = function
   | "auto" | "multidim" -> Ppat_core.Strategy.Auto
@@ -500,6 +476,45 @@ let cmd_figures names =
       | None -> Format.eprintf "unknown figure %S@." name)
     selected
 
+(* ppat serve [--jobs N] [--socket PATH] [--plan-cache N] [--memo-cache N]
+   — the persistent mapping service: line-delimited JSON requests on
+   stdin (or a Unix socket), answers from the search memo and the
+   staged-plan cache when it can *)
+let cmd_serve rest =
+  let jobs = ref None and socket = ref None in
+  let plan_cap = ref 64 and memo_cap = ref 256 in
+  let pos_int flag n =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> v
+    | _ -> failwith (Printf.sprintf "%s expects a positive integer, got %S" flag n)
+  in
+  let rec go = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      jobs := Some (pos_int "--jobs" n);
+      go rest
+    | "--socket" :: p :: rest ->
+      socket := Some p;
+      go rest
+    | "--plan-cache" :: n :: rest ->
+      plan_cap := pos_int "--plan-cache" n;
+      go rest
+    | "--memo-cache" :: n :: rest ->
+      memo_cap := pos_int "--memo-cache" n;
+      go rest
+    | arg :: _ -> failwith (Printf.sprintf "serve: unexpected argument %S" arg)
+  in
+  go rest;
+  let server =
+    Ppat_serve.Serve.create ~device:dev ~memo_capacity:!memo_cap
+      ~plan_capacity:!plan_cap ()
+  in
+  match !socket with
+  | Some path ->
+    Format.eprintf "ppat serve: listening on %s@." path;
+    Ppat_serve.Serve.serve_socket ?jobs:!jobs server path
+  | None -> Ppat_serve.Serve.serve_stdin ?jobs:!jobs server
+
 let usage () =
   print_endline
     "usage: ppat <command>\n\
@@ -520,6 +535,11 @@ let usage () =
      \                            rank the mapping space under every cost\n\
      \                            model; report rank correlation and regret\n\
      \                            against the simulator\n\
+     \  serve [--jobs N] [--socket PATH] [--plan-cache N] [--memo-cache N]\n\
+     \                            persistent mapping service: line-delimited\n\
+     \                            JSON requests (schema ppat-serve/1) on stdin\n\
+     \                            or a Unix socket; repeats are answered from\n\
+     \                            the memoised search and staged-plan caches\n\
      \  cuda APP                  print generated CUDA kernels\n\
      \  explain APP               constraints and mapping decisions\n\
      \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)\n\
@@ -630,6 +650,7 @@ let () =
       exit 1
     end;
     cmd_modelcmp name f.f_engine f.f_top f.f_json
+  | _ :: "serve" :: rest -> cmd_serve rest
   | _ :: "cuda" :: name :: _ -> cmd_cuda name
   | _ :: "explain" :: name :: _ -> cmd_explain name
   | _ :: "figures" :: names -> cmd_figures names

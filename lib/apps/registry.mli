@@ -1,0 +1,10 @@
+(** The bundled application registry, shared by the CLI driver, the bench
+    harness and the mapping service. *)
+
+val all : (string * (unit -> App.t)) list
+(** Name to (thunked) constructor, in presentation order. *)
+
+val names : string list
+
+val find : string -> App.t option
+(** Build the named app, or [None] for unknown names. *)

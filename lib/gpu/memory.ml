@@ -30,6 +30,10 @@ type t = {
      the lifetime of the memory (the engines pass [Device.l2_slices]; the
      legacy list API models a single unified table) *)
   mutable l2 : l2_slice array;
+  (* bumped on every rebinding event (load/alloc/swap/rebind): compiled
+     launches capture entries, so a staged-kernel cache keyed by kernel
+     digest is only valid while the epoch it was compiled under holds *)
+  mutable epoch : int;
 }
 
 (* line ids are non-negative in practice (byte addr / transaction bytes,
@@ -37,7 +41,8 @@ type t = {
 let l2_empty = min_int
 let l2_init_capacity = 4096
 
-let create () = { next_base = 256; bufs = Hashtbl.create 32; l2 = [||] }
+let create () =
+  { next_base = 256; bufs = Hashtbl.create 32; l2 = [||]; epoch = 0 }
 
 let align n a = (n + a - 1) / a * a
 
@@ -46,6 +51,7 @@ let install t name elem_bytes data nbytes =
   t.next_base <- base + nbytes;
   let e = { base; elem_bytes; data } in
   Hashtbl.replace t.bufs name e;
+  t.epoch <- t.epoch + 1;
   e
 
 let load t name (buf : Ppat_ir.Host.buf) =
@@ -71,7 +77,36 @@ let mem t name = Hashtbl.mem t.bufs name
 let swap t a b =
   let ea = find t a and eb = find t b in
   Hashtbl.replace t.bufs a eb;
-  Hashtbl.replace t.bufs b ea
+  Hashtbl.replace t.bufs b ea;
+  t.epoch <- t.epoch + 1
+
+let epoch t = t.epoch
+
+let rebind t name e =
+  Hashtbl.replace t.bufs name e;
+  t.epoch <- t.epoch + 1
+
+(* forget every cached L2 line, returning the memory to its cold state;
+   the slice count is re-fixed by the next cache access, exactly as on a
+   fresh memory. Staged-plan replay calls this so a warm (cache-hit)
+   request prices its traffic through the same cold L2 a fresh run
+   would. *)
+let reset_cache t = t.l2 <- [||]
+
+let refill (e : entry) (src : Ppat_ir.Host.buf) =
+  match (e.data, src) with
+  | Ppat_ir.Host.F dst, Ppat_ir.Host.F s when Array.length dst = Array.length s ->
+    Array.blit s 0 dst 0 (Array.length s);
+    Ok ()
+  | Ppat_ir.Host.I dst, Ppat_ir.Host.I s when Array.length dst = Array.length s ->
+    Array.blit s 0 dst 0 (Array.length s);
+    Ok ()
+  | _ -> Error "refill: buffer shape or element type changed"
+
+let zero (e : entry) =
+  match e.data with
+  | Ppat_ir.Host.F a -> Array.fill a 0 (Array.length a) 0.
+  | Ppat_ir.Host.I a -> Array.fill a 0 (Array.length a) 0
 
 let to_host t name =
   match (find t name).data with

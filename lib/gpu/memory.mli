@@ -33,6 +33,30 @@ val mem : t -> string -> bool
 val swap : t -> string -> string -> unit
 (** Exchange the storage bound to two names (host-side pointer swap). *)
 
+val epoch : t -> int
+(** Monotonic count of rebinding events (load / alloc / swap / rebind).
+    Compiled launches capture {!entry} values, so anything caching
+    compiled code against this memory must key on the epoch it compiled
+    under: a later epoch may have rebound a name the closure resolved. *)
+
+val rebind : t -> string -> entry -> unit
+(** Bind [name] to an existing entry without allocating — staged-plan
+    replay restores the bindings that held when the plan was staged. *)
+
+val reset_cache : t -> unit
+(** Drop all cached L2 lines, returning the cache model to the state of a
+    fresh memory (the slice count is re-fixed by the next access). Lets a
+    staged-plan replay start from the same cold cache a fresh run would. *)
+
+val refill : entry -> Ppat_ir.Host.buf -> (unit, string) result
+(** Overwrite an entry's contents in place from host data of the same
+    element type and length; the entry's base address and array identity
+    are preserved, which is what keeps staged closures valid. *)
+
+val zero : entry -> unit
+(** Zero an entry's contents in place (replaying the zero-fill of a fresh
+    temp allocation). *)
+
 val to_host : t -> string -> Ppat_ir.Host.buf
 (** Copy a buffer's current contents back out. *)
 

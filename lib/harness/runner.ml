@@ -41,17 +41,25 @@ let analysis_params (prog : Pat.prog) params =
   List.iter step prog.steps;
   !extra @ params
 
-(* one mapping decision per top-level pattern of the program *)
-let decide_all ?model dev (prog : Pat.prog) params strategy =
+(* one mapping decision per top-level pattern of the program; [memo]
+   short-circuits the constraint collection and search through the
+   canonical-digest cache *)
+let decide_all ?model ?memo dev (prog : Pat.prog) params strategy =
   let ap = analysis_params prog params in
   let decisions = ref [] in
   let rec step = function
     | Pat.Launch n ->
       if not (List.mem_assoc n.pat.Pat.pid !decisions) then begin
-        let c = Collect.collect ~params:ap ?bind:n.bind dev prog n.pat in
         let d =
           Ppat_metrics.Metrics.span ~cat:"search" "mapping search"
-            (fun () -> Strategy.decide ?model dev c strategy)
+            (fun () ->
+              match memo with
+              | Some m ->
+                Ppat_core.Search_memo.decide m ?model ~params:ap
+                  ?bind:n.bind dev prog n.pat strategy
+              | None ->
+                let c = Collect.collect ~params:ap ?bind:n.bind dev prog n.pat in
+                Strategy.decide ?model dev c strategy)
         in
         decisions := (n.pat.Pat.pid, d) :: !decisions
       end
@@ -166,8 +174,8 @@ let exec_steps ?engine ?sim_jobs ?(attr = false) dev prog ~opts ~params
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
 let run_gpu ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
-    ?(params = []) ?model dev prog strategy data =
-  let decisions = decide_all ?model dev prog params strategy in
+    ?(params = []) ?model ?memo dev prog strategy data =
+  let decisions = decide_all ?model ?memo dev prog params strategy in
   let mapping_of pid =
     (List.assoc pid decisions).Strategy.mapping
   in
@@ -210,6 +218,315 @@ let run_gpu_mapped ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
       data
   in
   { seconds; kernels; stats; data = out; decisions = []; notes; profile }
+
+(* ----- staged plans: pay search + lowering + closure compilation once,
+   replay against fresh data paying simulation cost only ----- *)
+
+module Staged = Ppat_kernel.Staged
+module Site = Ppat_kernel.Site
+module Kir = Ppat_kernel.Kir
+
+type launch_meta = {
+  m_label : string;
+  m_li : int;  (* launch index within its pattern (0 = main kernel) *)
+  m_mapping : Mapping.t;
+  m_via : string;
+  m_predicted : Ppat_core.Predict.t option;
+}
+
+type plan = {
+  p_prog : Pat.prog;
+  p_params : (string * int) list;  (* resolved over defaults *)
+  p_staged : launch_meta Staged.plan;
+  p_decisions : (string * Strategy.decision) list;  (* label-keyed *)
+}
+
+type staged_run = {
+  st_result : gpu_result;
+  st_plan : plan option;
+  st_unstageable : string option;
+  st_stage_seconds : float;
+}
+
+(* per-launch execution + record building shared by staging and replay;
+   mutates the accumulator refs the caller owns *)
+let run_and_record ~jobs ~attr ~agg ~total_time ~kernels ~records dev mem
+    (sl : launch_meta Staged.slaunch) =
+  let site_attr =
+    if not attr then None
+    else
+      let infos, _ = Site.annotate sl.Staged.launch.Kir.kernel in
+      Some (infos, Ppat_gpu.Site_stats.create (Array.length infos))
+  in
+  let wall0 = Unix.gettimeofday () in
+  let s =
+    Staged.run_slaunch ~jobs ?attr:(Option.map snd site_attr) dev mem sl
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  Stats.add agg s;
+  let b = Timing.kernel_estimate dev (Kir.geometry sl.Staged.launch) s in
+  total_time := !total_time +. b.Timing.seconds;
+  let meta = sl.Staged.meta in
+  records :=
+    {
+      Record.index = !kernels;
+      label = meta.m_label;
+      kname = sl.Staged.launch.Kir.kernel.Kir.kname;
+      grid = sl.Staged.launch.Kir.grid;
+      block = sl.Staged.launch.Kir.block;
+      mapping = meta.m_mapping;
+      via = meta.m_via;
+      stats = Stats.copy s;
+      breakdown = b;
+      sim_wall_seconds = wall;
+      predicted = (if meta.m_li = 0 then meta.m_predicted else None);
+      site_attr;
+    }
+    :: !records;
+  incr kernels;
+  s
+
+let label_of_pid prog pid =
+  let found = ref "" in
+  Pat.iter_patterns
+    (fun lvl p -> if lvl = 0 && p.Pat.pid = pid then found := p.Pat.label)
+    prog;
+  !found
+
+let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.default_options)
+    ?(params = []) dev prog ~decisions data =
+  (match Pat.validate prog with
+   | Ok () -> ()
+   | Error e -> failwith ("invalid program: " ^ e));
+  let engine =
+    match engine with Some e -> e | None -> Interp.default_engine ()
+  in
+  let jobs =
+    match sim_jobs with Some j -> j | None -> Interp.default_jobs ()
+  in
+  let params = Host.params_of prog params in
+  let mem = Memory.create () in
+  let initial =
+    List.map
+      (fun (name, buf) -> (name, Memory.load mem name buf))
+      (Host.alloc_all prog params data)
+  in
+  let kcache = Staged.kcache () in
+  let total_time = ref 0. in
+  let kernels = ref 0 in
+  let agg = Stats.create () in
+  let notes = ref [] in
+  let records = ref [] in
+  let stage_seconds = ref 0. in
+  let unstageable = ref None in
+  let mapping_of pid = (List.assoc pid decisions).Strategy.mapping in
+  let via_of pid =
+    match List.assoc_opt pid decisions with
+    | Some d -> d.Strategy.via
+    | None -> ""
+  in
+  let predicted_of pid =
+    match List.assoc_opt pid decisions with
+    | Some d -> d.Strategy.predicted
+    | None -> None
+  in
+  let exec sl =
+    ignore
+      (run_and_record ~jobs ~attr ~agg ~total_time ~kernels ~records dev mem
+         sl)
+  in
+  (* replay already-staged ops during staging (flag-loop iterations past
+     the first): the same walk Staged.replay performs *)
+  let rec exec_op (o : launch_meta Staged.op) =
+    match o with
+    | Staged.Exec { binds; launches; notes = ns } ->
+      List.iter
+        (fun (n, e) ->
+          Memory.rebind mem n e;
+          Memory.zero e)
+        binds;
+      List.iter exec launches;
+      notes := ns @ !notes
+    | Staged.Swap (a, b) -> Memory.swap mem a b
+    | Staged.While { flag; max_iter; body } ->
+      let continue_ = ref true and iters = ref 0 in
+      while !continue_ && !iters < max_iter do
+        Staged.clear_flag mem flag;
+        List.iter exec_op body;
+        continue_ := Staged.read_flag mem flag;
+        incr iters
+      done
+  in
+  (* stage one host step: execute it (this run doubles as the cold run)
+     and return the ops that reproduce it *)
+  let rec step ~in_while cur_params (s : Pat.step) :
+      launch_meta Staged.op list =
+    match s with
+    | Pat.Launch n ->
+      let pid = n.pat.Pat.pid in
+      let mapping = mapping_of pid in
+      let t0 = Unix.gettimeofday () in
+      let lowered = Lower.lower dev ~opts ~params:cur_params prog n mapping in
+      let binds =
+        List.map
+          (fun (t : Lower.temp) ->
+            let e =
+              match t.telem with
+              | Ty.F64 -> Memory.alloc_f mem t.tname t.telems
+              | Ty.I32 | Ty.Bool -> Memory.alloc_i mem t.tname t.telems
+            in
+            (t.tname, e))
+          lowered.temps
+      in
+      if in_while && binds <> [] && !unstageable = None then
+        unstageable :=
+          Some
+            (Printf.sprintf
+               "launch %S allocates temps inside a flag loop (a cold run \
+                re-allocates per iteration)"
+               n.pat.Pat.label);
+      let slaunches =
+        List.mapi
+          (fun li (l : Kir.launch) ->
+            let meta =
+              {
+                m_label = n.pat.Pat.label;
+                m_li = li;
+                m_mapping = mapping;
+                m_via = via_of pid;
+                m_predicted = predicted_of pid;
+              }
+            in
+            match engine with
+            | Interp.Reference -> Staged.reference_slaunch l ~meta
+            | Interp.Compiled ->
+              Staged.stage_launch ~cache:kcache dev mem l ~meta)
+          lowered.launches
+      in
+      stage_seconds := !stage_seconds +. (Unix.gettimeofday () -. t0);
+      List.iter exec slaunches;
+      notes := lowered.notes @ !notes;
+      [ Staged.Exec { binds; launches = slaunches; notes = lowered.notes } ]
+    | Pat.Host_loop { var; count; body } ->
+      let n = Ty.extent_value cur_params count in
+      let ops = ref [] in
+      for i = 0 to n - 1 do
+        ops :=
+          List.rev_append
+            (List.concat_map (step ~in_while ((var, i) :: cur_params)) body)
+            !ops
+      done;
+      List.rev !ops
+    | Pat.Swap (a, b) ->
+      if in_while && !unstageable = None then
+        unstageable := Some "buffer swap inside a flag loop";
+      Memory.swap mem a b;
+      [ Staged.Swap (a, b) ]
+    | Pat.While_flag { flag; max_iter; body } ->
+      (* stage and execute the first iteration; later iterations replay
+         the staged body — unless it turned out unstageable, in which
+         case every iteration re-stages, which is exactly what a cold
+         run does (fresh temps, fresh closures) *)
+      let continue_ = ref true and iters = ref 0 in
+      let body_ops = ref None in
+      while !continue_ && !iters < max_iter do
+        Staged.clear_flag mem flag;
+        (match !body_ops with
+         | None ->
+           body_ops :=
+             Some (List.concat_map (step ~in_while:true cur_params) body)
+         | Some ops when !unstageable = None -> List.iter exec_op ops
+         | Some _ ->
+           ignore (List.concat_map (step ~in_while:true cur_params) body));
+        continue_ := Staged.read_flag mem flag;
+        incr iters
+      done;
+      [
+        Staged.While
+          { flag; max_iter; body = Option.value !body_ops ~default:[] };
+      ]
+  in
+  let ops = List.concat_map (step ~in_while:false params) prog.Pat.steps in
+  let out =
+    List.map
+      (fun (b : Pat.buffer) -> (b.bname, Memory.to_host mem b.bname))
+      prog.Pat.buffers
+  in
+  let result =
+    {
+      seconds = !total_time;
+      kernels = !kernels;
+      stats = agg;
+      data = out;
+      decisions =
+        List.map (fun (pid, d) -> (label_of_pid prog pid, d)) decisions;
+      notes = List.rev !notes;
+      profile = List.rev !records;
+    }
+  in
+  let plan =
+    match !unstageable with
+    | Some _ -> None
+    | None ->
+      Some
+        {
+          p_prog = prog;
+          p_params = params;
+          p_staged =
+            {
+              Staged.device = dev;
+              mem;
+              initial;
+              ops;
+              lock = Mutex.create ();
+            };
+          p_decisions = result.decisions;
+        }
+  in
+  {
+    st_result = result;
+    st_plan = plan;
+    st_unstageable = !unstageable;
+    st_stage_seconds = !stage_seconds;
+  }
+
+let replay ?sim_jobs ?(attr = false) (p : plan) data =
+  let jobs =
+    match sim_jobs with Some j -> j | None -> Interp.default_jobs ()
+  in
+  let dev = p.p_staged.Staged.device in
+  let mem = p.p_staged.Staged.mem in
+  let contents = Host.alloc_all p.p_prog p.p_params data in
+  let total_time = ref 0. in
+  let kernels = ref 0 in
+  let agg = Stats.create () in
+  let notes = ref [] in
+  let records = ref [] in
+  let run sl =
+    run_and_record ~jobs ~attr ~agg ~total_time ~kernels ~records dev mem sl
+  in
+  match
+    Staged.replay
+      ~on_notes:(fun ns -> notes := ns @ !notes)
+      p.p_staged ~contents ~run
+  with
+  | Error e -> Error e
+  | Ok () ->
+    let out =
+      List.map
+        (fun (b : Pat.buffer) -> (b.bname, Memory.to_host mem b.bname))
+        p.p_prog.Pat.buffers
+    in
+    Ok
+      {
+        seconds = !total_time;
+        kernels = !kernels;
+        stats = agg;
+        data = out;
+        decisions = p.p_decisions;
+        notes = List.rev !notes;
+        profile = List.rev !records;
+      }
 
 let run_cpu ?(params = []) prog data =
   let cpu_data, counts = Ppat_cpu.Interp_ref.run ~params prog data in

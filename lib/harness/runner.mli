@@ -29,6 +29,7 @@ val run_gpu :
   ?opts:Ppat_codegen.Lower.options ->
   ?params:(string * int) list ->
   ?model:Ppat_core.Cost_model.kind ->
+  ?memo:Ppat_core.Search_memo.t ->
   Ppat_gpu.Device.t ->
   Ppat_ir.Pat.prog ->
   Ppat_core.Strategy.t ->
@@ -99,3 +100,66 @@ val analysis_params :
 (** The parameter environment used for mapping analysis: caller params over
     program defaults, plus every host-loop variable bound to the midpoint
     of its range (a representative iteration). *)
+
+(** {2 Staged plans}
+
+    The serving path splits {!run_gpu} into its cacheable phases: decide
+    (memoisable through {!Ppat_core.Search_memo}), stage (build a replayable
+    {!plan} while performing the cold run), and replay (re-run the plan
+    against fresh data, paying simulation cost only). A replayed result is
+    bit-identical to a cold run of the same program — same statistics, same
+    buffer contents — under either engine and any [sim_jobs]. *)
+
+val decide_all :
+  ?model:Ppat_core.Cost_model.kind ->
+  ?memo:Ppat_core.Search_memo.t ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  (string * int) list ->
+  Ppat_core.Strategy.t ->
+  (int * Ppat_core.Strategy.decision) list
+(** One mapping decision per top-level pattern, keyed by pattern id.
+    [memo] answers repeats from the canonical-digest cache instead of
+    re-running collection and search. *)
+
+type plan
+(** A staged program: compiled closure trees plus the host control flow
+    and memory image needed to replay them. Holds its staging memory
+    alive; replays of one plan serialise on an internal lock. *)
+
+type staged_run = {
+  st_result : gpu_result;  (** the cold run performed while staging *)
+  st_plan : plan option;  (** [None] when the program is unstageable *)
+  st_unstageable : string option;
+      (** why no plan was produced (flag-loop bodies that allocate temps
+          or swap buffers cannot be replayed faithfully) *)
+  st_stage_seconds : float;
+      (** wall clock spent lowering and compiling closures — the cost a
+          replay avoids *)
+}
+
+val stage :
+  ?engine:Ppat_kernel.Interp.engine ->
+  ?sim_jobs:int ->
+  ?attr:bool ->
+  ?opts:Ppat_codegen.Lower.options ->
+  ?params:(string * int) list ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  decisions:(int * Ppat_core.Strategy.decision) list ->
+  Ppat_ir.Host.data ->
+  staged_run
+(** Execute the program once (exactly like {!run_gpu} with the given
+    [decisions]) while recording a replayable plan. Within one staging,
+    identical launches (kernel, geometry, launch params, memory epoch)
+    share one compiled closure through the ["kernel_stage"] cache. *)
+
+val replay :
+  ?sim_jobs:int ->
+  ?attr:bool ->
+  plan ->
+  Ppat_ir.Host.data ->
+  (gpu_result, string) result
+(** Re-run a staged plan against fresh input data. [Error] means the data
+    does not fit the plan (a buffer changed shape or type) and the caller
+    should fall back to a cold run. *)

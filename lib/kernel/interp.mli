@@ -55,6 +55,12 @@ val parallel_fallbacks : int ref
 val last_parallel_fallback : string option ref
 (** Reason of the most recent serial fallback of a parallel run. *)
 
+val effective_jobs : jobs:int -> Kir.launch -> int
+(** The worker count a launch actually runs with: [jobs], demoted to 1
+    (with fallback accounting) when the kernel uses global atomics. Both
+    {!run} and the staged-replay path ({!Staged}) route through this so
+    the gating policy and its counters live in one place. *)
+
 val run :
   ?engine:engine ->
   ?jobs:int ->

@@ -1,0 +1,128 @@
+(* Bounded LRU over a Hashtbl plus an intrusive doubly-linked recency
+   list. All operations are O(1) amortised and run under the cache's own
+   mutex, so the serving layer can share one cache across pool worker
+   domains. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards most recently used *)
+  mutable next : 'v node option;  (* towards least recently used *)
+}
+
+type 'v t = {
+  lock : Mutex.t;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  cap : int;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  evictions : Metrics.counter;
+}
+
+let create ?(capacity = 128) name =
+  let labels = [ ("cache", name) ] in
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    mru = None;
+    lru = None;
+    cap = max 1 capacity;
+    hits = Metrics.counter ~labels "ppat_cache_hits";
+    misses = Metrics.counter ~labels "ppat_cache_misses";
+    evictions = Metrics.counter ~labels "ppat_cache_evictions";
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* unlink a node from the recency list (the table binding stays) *)
+let unlink t n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.mru <- n.next);
+  (match n.next with
+   | Some x -> x.prev <- n.prev
+   | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let promote t n =
+  if t.mru != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_excess t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.lru with
+    | None -> assert false
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      Metrics.incr t.evictions
+  done
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        promote t n;
+        Metrics.incr t.hits;
+        Some n.value
+      | None ->
+        Metrics.incr t.misses;
+        None)
+
+let put t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        n.value <- value;
+        promote t n
+      | None ->
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        evict_excess t)
+
+let find_or_add t key make =
+  match find t key with
+  | Some v -> (true, v)
+  | None ->
+    let v = make () in
+    put t key v;
+    (false, v)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl key
+      | None -> ())
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None)
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let capacity t = t.cap
+
+type stats = { hits : float; misses : float; evictions : float }
+
+let stats (t : 'v t) =
+  let h = Metrics.value t.hits
+  and m = Metrics.value t.misses
+  and e = Metrics.value t.evictions in
+  { hits = h; misses = m; evictions = e }

@@ -1,0 +1,47 @@
+(** Bounded, mutex-protected LRU cache with registry-instrumented
+    hit/miss/eviction counters.
+
+    The serving layer keys memoised mapping-search results and staged
+    kernel plans by canonical digests; both caches need the same
+    recency-bounded map with metrics. Entries are promoted on [find];
+    inserting past [capacity] evicts the least recently used entry.
+
+    All operations take the cache's own lock, so a cache can be shared
+    between pool worker domains. Values are returned as stored — callers
+    that mutate values (e.g. replaying a staged plan) must synchronise on
+    the value itself. *)
+
+type 'v t
+
+val create : ?capacity:int -> string -> 'v t
+(** [create ~capacity name] makes an empty cache. [name] labels the
+    [ppat_cache_hits]/[ppat_cache_misses]/[ppat_cache_evictions]
+    counters in the metrics registry. Capacity defaults to 128 and is
+    clamped to at least 1. *)
+
+val find : 'v t -> string -> 'v option
+(** Look up a key, promoting it to most recently used. Counts a hit or a
+    miss. *)
+
+val put : 'v t -> string -> 'v -> unit
+(** Insert or replace a binding (the binding becomes most recently used).
+    May evict the least recently used entry; each eviction counts. *)
+
+val find_or_add : 'v t -> string -> (unit -> 'v) -> bool * 'v
+(** [find_or_add t key make] returns [(true, v)] on a hit and
+    [(false, v)] after inserting [make ()] on a miss. [make] runs outside
+    the cache lock, so concurrent misses on the same key may both compute;
+    the first completed insert wins and later ones overwrite it with an
+    equal value (computations are deterministic in this codebase). *)
+
+val remove : 'v t -> string -> unit
+val clear : 'v t -> unit
+
+val length : 'v t -> int
+val capacity : 'v t -> int
+
+type stats = { hits : float; misses : float; evictions : float }
+
+val stats : 'v t -> stats
+(** Counter values for this cache since process start (they survive
+    [clear]; {!Ppat_metrics.Metrics.reset} zeroes them). *)

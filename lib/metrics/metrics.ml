@@ -218,6 +218,41 @@ let snapshot () =
       | c -> c)
     entries
 
+(* snapshot-and-delta: what one request contributed to the registry.
+   Entries are matched by (name, labels); an instrument absent from
+   [before] (registered mid-request) counts from zero. All-zero deltas
+   are dropped so a request's profile JSON only carries what it touched. *)
+let diff before after =
+  let key e = (e.name, e.labels) in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl (key e) e.v) before;
+  List.filter_map
+    (fun e ->
+      let v =
+        match (Hashtbl.find_opt tbl (key e), e.v) with
+        | None, v -> Some v
+        | Some (Counter b), Counter a ->
+          let d = a -. b in
+          if d = 0. then None else Some (Counter d)
+        | Some (Histogram b), Histogram a ->
+          let counts = Array.mapi (fun i c -> c -. b.hv_counts.(i)) a.hv_counts in
+          let d =
+            {
+              hv_bounds = a.hv_bounds;
+              hv_counts = counts;
+              hv_sum = a.hv_sum -. b.hv_sum;
+              hv_count = a.hv_count -. b.hv_count;
+            }
+          in
+          if d.hv_count = 0. && d.hv_sum = 0. then None else Some (Histogram d)
+        | Some (Counter _), (Histogram _ as v)
+        | Some (Histogram _), (Counter _ as v) ->
+          (* an instrument cannot change kind; keep the new view *)
+          Some v
+      in
+      Option.map (fun v -> { e with v }) v)
+    after
+
 let reset () =
   with_registry (fun () ->
       Hashtbl.iter

@@ -68,6 +68,14 @@ val snapshot : unit -> entry list
 (** All registered instruments, merged over shards, sorted by name then
     labels. *)
 
+val diff : entry list -> entry list -> entry list
+(** [diff before after] is the per-instrument delta between two
+    snapshots, matched by (name, labels) — what the work between the two
+    snapshots contributed. Instruments absent from [before] count from
+    zero; all-zero deltas are dropped. The serve layer wraps each request
+    in snapshot-and-delta so one request's counters do not bleed into
+    another request's profile JSON. *)
+
 val reset : unit -> unit
 (** Zero every instrument and drop recorded spans (registrations are
     kept). Meant for tests and for the start of a profiled run. *)

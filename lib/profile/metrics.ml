@@ -30,8 +30,8 @@ let json_of_entry (e : entry) =
     :: ("labels", json_of_labels e.labels)
     :: value)
 
-let snapshot_json () =
-  Jsonx.List (List.map json_of_entry (snapshot ()))
+let entries_json entries = Jsonx.List (List.map json_of_entry entries)
+let snapshot_json () = entries_json (snapshot ())
 
 let label_suffix = function
   | [] -> ""

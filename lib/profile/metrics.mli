@@ -4,6 +4,10 @@
 
 include module type of Ppat_metrics.Metrics
 
+val entries_json : entry list -> Jsonx.t
+(** Render a snapshot (or a {!diff} of two snapshots) as JSON — the serve
+    layer ships per-request metric deltas this way. *)
+
 val snapshot_json : unit -> Jsonx.t
 (** The full registry as a JSON list, one object per instrument:
     [{name; labels; type: "counter"|"histogram"; ...}] — embedded under

@@ -25,4 +25,7 @@ let () =
       ("attr", Test_attr.tests);
       ("parallel", Test_parallel.tests);
       ("properties", Test_props.tests);
+      ("canon", Test_canon.tests);
+      ("metrics-lru", Test_metrics_lru.tests);
+      ("serve", Test_serve.tests);
     ]

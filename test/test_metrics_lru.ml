@@ -1,0 +1,96 @@
+(* The serving layer's cache substrate: bounded LRU behaviour (promotion,
+   eviction order, instrumented counters) and metrics snapshot deltas. *)
+module Lru = Ppat_metrics.Lru
+module Metrics = Ppat_metrics.Metrics
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 "test_lru_basics" in
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (option int)) "a present" (Some 1) (Lru.find c "a");
+  (* "a" was just promoted: inserting "c" must evict "b" *)
+  Lru.put c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "bounded" 2 (Lru.length c);
+  (* replacement does not grow the cache *)
+  Lru.put c "c" 33;
+  Alcotest.(check int) "replace keeps length" 2 (Lru.length c);
+  Alcotest.(check (option int)) "replace updates" (Some 33) (Lru.find c "c");
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c)
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:1 "test_lru_counters" in
+  let s0 = Lru.stats c in
+  ignore (Lru.find c "missing");
+  Lru.put c "a" 0;
+  ignore (Lru.find c "a");
+  Lru.put c "b" 1 (* evicts a *);
+  let s1 = Lru.stats c in
+  Alcotest.(check (float 0.0)) "one hit" 1.0 (s1.Lru.hits -. s0.Lru.hits);
+  Alcotest.(check (float 0.0)) "one miss" 1.0 (s1.Lru.misses -. s0.Lru.misses);
+  Alcotest.(check (float 0.0))
+    "one eviction" 1.0
+    (s1.Lru.evictions -. s0.Lru.evictions)
+
+let test_find_or_add () =
+  let c = Lru.create ~capacity:4 "test_find_or_add" in
+  let calls = ref 0 in
+  let make () =
+    incr calls;
+    42
+  in
+  let hit, v = Lru.find_or_add c "k" make in
+  Alcotest.(check bool) "first is a miss" false hit;
+  Alcotest.(check int) "value" 42 v;
+  let hit, v = Lru.find_or_add c "k" make in
+  Alcotest.(check bool) "second is a hit" true hit;
+  Alcotest.(check int) "same value" 42 v;
+  Alcotest.(check int) "make ran once" 1 !calls
+
+let counter_value entries name labels =
+  List.fold_left
+    (fun acc (e : Metrics.entry) ->
+      if e.Metrics.name = name && e.Metrics.labels = labels then
+        match e.Metrics.v with Metrics.Counter v -> acc +. v | _ -> acc
+      else acc)
+    0.0 entries
+
+let test_metrics_diff () =
+  let c1 = Metrics.counter ~labels:[ ("t", "diff1") ] "ppat_test_diff" in
+  let c2 = Metrics.counter ~labels:[ ("t", "diff2") ] "ppat_test_diff" in
+  Metrics.incr c1;
+  let before = Metrics.snapshot () in
+  Metrics.incr c1;
+  Metrics.incr c1;
+  let after = Metrics.snapshot () in
+  let d = Metrics.diff before after in
+  Alcotest.(check (float 0.0))
+    "delta counts only the between-snapshots work" 2.0
+    (counter_value d "ppat_test_diff" [ ("t", "diff1") ]);
+  (* untouched instruments are dropped from the delta entirely *)
+  Alcotest.(check bool) "all-zero deltas dropped" true
+    (not
+       (List.exists
+          (fun (e : Metrics.entry) -> e.Metrics.labels = [ ("t", "diff2") ])
+          d));
+  ignore c2;
+  (* an instrument born between the snapshots counts from zero *)
+  let c3 = Metrics.counter ~labels:[ ("t", "diff3") ] "ppat_test_diff" in
+  Metrics.add c3 5.0;
+  let d2 = Metrics.diff before (Metrics.snapshot ()) in
+  Alcotest.(check (float 0.0))
+    "absent-from-before counts from zero" 5.0
+    (counter_value d2 "ppat_test_diff" [ ("t", "diff3") ])
+
+let tests =
+  [
+    Alcotest.test_case "LRU promotion and eviction order" `Quick test_lru_basics;
+    Alcotest.test_case "LRU hit/miss/eviction counters" `Quick test_lru_counters;
+    Alcotest.test_case "find_or_add computes once" `Quick test_find_or_add;
+    Alcotest.test_case "metrics snapshot diff" `Quick test_metrics_diff;
+  ]
