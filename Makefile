@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve bench-diff check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve racecheck bench-diff check bench bench-json clean
 
 all: build
 
@@ -78,17 +78,31 @@ serve: build
 	  || { echo "serve: repeated request was not a cache hit"; exit 1; }
 	@echo "serve: stdin protocol OK, repeat request hit the plan cache"
 
+# static race / barrier gate: every staged registry kernel must verify
+# race-free under both lowering modes (smem trees and shuffle synthesis),
+# and the shuffle differential suite must hold (bit-identical buffers
+# under both engines at 1 and 4 simulation jobs, fewer barriers, no smem
+# traffic for warp-fitting x reductions)
+racecheck: build
+	dune exec bin/ppat.exe -- racecheck --all > /dev/null
+	dune exec bin/ppat.exe -- racecheck --all --shuffle > /dev/null
+	dune exec test/main.exe -- test race > /dev/null
+	@echo "racecheck: staged kernels race-free in both modes; shuffle differential OK"
+
 # bench regression gate: regenerate the perf trajectory (single app worker
 # so wall clocks are undistorted) and diff it against the frozen artifact
-# of the previous PR. Fails on a >10% (and >50 ms) per-app sim-wall
-# regression or on any simulator-statistic drift.
+# of the previous PR — once with default lowering and once with shuffle
+# synthesis on. Fails on a >10% (and >50 ms) per-app sim-wall regression
+# or on any simulator-statistic drift.
 bench-diff: build
 	dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_gate.json
-	dune exec bench/main.exe -- --compare BENCH_pr5.json /tmp/ppat_bench_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr8_baseline.json /tmp/ppat_bench_gate.json
+	PPAT_SHUFFLE=1 dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_shfl_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr8.json /tmp/ppat_bench_shfl_gate.json
 	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json /tmp/ppat_serve_gate.json
-	dune exec bench/main.exe -- --compare BENCH_pr7_baseline.json /tmp/ppat_serve_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr8_serve_baseline.json /tmp/ppat_serve_gate.json
 
-check: build test smoke engines cost-models parallel bench-smoke report serve bench-diff
+check: build test smoke engines cost-models parallel bench-smoke report serve racecheck bench-diff
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
@@ -98,9 +112,10 @@ bench:
 # BENCH_pr*_baseline.json files are frozen pre-change runs and are not
 # regenerated here.
 bench-json: build
-	dune exec bench/main.exe -- -j 1 --json BENCH_pr5.json
-	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr7_baseline.json
-	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr7.json
+	dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr8_baseline.json
+	PPAT_SHUFFLE=1 dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr8.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr8_serve_baseline.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr8_serve.json
 
 clean:
 	dune clean

@@ -139,9 +139,11 @@ let perf_suite () =
     ( "sumWeightedRows-malloc",
       A.Sum_rows_cols.sum_weighted_rows ~r:256 ~c:128 (),
       s,
+      (* effective, not default: PPAT_SHUFFLE must compose with Malloc
+         mode so the shuffle trajectory covers this pipeline shape too *)
       Some
         {
-          Ppat_codegen.Lower.default_options with
+          (Ppat_codegen.Lower.effective_options ()) with
           alloc_mode = Ppat_codegen.Lower.Malloc;
         } );
   ]

@@ -441,7 +441,9 @@ let cmd_cuda name =
         Ppat_harness.Runner.analysis_params app.prog app.params
       in
       match
-        Ppat_codegen.Lower.lower dev ~params app.prog n r.mapping
+        Ppat_codegen.Lower.lower dev
+          ~opts:(Ppat_codegen.Lower.effective_options ())
+          ~params app.prog n r.mapping
       with
       | lowered ->
         List.iter
@@ -465,6 +467,57 @@ let cmd_explain name =
           st_result = d;
           st_candidates = List.rev !traced;
         })
+
+(* ppat racecheck [APP...|--all] [--shuffle] — run the static race /
+   barrier checker over every kernel the mapping pipeline stages for the
+   selected apps; exit 1 if anything is flagged *)
+let cmd_racecheck rest =
+  let names = ref [] and all = ref false in
+  List.iter
+    (function
+      | "--all" -> all := true
+      | "--shuffle" -> Ppat_gpu.Tuning.shuffle_enabled := true
+      | a -> names := a :: !names)
+    rest;
+  let names =
+    if !all || !names = [] then List.map fst registry else List.rev !names
+  in
+  let bad = ref 0 and kernels = ref 0 in
+  List.iter
+    (fun name ->
+      let app = find_app name in
+      let params =
+        Ppat_harness.Runner.analysis_params app.prog app.params
+      in
+      Format.printf "%s:@." name;
+      iter_launches app (fun n ->
+          let _, r = decide app n in
+          match
+            Ppat_codegen.Lower.lower dev
+              ~opts:(Ppat_codegen.Lower.effective_options ())
+              ~params app.prog n r.mapping
+          with
+          | lowered ->
+            List.iter
+              (fun (l : Ppat_kernel.Kir.launch) ->
+                incr kernels;
+                let rep =
+                  Ppat_check.Race.check
+                    ~warp_size:dev.Ppat_gpu.Device.warp_size l
+                in
+                if Ppat_check.Race.clean rep then
+                  Format.printf "  %-28s clean@." l.kernel.kname
+                else begin
+                  incr bad;
+                  Format.printf "  %-28s FLAGGED@.%a" l.kernel.kname
+                    Ppat_check.Race.pp_report rep
+                end)
+              lowered.launches
+          | exception Ppat_codegen.Lower.Unsupported e ->
+            Format.printf "  %s: unsupported (%s)@." n.pat.label e))
+    names;
+  Format.printf "racecheck: %d kernel(s), %d flagged@." !kernels !bad;
+  if !bad > 0 then exit 1
 
 let cmd_figures names =
   let all = A.Experiments.all dev in
@@ -540,6 +593,9 @@ let usage () =
      \                            JSON requests (schema ppat-serve/1) on stdin\n\
      \                            or a Unix socket; repeats are answered from\n\
      \                            the memoised search and staged-plan caches\n\
+     \  racecheck [APP...|--all] [--shuffle]\n\
+     \                            static shared-memory race / barrier-\n\
+     \                            divergence check over the staged kernels\n\
      \  cuda APP                  print generated CUDA kernels\n\
      \  explain APP               constraints and mapping decisions\n\
      \  figures [FIG...]          regenerate paper figures (fig3, fig12..fig17, ablation)\n\
@@ -549,7 +605,10 @@ let usage () =
      \                            (default: soft, or $PPAT_COST_MODEL)\n\
      \  --sim-jobs N              worker domains for intra-launch parallel\n\
      \                            simulation; statistics are identical at\n\
-     \                            any N (default: 1, or $PPAT_SIM_JOBS)"
+     \                            any N (default: 1, or $PPAT_SIM_JOBS)\n\
+     \  --shuffle                 synthesise warp-shuffle tree reductions in\n\
+     \                            place of shared-memory trees when the level\n\
+     \                            fits one warp (default: off, or $PPAT_SHUFFLE)"
 
 type flags = {
   f_strat : Ppat_core.Strategy.t;
@@ -577,6 +636,11 @@ let parse_flags rest =
       go rest
     | "--engine" :: e :: rest ->
       engine := engine_of_string e;
+      go rest
+    | "--shuffle" :: rest ->
+      (* process-wide: the lowering's effective options, the predictor's
+         pricing and the canonical cache keys all read this knob *)
+      Ppat_gpu.Tuning.shuffle_enabled := true;
       go rest
     | "--cost-model" :: m :: rest ->
       model := cost_model_of_string m;
@@ -651,7 +715,10 @@ let () =
     end;
     cmd_modelcmp name f.f_engine f.f_top f.f_json
   | _ :: "serve" :: rest -> cmd_serve rest
-  | _ :: "cuda" :: name :: _ -> cmd_cuda name
+  | _ :: "racecheck" :: rest -> cmd_racecheck rest
+  | _ :: "cuda" :: name :: rest ->
+    let _ = parse_flags rest in
+    cmd_cuda name
   | _ :: "explain" :: name :: _ -> cmd_explain name
   | _ :: "figures" :: names -> cmd_figures names
   | _ ->

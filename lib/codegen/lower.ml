@@ -8,6 +8,7 @@ type options = {
   smem_prefetch : bool;
   ordered_filter : bool;
   warp_sync : bool;
+  shuffle : bool;
 }
 
 let default_options =
@@ -16,7 +17,11 @@ let default_options =
     smem_prefetch = true;
     ordered_filter = false;
     warp_sync = true;
+    shuffle = false;
   }
+
+let effective_options () =
+  { default_options with shuffle = !Ppat_gpu.Tuning.shuffle_enabled }
 
 type temp = { tname : string; telem : Ty.scalar; telems : int }
 
@@ -582,6 +587,10 @@ and emit_tree ctx lvl ty acc ~combine : Kir.stmt list =
   let bs = d.M.bsize in
   if bs land (bs - 1) <> 0 then
     unsupported "block size %d is not a power of two" bs;
+  let ws = ctx.dev.Ppat_gpu.Device.warp_size in
+  if ctx.opts.shuffle && d.M.dim = M.X && bs <= ws then
+    emit_shfl_tree ctx dd bs ty acc ~combine
+  else begin
   let bx, by, bz = block_extents ctx.mapping in
   let tpb = bx * by * bz in
   let sm = Printf.sprintf "red%d" (List.length ctx.smem) in
@@ -621,8 +630,48 @@ and emit_tree ctx lvl ty acc ~combine : Kir.stmt list =
       [ Kir.Sync ]
     else []
   in
+  (* when the broadcast read crosses warps, a barrier must also follow
+     it: re-entering the tree (nested inside a sequential loop) would
+     otherwise overwrite the slot while other warps still read it *)
+  let reuse_sync =
+    if d.M.dim <> M.X || bs > ctx.dev.Ppat_gpu.Device.warp_size then
+      [ Kir.Sync ]
+    else []
+  in
   !stmts @ final_sync
   @ [ Kir.Set (acc, Kir.Load_s (sm, lin -: (Kir.Tid dd *: ik stride))) ]
+  @ reuse_sync
+  end
+
+(* shuffle synthesis for a warp-fitting x-dimension tree reduction: the
+   same pairing and combine order as the shared-memory template, but the
+   partner value travels through the register file. Each round shuffles
+   *outside* the guard (warp primitives must run converged) and only the
+   surviving half folds the partner in; the final [Shfl_idx] replays the
+   smem template's broadcast read of the row leader's slot. No shared
+   memory, no barriers. *)
+and emit_shfl_tree ctx dd bs ty acc ~combine : Kir.stmt list =
+  let ws = ctx.dev.Ppat_gpu.Device.warp_size in
+  let t1 = Kir.Rb.fresh ctx.rb "tr_a" in
+  Kir.Rb.set_type ctx.rb t1 ty;
+  let stmts = ref [] in
+  let s = ref (bs / 2) in
+  while !s >= 1 do
+    stmts :=
+      !stmts
+      @ [
+          Kir.Set (t1, Kir.Shfl_down (Kir.Reg acc, ik !s));
+          Kir.If (Kir.Tid dd <: ik !s, combine acc (Kir.Reg t1), []);
+        ];
+    s := !s / 2
+  done;
+  (* rows are bs wide, bs | ws, so a row never straddles a warp: the row
+     leader sits at (own warp lane) - tid.x *)
+  let leader =
+    if bs = ws then ik 0
+    else Kir.Bin (Exp.Mod, lin_tid ctx, ik ws) -: Kir.Tid dd
+  in
+  !stmts @ [ Kir.Set (acc, Kir.Shfl_idx (Kir.Reg acc, leader)) ]
 
 and emit_reduce ctx (p : Pat.pattern) (r : Pat.reducer) (yield : Exp.t)
     ~(sink :
@@ -716,6 +765,57 @@ and emit_argmin ctx (p : Pat.pattern) (yield : Exp.t)
       let bs = d.M.bsize in
       if bs land (bs - 1) <> 0 then
         unsupported "block size %d is not a power of two" bs;
+      let ws = ctx.dev.Ppat_gpu.Device.warp_size in
+      if ctx.opts.shuffle && d.M.dim = M.X && bs <= ws then begin
+        (* shuffle synthesis: the value/index pair travels as two paired
+           shuffles; the tie-break logic is the smem template's, evaluated
+           on registers instead of shared slots *)
+        let ov = Kir.Rb.fresh ctx.rb "am_ov" in
+        Kir.Rb.set_type ctx.rb ov Ty.F64;
+        let oi = Kir.Rb.fresh ctx.rb "am_oi" in
+        Kir.Rb.set_type ctx.rb oi Ty.I32;
+        let stmts = ref [] in
+        let s = ref (bs / 2) in
+        while !s >= 1 do
+          let better =
+            Kir.Bin
+              ( Exp.Or,
+                Kir.Reg ov <: Kir.Reg bestv,
+                and_
+                  (Kir.Cmp (Exp.Eq, Kir.Reg ov, Kir.Reg bestv))
+                  (Kir.Reg oi <: Kir.Reg besti) )
+          in
+          stmts :=
+            !stmts
+            @ [
+                Kir.Set (ov, Kir.Shfl_down (Kir.Reg bestv, ik !s));
+                Kir.Set (oi, Kir.Shfl_down (Kir.Reg besti, ik !s));
+                Kir.If
+                  ( Kir.Tid dd <: ik !s,
+                    [
+                      Kir.If
+                        ( better,
+                          [
+                            Kir.Set (bestv, Kir.Reg ov);
+                            Kir.Set (besti, Kir.Reg oi);
+                          ],
+                          [] );
+                    ],
+                    [] );
+              ];
+          s := !s / 2
+        done;
+        let leader =
+          if bs = ws then ik 0
+          else Kir.Bin (Exp.Mod, lin_tid ctx, ik ws) -: Kir.Tid dd
+        in
+        !stmts
+        @ [
+            Kir.Set (besti, Kir.Shfl_idx (Kir.Reg besti, leader));
+            Kir.Set (bestv, Kir.Shfl_idx (Kir.Reg bestv, leader));
+          ]
+      end
+      else begin
       let bx, by, bz = block_extents ctx.mapping in
       let tpb = bx * by * bz in
       let smv = Printf.sprintf "amv%d" (List.length ctx.smem) in
@@ -768,11 +868,19 @@ and emit_argmin ctx (p : Pat.pattern) (yield : Exp.t)
             ];
         s := !s / 2
       done;
+      (* same write-after-read guard as [emit_tree]: the broadcast read
+         crosses warps unless the reduction is warp-local along x, and
+         the next reuse of the slots must wait for it *)
+      let reuse_sync =
+        if d.M.dim <> M.X || bs > ws then [ Kir.Sync ] else []
+      in
       !stmts
       @ [
           Kir.Set (besti, Kir.Load_s (smi, lin -: (Kir.Tid dd *: ik stride)));
           Kir.Set (bestv, Kir.Load_s (smv, lin -: (Kir.Tid dd *: ik stride)));
         ]
+      @ reuse_sync
+      end
     end
     else []
   in

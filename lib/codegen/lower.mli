@@ -45,11 +45,24 @@ type options = {
           live in the same warp — the "warp synchronous programming
           technique" the paper's Figure 9 refers to. Only applies to
           reductions on dimension x. *)
+  shuffle : bool;
+      (** synthesise warp-shuffle tree reductions (Kepler [__shfl_*]) in
+          place of the shared-memory template when the reduced level maps
+          to dimension x and its block size fits one warp: the partner
+          value travels through the register file, so the level costs no
+          shared-memory slots, no bank conflicts and no barriers. Combine
+          order matches the smem template bit for bit. *)
 }
 
 val default_options : options
 (** [Prealloc_opt] with prefetching enabled — what "MultiDim" means in the
     experiments. *)
+
+val effective_options : unit -> options
+(** [default_options] specialised by the process-wide tuning knobs
+    ({!Ppat_gpu.Tuning}): currently just [shuffle], defaulting from
+    [PPAT_SHUFFLE] / the CLI's [--shuffle]. Read at call time so a flag
+    flipped before staging takes effect. *)
 
 (** A device scratch buffer the harness must allocate (zero-filled) before
     running the launches. *)

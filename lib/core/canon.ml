@@ -314,6 +314,9 @@ and pattern st env (p : Pat.pattern) =
 let nest_repr ?(params = []) ?bind dev prog (p : Pat.pattern) =
   let st = make prog (Host.params_of prog params) in
   add st ("D:" ^ dev.Ppat_gpu.Device.dname ^ ";");
+  (* lowering-behaviour knobs are part of the key: a decision memoised
+     with shuffle synthesis on must not be served to a run with it off *)
+  if !Ppat_gpu.Tuning.shuffle_enabled then add st "O:shfl;";
   (match bind with
    | Some b when is_gbuf st b -> add st ("B:" ^ gbuf_token st b ^ ";")
    | Some b -> add st ("B:?" ^ b ^ ";")

@@ -121,7 +121,8 @@ let insts_per_global = 4.
 let insts_per_local = 2.
 let insts_per_index = 4.
 
-let predict (dev : Device.t) (c : Collect.t) (m : Mapping.t) =
+let predict ?(shuffle = !Ppat_gpu.Tuning.shuffle_enabled) (dev : Device.t)
+    (c : Collect.t) (m : Mapping.t) =
   let sizes = c.level_sizes in
   let geometry = geometry_of ~sizes m in
   let gx, gy, gz = geometry.Timing.grid
@@ -182,12 +183,23 @@ let predict (dev : Device.t) (c : Collect.t) (m : Mapping.t) =
         let warps_per_block =
           float_of_int (cdiv tpb dev.warp_size)
         in
-        stats.Stats.syncs <- stats.Stats.syncs +. (fblocks *. rounds);
-        stats.Stats.smem_insts <-
-          stats.Stats.smem_insts +. (fblocks *. warps_per_block *. rounds)
+        if shuffle && d.dim = Mapping.X && d.bsize <= dev.warp_size then
+          (* shuffle synthesis replaces the level's shared-memory tree:
+             no barriers, no shared-memory round-trips — just one shuffle
+             per round plus the leader broadcast, priced as plain warp
+             instructions below *)
+          stats.Stats.shuffles <-
+            stats.Stats.shuffles
+            +. (fblocks *. warps_per_block *. (rounds +. 1.))
+        else begin
+          stats.Stats.syncs <- stats.Stats.syncs +. (fblocks *. rounds);
+          stats.Stats.smem_insts <-
+            stats.Stats.smem_insts +. (fblocks *. warps_per_block *. rounds)
+        end
       | _ -> ())
     m;
-  stats.Stats.warp_insts <- stats.Stats.warp_insts +. stats.Stats.smem_insts;
+  stats.Stats.warp_insts <-
+    stats.Stats.warp_insts +. stats.Stats.smem_insts +. stats.Stats.shuffles;
   let breakdown = Timing.kernel_estimate dev geometry stats in
   {
     geometry;

@@ -48,12 +48,18 @@ type t = {
           report localise prediction error to individual buffers *)
 }
 
-val predict : Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> t
+val predict :
+  ?shuffle:bool -> Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> t
 (** Predict the cost of running the analysed nest under a candidate
     mapping. Total work is mapping-independent (access weights from the
     analysis); the mapping decides how it folds into warps, blocks and
     sequential spans. Never raises, including on hard-infeasible
-    candidates (the search trace evaluates those too). *)
+    candidates (the search trace evaluates those too).
+
+    [shuffle] (default {!Ppat_gpu.Tuning.shuffle_enabled}) prices
+    warp-fitting x-dimension tree reductions as register shuffles — no
+    barriers or shared-memory traffic — matching what the lowering emits
+    under the same flag. *)
 
 val transactions_per_warp :
   Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> Ppat_ir.Access.access ->

@@ -7,6 +7,7 @@ type t = {
   mutable smem_insts : float;
   mutable smem_conflict_extra : float;
   mutable syncs : float;
+  mutable shuffles : float;
   mutable divergent_branches : float;
   mutable atomics : float;
   mutable atomic_serial_extra : float;
@@ -23,6 +24,7 @@ let create () =
     smem_insts = 0.;
     smem_conflict_extra = 0.;
     syncs = 0.;
+    shuffles = 0.;
     divergent_branches = 0.;
     atomics = 0.;
     atomic_serial_extra = 0.;
@@ -38,6 +40,7 @@ let add acc s =
   acc.smem_insts <- acc.smem_insts +. s.smem_insts;
   acc.smem_conflict_extra <- acc.smem_conflict_extra +. s.smem_conflict_extra;
   acc.syncs <- acc.syncs +. s.syncs;
+  acc.shuffles <- acc.shuffles +. s.shuffles;
   acc.divergent_branches <- acc.divergent_branches +. s.divergent_branches;
   acc.atomics <- acc.atomics +. s.atomics;
   acc.atomic_serial_extra <- acc.atomic_serial_extra +. s.atomic_serial_extra;
@@ -52,6 +55,7 @@ let reset s =
   s.smem_insts <- 0.;
   s.smem_conflict_extra <- 0.;
   s.syncs <- 0.;
+  s.shuffles <- 0.;
   s.divergent_branches <- 0.;
   s.atomics <- 0.;
   s.atomic_serial_extra <- 0.;
@@ -74,6 +78,7 @@ let to_assoc s =
     ("smem_insts", s.smem_insts);
     ("smem_conflict_extra", s.smem_conflict_extra);
     ("syncs", s.syncs);
+    ("shuffles", s.shuffles);
     ("divergent_branches", s.divergent_branches);
     ("atomics", s.atomics);
     ("atomic_serial_extra", s.atomic_serial_extra);

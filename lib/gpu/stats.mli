@@ -16,6 +16,9 @@ type t = {
   mutable smem_conflict_extra : float;
       (** extra serialised shared-memory cycles due to bank conflicts *)
   mutable syncs : float;
+  mutable shuffles : float;
+      (** warp shuffle/vote instructions (register exchanges: no shared
+          memory, no bank conflicts, no barrier) *)
   mutable divergent_branches : float;
   mutable atomics : float;  (** atomic warp instructions *)
   mutable atomic_serial_extra : float;

@@ -1,0 +1,16 @@
+(* Process-wide code-generation tuning knobs shared by layers that cannot
+   see each other's option records: the lowering (codegen) consumes these
+   through its default options, the analytical predictor (core) prices
+   candidates consistently with what the lowering will emit, and the
+   canonical hasher tags cache keys so configurations with different
+   lowering behaviour never share an entry.
+
+   [shuffle_enabled] defaults from PPAT_SHUFFLE; the CLI's [--shuffle]
+   flips it before any work runs. *)
+
+let env_bool name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+let shuffle_enabled = ref (env_bool "PPAT_SHUFFLE")

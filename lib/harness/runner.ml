@@ -173,7 +173,7 @@ let exec_steps ?engine ?sim_jobs ?(attr = false) dev prog ~opts ~params
   in
   (!total_time, !kernels, agg, out, List.rev !notes, List.rev !records)
 
-let run_gpu ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
+let run_gpu ?engine ?sim_jobs ?attr ?(opts = Lower.effective_options ())
     ?(params = []) ?model ?memo dev prog strategy data =
   let decisions = decide_all ?model ?memo dev prog params strategy in
   let mapping_of pid =
@@ -210,7 +210,7 @@ let run_gpu ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
     profile;
   }
 
-let run_gpu_mapped ?engine ?sim_jobs ?attr ?(opts = Lower.default_options)
+let run_gpu_mapped ?engine ?sim_jobs ?attr ?(opts = Lower.effective_options ())
     ?(params = []) dev prog mapping_of data =
   let seconds, kernels, stats, out, notes, profile =
     exec_steps ?engine ?sim_jobs ?attr dev prog ~opts ~params ~mapping_of
@@ -293,7 +293,7 @@ let label_of_pid prog pid =
     prog;
   !found
 
-let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.default_options)
+let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.effective_options ())
     ?(params = []) dev prog ~decisions data =
   (match Pat.validate prog with
    | Ok () -> ()

@@ -52,6 +52,11 @@ type ctx = {
   mutable bidy : int;
   mutable bidz : int;
   exists_mask : int;  (* lanes backed by a real thread *)
+  mutable cmask : int;
+      (* active mask of the warp statement currently evaluating, written
+         only at evaluation points whose expression statically contains a
+         warp shuffle/vote; those closures compare it against
+         [exists_mask] to enforce convergence *)
   attr_on : bool;
       (* site attribution enabled for this run. Checked inline in the
          divergence hot path so unattributed runs pay one load+branch,
@@ -178,6 +183,9 @@ let rec nodes (e : Kir.exp) =
   | Un (_, a) -> 1 + nodes a
   | Select (c, a, b) -> 1 + nodes c + nodes a + nodes b
   | Load_g (_, i) | Load_s (_, i) -> 1 + nodes i
+  | Shfl_down (v, l) | Shfl_xor (v, l) | Shfl_idx (v, l) ->
+    1 + nodes v + nodes l
+  | Ballot p | Any p | All p -> 1 + nodes p
 
 let rec has_mem (e : Kir.exp) =
   match e with
@@ -188,6 +196,25 @@ let rec has_mem (e : Kir.exp) =
   | Un (_, a) -> has_mem a
   | Select (c, a, b) -> has_mem c || has_mem a || has_mem b
   | Load_g _ | Load_s _ -> true
+  | Shfl_down (v, l) | Shfl_xor (v, l) | Shfl_idx (v, l) ->
+    (* validated kernels have pure operands; recurse for the malformed *)
+    has_mem v || has_mem l
+  | Ballot p | Any p | All p -> has_mem p
+
+(* shuffle/vote instructions the reference engine counts while evaluating
+   [e] once (one per warp-primitive node) *)
+let rec shfl_nodes (e : Kir.exp) =
+  match e with
+  | Int _ | Float _ | Bool _ | Reg _ | Tid _ | Bid _ | Bdim _ | Gdim _
+  | Param _ ->
+    0
+  | Bin (_, a, b) | Cmp (_, a, b) -> shfl_nodes a + shfl_nodes b
+  | Un (_, a) -> shfl_nodes a
+  | Select (c, a, b) -> shfl_nodes c + shfl_nodes a + shfl_nodes b
+  | Load_g (_, i) | Load_s (_, i) -> shfl_nodes i
+  | Shfl_down (v, l) | Shfl_xor (v, l) | Shfl_idx (v, l) ->
+    1 + shfl_nodes v + shfl_nodes l
+  | Ballot p | Any p | All p -> 1 + shfl_nodes p
 
 (* ----- register typing -----
 
@@ -277,6 +304,12 @@ let infer_types env =
       | None, tb -> tb)
     | Load_g (name, _) -> entry_ty name
     | Load_s (name, _) -> sdecl_ty name
+    | Shfl_down (v, _) | Shfl_xor (v, _) | Shfl_idx (v, _) ->
+      (* the shuffled value keeps its type; the lane selector is checked
+         strictly by compile_exp *)
+      ety v
+    | Ballot _ -> Some TI
+    | Any _ | All _ -> Some TB
   in
   let assign r t =
     match rt.(r) with
@@ -322,6 +355,10 @@ let infer_types env =
       exp_reads a;
       exp_reads b
     | Load_g (_, i) | Load_s (_, i) -> exp_reads i
+    | Shfl_down (v, l) | Shfl_xor (v, l) | Shfl_idx (v, l) ->
+      exp_reads v;
+      exp_reads l
+    | Ballot p | Any p | All p -> exp_reads p
   in
   let rec stmt_reads (s : Kir.stmt) =
     match s with
@@ -377,6 +414,14 @@ let check_definite_assignment (k : Kir.kernel) =
       reads d a;
       reads d b
     | Load_g (_, i) | Load_s (_, i) -> reads d i
+    | Shfl_down (v, l) | Shfl_xor (v, l) | Shfl_idx (v, l) ->
+      (* a shuffle reads its value operand at *another* lane; registers in
+         it must therefore be assigned on every path (convergence — which
+         both engines enforce dynamically — then guarantees every lane has
+         executed those assignments) *)
+      reads d v;
+      reads d l
+    | Ballot p | Any p | All p -> reads d p
   in
   let rec stmt d (s : Kir.stmt) =
     match s with
@@ -435,6 +480,10 @@ let rec cfold env (e : Kir.exp) : cval option =
     | Some v -> Some (CI v)
     | None -> fallback "unbound parameter %S" p)
   | Kir.Reg _ | Kir.Tid _ | Kir.Bid _ | Kir.Load_g _ | Kir.Load_s _ -> None
+  (* warp primitives are lane-dependent by construction: never folded *)
+  | Kir.Shfl_down _ | Kir.Shfl_xor _ | Kir.Shfl_idx _ | Kir.Ballot _
+  | Kir.Any _ | Kir.All _ ->
+    None
   | Kir.Bin (op, a, b) -> (
     match (cfold env a, cfold env b) with
     | Some (CI x), Some (CI y) -> (
@@ -878,7 +927,101 @@ let rec compile_exp env (e : Kir.exp) : texp =
             Warp_access.record_shared c.acc ix;
             if ix < 0 || ix >= len then
               trap "shared load out of bounds: %s[%d]" name ix;
-            Array.unsafe_get (Array.unsafe_get c.si slot) ix)))
+            Array.unsafe_get (Array.unsafe_get c.si slot) ix))
+    | Kir.Shfl_down (v, l) -> compile_shfl env v l (fun lane d -> lane + d)
+    | Kir.Shfl_xor (v, l) -> compile_shfl env v l (fun lane m -> lane lxor m)
+    | Kir.Shfl_idx (v, l) -> compile_shfl env v l (fun _ src -> src)
+    | Kir.Ballot p ->
+      let fp = as_bexp (compile_vote_pred env p) in
+      let check = converged_check env "warp vote" in
+      let ws = env.ws in
+      I
+        (fun c _ ->
+          check c;
+          let m = ref 0 in
+          for l = 0 to ws - 1 do
+            if c.exists_mask land (1 lsl l) <> 0 && fp c l then
+              m := !m lor (1 lsl l)
+          done;
+          !m)
+    | Kir.Any p ->
+      let fp = as_bexp (compile_vote_pred env p) in
+      let check = converged_check env "warp vote" in
+      let ws = env.ws in
+      B
+        (fun c _ ->
+          check c;
+          let r = ref false in
+          for l = 0 to ws - 1 do
+            if c.exists_mask land (1 lsl l) <> 0 && fp c l then r := true
+          done;
+          !r)
+    | Kir.All p ->
+      let fp = as_bexp (compile_vote_pred env p) in
+      let check = converged_check env "warp vote" in
+      let ws = env.ws in
+      B
+        (fun c _ ->
+          check c;
+          let r = ref true in
+          for l = 0 to ws - 1 do
+            if c.exists_mask land (1 lsl l) <> 0 && not (fp c l) then
+              r := false
+          done;
+          !r))
+
+(* [cmask] is only maintained at evaluation points whose expression
+   statically contains a warp primitive, so the comparison is meaningful
+   exactly where it runs *)
+and converged_check env what =
+  let kname = env.k.Kir.kname in
+  fun c ->
+    if c.cmask <> c.exists_mask then
+      trap "kernel %s: %s under divergent control flow" kname what
+
+and compile_vote_pred env p =
+  if has_mem p then fallback "warp-primitive operand reads memory";
+  compile_exp env p
+
+(* A shuffle evaluates its (pure) value operand at the calling lane first
+   — the own-value fallback, and the evaluation whose node count the
+   reference engine attributes to the counting lane — then re-evaluates it
+   at the resolved source lane, mirroring [Interp]'s order exactly. *)
+and compile_shfl env v l src_of : texp =
+  if has_mem v || has_mem l then
+    fallback "warp-primitive operand reads memory";
+  let ws = env.ws in
+  let check = converged_check env "warp shuffle" in
+  let fl = as_iexp (compile_exp env l) in
+  match compile_exp env v with
+  | I fv ->
+    I
+      (fun c lane ->
+        check c;
+        let own = fv c lane in
+        let src = src_of lane (fl c lane) in
+        if src >= 0 && src < ws && c.exists_mask land (1 lsl src) <> 0 then
+          fv c src
+        else own)
+  | B fv ->
+    B
+      (fun c lane ->
+        check c;
+        let own = fv c lane in
+        let src = src_of lane (fl c lane) in
+        if src >= 0 && src < ws && c.exists_mask land (1 lsl src) <> 0 then
+          fv c src
+        else own)
+  | F fv ->
+    F
+      (fun c lane ->
+        check c;
+        fv c lane;
+        let own = Array.unsafe_get c.facc 0 in
+        let src = src_of lane (fl c lane) in
+        if src >= 0 && src < ws && c.exists_mask land (1 lsl src) <> 0 then
+          fv c src
+        else Array.unsafe_set c.facc 0 own)
 
 (* ----- statement compilation ----- *)
 
@@ -892,6 +1035,17 @@ type _ Effect.t += Sync_eff : unit Effect.t
 
 let bump stats n =
   if n > 0. then stats.Stats.warp_insts <- stats.Stats.warp_insts +. n
+
+(* Arm one evaluation point whose expression contains [ns] warp
+   shuffle/vote nodes: publish the active mask for the convergence check
+   and count the primitives — the reference engine does both while
+   evaluating the first active lane. Statically zero-shuffle points skip
+   this entirely (the common case pays one float compare). *)
+let shfl_pre ns ctx mask =
+  if ns > 0. then begin
+    ctx.cmask <- mask;
+    ctx.stats.Stats.shuffles <- ctx.stats.Stats.shuffles +. ns
+  end
 
 let run_body (body : cstmt array) ctx mask =
   for i = 0 to Array.length body - 1 do
@@ -933,17 +1087,24 @@ let rec pred_mask (f : bexp) hm ctx m lane taken =
 (* one warp statement: [write] per active lane, then price the accesses.
    Instruction counting is the precomputed [n] — the reference engine
    counts the same nodes while evaluating the first active lane. *)
-let group ~n ~hm ~sites (write : ctx -> int -> unit) : cstmt =
-  if hm then
+let group ~n ~ns ~hm ~sites (write : ctx -> int -> unit) : cstmt =
+  let base : cstmt =
+    if hm then
+      fun ctx mask ->
+        bump ctx.stats n;
+        Warp_access.set_sites ctx.acc sites;
+        each_lane_rec write ctx mask 0;
+        Warp_access.flush ctx.acc
+    else
+      fun ctx mask ->
+        bump ctx.stats n;
+        each_lane write ctx mask 0
+  in
+  if ns > 0. then
     fun ctx mask ->
-      bump ctx.stats n;
-      Warp_access.set_sites ctx.acc sites;
-      each_lane_rec write ctx mask 0;
-      Warp_access.flush ctx.acc
-  else
-    fun ctx mask ->
-      bump ctx.stats n;
-      each_lane write ctx mask 0
+      shfl_pre ns ctx mask;
+      base ctx mask
+  else base
 
 (* ----- node-major (vectorised) statement engine -----
 
@@ -1728,6 +1889,87 @@ let v_faddreg rbase src : vnode =
   in
   go m 0
 
+(* Warp shuffles node-major: the whole warp's operand rows are fully
+   written before the node runs (emission order), so cross-lane reads are
+   ready. Convergence is checked against the mask the node actually runs
+   under; with the full warp active every in-range existing source lane
+   holds a valid row entry. Out-of-range or non-existent sources fall
+   back to the lane's own value, like both scalar engines. *)
+
+let v_shfl_i kname ws src_of sa sl d : vnode =
+ fun ctx m ->
+  if m <> ctx.exists_mask then
+    trap "kernel %s: warp shuffle under divergent control flow" kname;
+  let a = iarr ctx sa and s = iarr ctx sl and dst = ctx.vi_slab in
+  let ao = ioff sa and so = ioff sl in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let src = src_of l (Array.unsafe_get s (so + l)) in
+        Array.unsafe_set dst (d + l)
+          (if src >= 0 && src < ws && ctx.exists_mask land (1 lsl src) <> 0
+           then Array.unsafe_get a (ao + src)
+           else Array.unsafe_get a (ao + l))
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+let v_shfl_f kname ws src_of sa sl d : vnode =
+ fun ctx m ->
+  if m <> ctx.exists_mask then
+    trap "kernel %s: warp shuffle under divergent control flow" kname;
+  let a = farr ctx sa and s = iarr ctx sl and dst = ctx.vf_slab in
+  let ao = foff sa and so = ioff sl in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then begin
+        let src = src_of l (Array.unsafe_get s (so + l)) in
+        Array.unsafe_set dst (d + l)
+          (if src >= 0 && src < ws && ctx.exists_mask land (1 lsl src) <> 0
+           then Array.unsafe_get a (ao + src)
+           else Array.unsafe_get a (ao + l))
+      end;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
+(* votes: one uniform result over the existing lanes, broadcast to every
+   active lane's row entry. [kind] selects ballot (the lane-bit mask),
+   any, or all — canonical 0/1 for the boolean pair. *)
+type vote_kind = Vballot | Vany | Vall
+
+let v_vote kname kind sp d : vnode =
+ fun ctx m ->
+  if m <> ctx.exists_mask then
+    trap "kernel %s: warp vote under divergent control flow" kname;
+  let p = iarr ctx sp and dst = ctx.vi_slab in
+  let po = ioff sp in
+  let rec scan m l ballot all_ =
+    if m = 0 then (ballot, all_)
+    else if m land 1 <> 0 then
+      if Array.unsafe_get p (po + l) <> 0 then
+        scan (m lsr 1) (l + 1) (ballot lor (1 lsl l)) all_
+      else scan (m lsr 1) (l + 1) ballot false
+    else scan (m lsr 1) (l + 1) ballot all_
+  in
+  let ballot, all_ = scan ctx.exists_mask 0 0 true in
+  let r =
+    match kind with
+    | Vballot -> ballot
+    | Vany -> if ballot <> 0 then 1 else 0
+    | Vall -> if all_ then 1 else 0
+  in
+  let rec go m l =
+    if m <> 0 then begin
+      if m land 1 <> 0 then Array.unsafe_set dst (d + l) r;
+      go (m lsr 1) (l + 1)
+    end
+  in
+  go m 0
+
 (* ----- vector compilation ----- *)
 
 let vemit (st : vstate) n = st.rev_nodes <- n :: st.rev_nodes
@@ -1781,6 +2023,9 @@ let rec loads_global name (e : Kir.exp) =
   | Kir.Un (_, a) -> loads_global name a
   | Kir.Select (c, a, b) ->
     loads_global name c || loads_global name a || loads_global name b
+  | Kir.Shfl_down (v, l) | Kir.Shfl_xor (v, l) | Kir.Shfl_idx (v, l) ->
+    loads_global name v || loads_global name l
+  | Kir.Ballot p | Kir.Any p | Kir.All p -> loads_global name p
   | Kir.Int _ | Kir.Float _ | Kir.Bool _ | Kir.Reg _ | Kir.Tid _ | Kir.Bid _
   | Kir.Bdim _ | Kir.Gdim _ | Kir.Param _ ->
     false
@@ -1794,6 +2039,9 @@ let rec loads_shared name (e : Kir.exp) =
   | Kir.Un (_, a) -> loads_shared name a
   | Kir.Select (c, a, b) ->
     loads_shared name c || loads_shared name a || loads_shared name b
+  | Kir.Shfl_down (v, l) | Kir.Shfl_xor (v, l) | Kir.Shfl_idx (v, l) ->
+    loads_shared name v || loads_shared name l
+  | Kir.Ballot p | Kir.Any p | Kir.All p -> loads_shared name p
   | Kir.Int _ | Kir.Float _ | Kir.Bool _ | Kir.Reg _ | Kir.Tid _ | Kir.Bid _
   | Kir.Bdim _ | Kir.Gdim _ | Kir.Param _ ->
     false
@@ -1945,7 +2193,48 @@ let rec vcompile_exp env (st : vstate) (e : Kir.exp) : vtexp =
         let d = valloc_i st in
         vemit st (v_load_si name slot len ms sidx d);
         VI (VIs d)
-      | None -> raise Unvectorizable))
+      | None -> raise Unvectorizable)
+    | Kir.Shfl_down (v, l) -> vshfl env st v l (fun lane d -> lane + d)
+    | Kir.Shfl_xor (v, l) -> vshfl env st v l (fun lane m -> lane lxor m)
+    | Kir.Shfl_idx (v, l) -> vshfl env st v l (fun _ src -> src)
+    | Kir.Ballot p -> VI (VIs (vvote env st p Vballot))
+    | Kir.Any p -> VB (VIs (vvote env st p Vany))
+    | Kir.All p -> VB (VIs (vvote env st p Vall)))
+
+(* value row first, then the lane selector — the reference order *)
+and vshfl env (st : vstate) v l src_of : vtexp =
+  if has_mem v || has_mem l then raise Unvectorizable;
+  let kname = env.k.Kir.kname in
+  let tv = vcompile_exp env st v in
+  let sl =
+    match vcompile_exp env st l with
+    | VI s | VB s -> s
+    | VF _ -> raise Unvectorizable
+  in
+  match tv with
+  | VI sa ->
+    let d = valloc_i st in
+    vemit st (v_shfl_i kname env.ws src_of sa sl d);
+    VI (VIs d)
+  | VB sa ->
+    let d = valloc_i st in
+    vemit st (v_shfl_i kname env.ws src_of sa sl d);
+    VB (VIs d)
+  | VF sa ->
+    let d = valloc_f st in
+    vemit st (v_shfl_f kname env.ws src_of sa sl d);
+    VF (VFs d)
+
+and vvote env (st : vstate) p kind : int =
+  if has_mem p then raise Unvectorizable;
+  let sp =
+    match vcompile_exp env st p with
+    | VB s | VI s -> s
+    | VF _ -> raise Unvectorizable
+  in
+  let d = valloc_i st in
+  vemit st (v_vote env.k.Kir.kname kind sp d);
+  d
 
 (* Stage one straight-line statement node-major, or [None] if the scalar
    statement must be kept. [n] is the same precomputed instruction count
@@ -1998,7 +2287,7 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     }
   in
   let sites = simple_sites a in
-  let finish n =
+  let finish n ns =
     let nodes = Array.of_list (List.rev st.rev_nodes) in
     let kinds = Array.of_list (List.rev st.rev_kinds) in
     let nmem = st.nmem in
@@ -2009,6 +2298,7 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     if nmem > 0 then
       Some
         (fun ctx mask ->
+          shfl_pre ns ctx mask;
           bump ctx.stats n;
           if mask <> 0 then begin
             Warp_access.set_sites ctx.acc sites;
@@ -2021,6 +2311,7 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     else
       Some
         (fun ctx mask ->
+          shfl_pre ns ctx mask;
           bump ctx.stats n;
           if mask <> 0 then
             for i = 0 to nn - 1 do
@@ -2031,15 +2322,17 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     match s with
     | Kir.Set (r, e) ->
       let n = float_of_int (nodes e) in
+      let ns = float_of_int (shfl_nodes e) in
       let base = r * env.ws in
       (match (env.rt.(r), vcompile_exp env st e) with
        | TI, VI src | TB, VB src -> vemit st (v_copy_i src base)
        | TF, VF src -> vemit st (v_copy_f src base)
        | _ -> raise Unvectorizable);
-      finish n
+      finish n ns
     | Kir.Store_g (name, i, v) ->
       if loads_global name i || loads_global name v then raise Unvectorizable;
       let n = float_of_int (1 + nodes i + nodes v) in
+      let ns = float_of_int (shfl_nodes i + shfl_nodes v) in
       let entry = find_entry env name in
       let sidx =
         match vcompile_exp env st i with
@@ -2064,10 +2357,11 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
          in
          let ms = valloc_slot st Warp_access.Global in
          vemit st (v_store_gi name a base eb ms sidx sv));
-      finish n
+      finish n ns
     | Kir.Store_s (name, i, v) ->
       if loads_shared name i || loads_shared name v then raise Unvectorizable;
       let n = float_of_int (1 + nodes i + nodes v) in
+      let ns = float_of_int (shfl_nodes i + shfl_nodes v) in
       let sidx =
         match vcompile_exp env st i with
         | VI s | VB s -> s
@@ -2091,7 +2385,7 @@ let vcompile_stmt env (s : Kir.stmt) (a : Site.ann) : cstmt option =
          let ms = valloc_slot st Warp_access.Shared in
          vemit st (v_store_si name slot len ms sidx sv)
        | None -> raise Unvectorizable);
-      finish n
+      finish n ns
     | _ -> None
   with Unvectorizable -> None
 
@@ -2156,6 +2450,7 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     | None -> None
     | Some src ->
       let n = float_of_int (nodes c) in
+      let ns_c = float_of_int (shfl_nodes c) in
       let run = vclose st csites in
       let ext = v_maskof src in
       let ct = Array.of_list (List.map2 (compile_stmt env) t ta) in
@@ -2164,6 +2459,7 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
       let has_else = e <> [] in
       Some
         (fun ctx mask ->
+          shfl_pre ns_c ctx mask;
           bump ctx.stats n;
           run ctx mask;
           let taken = ext ctx mask in
@@ -2186,11 +2482,16 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
       let n_lo = float_of_int (nodes lo) in
       let n_cond = float_of_int (nodes hi + 1) in
       let n_step = float_of_int (nodes step + 1) in
+      let ns_lo = float_of_int (shfl_nodes lo) in
+      let ns_cond = float_of_int (shfl_nodes hi) in
+      let ns_step = float_of_int (shfl_nodes step) in
       Some
         (fun ctx mask ->
+          shfl_pre ns_lo ctx mask;
           bump ctx.stats n_lo;
           init ctx mask;
           let rec loop active iters =
+            shfl_pre ns_cond ctx active;
             bump ctx.stats n_cond;
             condr ctx active;
             let next = cond_ext ctx active in
@@ -2202,6 +2503,7 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
               if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
             end;
               run_body cbody ctx next;
+              shfl_pre ns_step ctx next;
               bump ctx.stats n_step;
               stepf ctx next;
               let iters = iters + 1 in
@@ -2281,6 +2583,7 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
     | None -> None
     | Some src ->
       let n_c = float_of_int (nodes c) in
+      let ns_c = float_of_int (shfl_nodes c) in
       let run = vclose st csites in
       let ext = v_maskof src in
       let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
@@ -2288,6 +2591,7 @@ and vcompile_ctl env (s : Kir.stmt) (a : Site.ann) : cstmt option =
       Some
         (fun ctx mask ->
           let rec loop active iters =
+            shfl_pre ns_c ctx active;
             bump ctx.stats n_c;
             run ctx active;
             let next = ext ctx active in
@@ -2315,23 +2619,25 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
   match s with
   | Kir.Set (r, e) -> (
     let n = float_of_int (nodes e) in
+    let ns = float_of_int (shfl_nodes e) in
     let hm = has_mem e in
     let te = compile_exp env e in
     let base = r * ws in
     match (env.rt.(r), te) with
     | TI, I f ->
-      group ~n ~hm ~sites (fun ctx lane ->
+      group ~n ~ns ~hm ~sites (fun ctx lane ->
           Array.unsafe_set ctx.ireg (base + lane) (f ctx lane))
     | TF, F f ->
-      group ~n ~hm ~sites (fun ctx lane ->
+      group ~n ~ns ~hm ~sites (fun ctx lane ->
           f ctx lane;
           Array.unsafe_set ctx.freg (base + lane) (Array.unsafe_get ctx.facc 0))
     | TB, B f ->
-      group ~n ~hm ~sites (fun ctx lane ->
+      group ~n ~ns ~hm ~sites (fun ctx lane ->
           Array.unsafe_set ctx.ireg (base + lane) (if f ctx lane then 1 else 0))
     | _ -> fallback "register/expression type mismatch")
   | Kir.Store_g (name, i, v) -> (
     let n = float_of_int (1 + nodes i + nodes v) in
+    let ns = float_of_int (shfl_nodes i + shfl_nodes v) in
     let entry = find_entry env name in
     let fi = as_iexp (compile_exp env i) in
     let base = entry.Memory.base and eb = entry.Memory.elem_bytes in
@@ -2339,7 +2645,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
     | Ppat_ir.Host.F a ->
       let fv = as_fexp (compile_exp env v) in
       let len = Array.length a in
-      group ~n ~hm:true ~sites (fun ctx lane ->
+      group ~n ~ns ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           fv ctx lane;
           let x = (Array.unsafe_get ctx.facc 0) in
@@ -2350,7 +2656,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
     | Ppat_ir.Host.I a ->
       let fv = as_iexp (compile_exp env v) in
       let len = Array.length a in
-      group ~n ~hm:true ~sites (fun ctx lane ->
+      group ~n ~ns ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           let x = fv ctx lane in
           Warp_access.record_global ctx.acc (base + (ix * eb));
@@ -2359,12 +2665,13 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
           Array.unsafe_set a ix x))
   | Kir.Store_s (name, i, v) -> (
     let n = float_of_int (1 + nodes i + nodes v) in
+    let ns = float_of_int (shfl_nodes i + shfl_nodes v) in
     let fi = as_iexp (compile_exp env i) in
     match List.assoc_opt name env.smem_env with
     | None -> fallback "undeclared shared array %S" name
     | Some (Sf (slot, len)) ->
       let fv = as_fexp (compile_exp env v) in
-      group ~n ~hm:true ~sites (fun ctx lane ->
+      group ~n ~ns ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           fv ctx lane;
           let x = (Array.unsafe_get ctx.facc 0) in
@@ -2374,7 +2681,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
           Array.unsafe_set (Array.unsafe_get ctx.sf slot) ix x)
     | Some (Si (slot, len)) ->
       let fv = as_iexp (compile_exp env v) in
-      group ~n ~hm:true ~sites (fun ctx lane ->
+      group ~n ~ns ~hm:true ~sites (fun ctx lane ->
           let ix = fi ctx lane in
           let x = fv ctx lane in
           Warp_access.record_shared ctx.acc ix;
@@ -2383,6 +2690,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
           Array.unsafe_set (Array.unsafe_get ctx.si slot) ix x))
   | Kir.Atomic_add_g (name, i, v) -> (
     let n = float_of_int (1 + nodes i + nodes v) in
+    let ns = float_of_int (shfl_nodes i + shfl_nodes v) in
     let entry = find_entry env name in
     let fi = as_iexp (compile_exp env i) in
     let ops, asite = atomic_sites a in
@@ -2400,6 +2708,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         Array.unsafe_set a ix (Array.unsafe_get a ix +. x)
       in
       fun ctx mask ->
+        shfl_pre ns ctx mask;
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
         Warp_access.set_sites ctx.acc ops;
@@ -2418,6 +2727,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         Array.unsafe_set a ix (Array.unsafe_get a ix + x)
       in
       fun ctx mask ->
+        shfl_pre ns ctx mask;
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
         Warp_access.set_sites ctx.acc ops;
@@ -2426,6 +2736,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         Warp_access.atomic_commit ctx.acc asite entry)
   | Kir.Atomic_add_ret { reg; buf; idx; value } -> (
     let n = float_of_int (1 + nodes idx + nodes value) in
+    let ns = float_of_int (shfl_nodes idx + shfl_nodes value) in
     let entry = find_entry env buf in
     let fi = as_iexp (compile_exp env idx) in
     let base = reg * ws in
@@ -2446,6 +2757,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         Array.unsafe_set a ix (old +. x)
       in
       fun ctx mask ->
+        shfl_pre ns ctx mask;
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
         Warp_access.set_sites ctx.acc ops;
@@ -2466,6 +2778,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         Array.unsafe_set a ix (old + x)
       in
       fun ctx mask ->
+        shfl_pre ns ctx mask;
         bump ctx.stats n;
         Warp_access.atomic_begin ctx.acc;
         Warp_access.set_sites ctx.acc ops;
@@ -2481,6 +2794,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
               List.map (fun _ -> Site.A_none) e)
     in
     let n = float_of_int (nodes c) in
+    let ns_c = float_of_int (shfl_nodes c) in
     let hm = has_mem c in
     let fc = as_bexp (compile_exp env c) in
     let ct = Array.of_list (List.map2 (compile_stmt env) t ta) in
@@ -2488,6 +2802,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
     let divergible = t <> [] || e <> [] in
     let has_else = e <> [] in
     fun ctx mask ->
+      shfl_pre ns_c ctx mask;
       bump ctx.stats n;
       if hm then Warp_access.set_sites ctx.acc csites;
       let taken = pred_mask fc hm ctx mask 0 0 in
@@ -2517,6 +2832,9 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
     let hm_hi = has_mem hi in
     let n_step = float_of_int (nodes step + 1) in
     let hm_step = has_mem step in
+    let ns_lo = float_of_int (shfl_nodes lo) in
+    let ns_cond = float_of_int (shfl_nodes hi) in
+    let ns_step = float_of_int (shfl_nodes step) in
     let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
     let base = reg * ws in
     let kname = env.k.Kir.kname in
@@ -2542,6 +2860,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
           (Array.unsafe_get ctx.ireg (base + lane) + s)
       in
       fun ctx mask ->
+        shfl_pre ns_lo ctx mask;
         bump ctx.stats n_lo;
         if hm_lo then begin
           Warp_access.set_sites ctx.acc los;
@@ -2550,6 +2869,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         end
         else each_lane winit ctx mask 0;
         let rec loop active iters =
+          shfl_pre ns_cond ctx active;
           bump ctx.stats n_cond;
           if hm_hi then Warp_access.set_sites ctx.acc his;
           let next = pred_mask cond hm_hi ctx active 0 0 in
@@ -2562,6 +2882,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
               if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
             end;
             run_body cbody ctx next;
+            shfl_pre ns_step ctx next;
             bump ctx.stats n_step;
             if hm_step then begin
               Warp_access.set_sites ctx.acc sts;
@@ -2593,6 +2914,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
           (Array.unsafe_get ctx.freg (base + lane) +. (Array.unsafe_get ctx.facc 0))
       in
       fun ctx mask ->
+        shfl_pre ns_lo ctx mask;
         bump ctx.stats n_lo;
         if hm_lo then begin
           Warp_access.set_sites ctx.acc los;
@@ -2601,6 +2923,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
         end
         else each_lane winit ctx mask 0;
         let rec loop active iters =
+          shfl_pre ns_cond ctx active;
           bump ctx.stats n_cond;
           if hm_hi then Warp_access.set_sites ctx.acc his;
           let next = pred_mask cond hm_hi ctx active 0 0 in
@@ -2613,6 +2936,7 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
               if ctx.attr_on then Warp_access.attr_divergent ctx.acc bsite
             end;
             run_body cbody ctx next;
+            shfl_pre ns_step ctx next;
             bump ctx.stats n_step;
             if hm_step then begin
               Warp_access.set_sites ctx.acc sts;
@@ -2634,12 +2958,14 @@ and compile_stmt_scalar env (s : Kir.stmt) (a : Site.ann) : cstmt =
       | _ -> (Site.no_sites, -1, List.map (fun _ -> Site.A_none) body)
     in
     let n_c = float_of_int (nodes c) in
+    let ns_c = float_of_int (shfl_nodes c) in
     let hm_c = has_mem c in
     let fc = as_bexp (compile_exp env c) in
     let cbody = Array.of_list (List.map2 (compile_stmt env) body ba) in
     let kname = env.k.Kir.kname in
     fun ctx mask ->
       let rec loop active iters =
+        shfl_pre ns_c ctx active;
         bump ctx.stats n_c;
         if hm_c then Warp_access.set_sites ctx.acc csites;
         let next = pred_mask fc hm_c ctx active 0 0 in
@@ -2805,6 +3131,7 @@ let execute ?(jobs = 1) ?attr dev (c : t) : Stats.t =
             bidy = 0;
             bidz = 0;
             exists_mask = !exists;
+            cmask = 0;
             attr_on = Option.is_some attr;
             facc = [| 0. |];
             acc;

@@ -203,6 +203,13 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
       | Some sa -> sa
       | None -> trap "kernel %s: undeclared shared array %S" k.kname name
     in
+    (* the active mask of the warp statement currently executing, armed by
+       [group]; warp shuffles/votes consult it to enforce convergence *)
+    let cur_mask = ref exists in
+    let require_converged what =
+      if not (Array.for_all2 (fun m e -> m = e) !cur_mask exists) then
+        trap "kernel %s: %s under divergent control flow" k.kname what
+    in
     let rec eval lane counting (e : Kir.exp) : v =
       let bin_ct () = if counting then count_inst () in
       match e with
@@ -256,10 +263,60 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
            ints bank the same way *)
         record `S idx;
         read_smem name sa idx
+      | Kir.Shfl_down (v, l) -> shfl lane counting v l (fun lane d -> lane + d)
+      | Kir.Shfl_xor (v, l) -> shfl lane counting v l (fun lane m -> lane lxor m)
+      | Kir.Shfl_idx (v, l) -> shfl lane counting v l (fun _ src -> src)
+      | Kir.Ballot p ->
+        vote lane counting p;
+        let m = ref 0 in
+        for l = 0 to ws - 1 do
+          if exists.(l) && as_bool (eval l false p) then m := !m lor (1 lsl l)
+        done;
+        VI !m
+      | Kir.Any p ->
+        vote lane counting p;
+        let r = ref false in
+        for l = 0 to ws - 1 do
+          if exists.(l) && as_bool (eval l false p) then r := true
+        done;
+        VB !r
+      | Kir.All p ->
+        vote lane counting p;
+        let r = ref true in
+        for l = 0 to ws - 1 do
+          if exists.(l) && not (as_bool (eval l false p)) then r := false
+        done;
+        VB !r
+    (* a shuffle is one warp instruction exchanging registers: no memory
+       slots, no bank conflicts, no barrier. The value operand is
+       evaluated at the calling lane first (counting its nodes once and
+       providing the own-value fallback), then re-evaluated at the source
+       lane without counting — operands are validated pure, so the two
+       evaluations cannot disagree on side effects. *)
+    and shfl lane counting v l src_of =
+      require_converged "warp shuffle";
+      if counting then begin
+        count_inst ();
+        stats.shuffles <- stats.shuffles +. 1.
+      end;
+      let own = eval lane counting v in
+      let sel = as_int (eval lane counting l) in
+      let src = src_of lane sel in
+      if src >= 0 && src < ws && exists.(src) then eval src false v else own
+    and vote lane counting p =
+      require_converged "warp vote";
+      if counting then begin
+        count_inst ();
+        stats.shuffles <- stats.shuffles +. 1.;
+        (* count the predicate's nodes exactly once; the cross-lane fold
+           below re-evaluates it per lane without counting *)
+        ignore (eval lane counting p)
+      end
     in
     (* run [f] per active lane as one warp instruction group whose memory
        slots belong to [sites] (slot s -> sites.(s), see {!Site}) *)
     let group sites mask f =
+      cur_mask := mask;
       Warp_access.set_sites acc sites;
       let first = ref true in
       for lane = 0 to ws - 1 do
@@ -538,7 +595,7 @@ let last_parallel_fallback : string option ref = ref None
    serially to stay deterministic (and identical to jobs = 1) *)
 let effective_jobs ~jobs (l : Kir.launch) =
   if jobs <= 1 then 1
-  else if Kir.uses_global_atomics l.kernel then begin
+  else if (Kir.features l.kernel).f_global_atomics then begin
     incr parallel_fallbacks;
     Ppat_metrics.Metrics.incr Engine_metrics.parallel_fallbacks;
     last_parallel_fallback :=

@@ -73,13 +73,13 @@ let stage_launch ?cache dev mem (l : Kir.launch) ~meta =
       Interp.last_fallback := Some reason;
       Fallback reason
   in
-  { launch = l; exec; serial_only = Kir.uses_global_atomics l.Kir.kernel; meta }
+  { launch = l; exec; serial_only = (Kir.features l.Kir.kernel).Kir.f_global_atomics; meta }
 
 let reference_slaunch (l : Kir.launch) ~meta =
   {
     launch = l;
     exec = Fallback "reference engine requested";
-    serial_only = Kir.uses_global_atomics l.Kir.kernel;
+    serial_only = (Kir.features l.Kir.kernel).Kir.f_global_atomics;
     meta;
   }
 

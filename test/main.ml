@@ -28,4 +28,5 @@ let () =
       ("canon", Test_canon.tests);
       ("metrics-lru", Test_metrics_lru.tests);
       ("serve", Test_serve.tests);
+      ("race", Test_race.tests);
     ]
