@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve racecheck bench-diff check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep bench-diff check bench bench-json clean
 
 all: build
 
@@ -89,6 +89,21 @@ racecheck: build
 	dune exec test/main.exe -- test race > /dev/null
 	@echo "racecheck: staged kernels race-free in both modes; shuffle differential OK"
 
+# batched mapping-space sweep gate: run `ppat sweep` over every bench app.
+# Each invocation asserts internally that every shape was staged exactly
+# once (via the sweep.* metrics) and exits non-zero if calibrating the
+# analytical predictor worsens its regret on that app. Budgets are sized
+# so the whole target stays a few minutes; the full >= 200-candidate
+# bit-identity evidence lives in the bench --sweep trajectory below.
+sweep: build
+	dune exec bin/ppat.exe -- sweep sum_rows --budget 64 --jobs 4 > /dev/null
+	dune exec bin/ppat.exe -- sweep sum_cols --budget 64 --jobs 4 > /dev/null
+	dune exec bin/ppat.exe -- sweep hotspot --budget 48 --jobs 4 > /dev/null
+	dune exec bin/ppat.exe -- sweep qpscd --budget 32 --jobs 4 > /dev/null
+	dune exec bin/ppat.exe -- sweep gemm --budget 24 --jobs 4 > /dev/null
+	dune exec bin/ppat.exe -- sweep msm_cluster --budget 16 --jobs 4 > /dev/null
+	@echo "sweep: stage-once metrics hold and calibration never worsens regret on any bench app"
+
 # bench regression gate: regenerate the perf trajectory (single app worker
 # so wall clocks are undistorted) and diff it against the frozen artifact
 # of the previous PR — once with default lowering and once with shuffle
@@ -96,13 +111,15 @@ racecheck: build
 # or on any simulator-statistic drift.
 bench-diff: build
 	dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_gate.json
-	dune exec bench/main.exe -- --compare BENCH_pr8_baseline.json /tmp/ppat_bench_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr9_baseline.json /tmp/ppat_bench_gate.json
 	PPAT_SHUFFLE=1 dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_shfl_gate.json
-	dune exec bench/main.exe -- --compare BENCH_pr8.json /tmp/ppat_bench_shfl_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr9.json /tmp/ppat_bench_shfl_gate.json
 	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json /tmp/ppat_serve_gate.json
-	dune exec bench/main.exe -- --compare BENCH_pr8_serve_baseline.json /tmp/ppat_serve_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr9_serve_baseline.json /tmp/ppat_serve_gate.json
+	dune exec bench/main.exe -- --sweep -j 4 --json /tmp/ppat_sweep_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr9_sweep.json /tmp/ppat_sweep_gate.json
 
-check: build test smoke engines cost-models parallel bench-smoke report serve racecheck bench-diff
+check: build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep bench-diff
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
@@ -112,10 +129,11 @@ bench:
 # BENCH_pr*_baseline.json files are frozen pre-change runs and are not
 # regenerated here.
 bench-json: build
-	dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr8_baseline.json
-	PPAT_SHUFFLE=1 dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr8.json
-	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr8_serve_baseline.json
-	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr8_serve.json
+	dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr9_baseline.json
+	PPAT_SHUFFLE=1 dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr9.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr9_serve_baseline.json
+	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr9_serve.json
+	dune exec bench/main.exe -- --sweep -j 4 --json BENCH_pr9_sweep.json
 
 clean:
 	dune clean

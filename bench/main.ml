@@ -28,6 +28,16 @@
                                     (schema ppat-bench/5). --no-cache sends
                                     every request with caches bypassed (the
                                     cold baseline artifact)
+     bench/main.exe --sweep [--json FILE]
+                                    batched-sweep trajectory: evaluate each
+                                    app's whole candidate population through
+                                    the stage-once-per-shape evaluator AND
+                                    one-at-a-time, assert per-candidate
+                                    digest identity, and record the staging
+                                    share of the sweep wall (schema
+                                    ppat-bench/6). --compare on two such
+                                    trajectories gates digest identity,
+                                    result drift and staging share < 20%
      bench/main.exe -j N            app-level worker domains
      bench/main.exe --sim-jobs N    intra-launch simulator domains per run
                                     (statistics are identical at any N)
@@ -197,10 +207,10 @@ let run_json ~jobs ~sim_jobs ~best_of file =
             [
               ("name", J.Str name);
               ("strategy", J.Str (Ppat_core.Strategy.name strat));
-              ("simulated_seconds", J.Float r.seconds);
+              ("simulated_seconds", J.number r.seconds);
               ("kernels", J.Int r.kernels);
-              ("pipeline_wall_seconds", J.Float wall);
-              ("sim_wall_seconds", J.Float sim_wall);
+              ("pipeline_wall_seconds", J.number wall);
+              ("sim_wall_seconds", J.number sim_wall);
               ("stats", Ppat_profile.Record.json_of_stats r.stats);
               ( "decisions",
                 J.List
@@ -211,7 +221,7 @@ let run_json ~jobs ~sim_jobs ~best_of file =
                            ("pattern", J.Str label);
                            ( "mapping",
                              J.Str (Ppat_core.Mapping.to_string d.mapping) );
-                           ("score", J.Float d.score);
+                           ("score", J.number d.score);
                            ("via", J.Str d.via);
                            ( "cost_model",
                              J.Str (Ppat_core.Cost_model.name d.model) );
@@ -307,6 +317,8 @@ let zipf_sampler ~s k =
     let rec find i = if i >= k - 1 || u <= cum.(i) then i else find (i + 1) in
     find 0
 
+(* nan on an empty sample — callers must guard (the exporters go through
+   [Jsonx.number], which turns it into an explicit null) *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then nan
@@ -469,6 +481,9 @@ let run_serve ~n ~zipf ~no_cache file =
              @ if Float.is_nan wp then [] else [ ("warm_p50_ms", J.Float wp) ]))
          (List.init k Fun.id)
      in
+     (* [J.number], not [J.Float]: percentiles of an empty population are
+        nan and the speedup/share ratios can degenerate to nan/inf; they
+        must reach the file as explicit nulls, never as invalid tokens *)
      J.to_file file
        (J.Obj
           ([
@@ -480,25 +495,212 @@ let run_serve ~n ~zipf ~no_cache file =
             ("no_cache", J.Bool no_cache);
             ("cold_count", J.Int n_cold);
             ("warm_count", J.Int n_warm);
-            ("hit_rate", J.Float hit_rate);
-            ("p50_ms", J.Float all_p50);
-            ("p99_ms", J.Float all_p99);
-            ("cold_p50_ms", J.Float cold_p50);
-            ("cold_p99_ms", J.Float cold_p99);
+            ("hit_rate", J.number hit_rate);
+            ("p50_ms", J.number all_p50);
+            ("p99_ms", J.number all_p99);
+            ("cold_p50_ms", J.number cold_p50);
+            ("cold_p99_ms", J.number cold_p99);
           ]
           @ (if n_warm = 0 then []
              else
                [
-                 ("warm_p50_ms", J.Float warm_p50);
-                 ("warm_p99_ms", J.Float warm_p99);
-                 ("warm_vs_cold_p50_speedup", J.Float speedup);
-                 ("hit_search_stage_share", J.Float share);
+                 ("warm_p50_ms", J.number warm_p50);
+                 ("warm_p99_ms", J.number warm_p99);
+                 ("warm_vs_cold_p50_speedup", J.number speedup);
+                 ("hit_search_stage_share", J.number share);
                ])
           @ [
               ("answers_digest", J.Str answers_digest);
               ("configs", J.List cfg_json);
             ]));
      Format.printf "wrote served-traffic trajectory to %s@." file)
+
+(* ----- --sweep: trajectory for the batched mapping-space evaluator.
+   Shapes small enough that the whole candidate population is evaluated
+   twice — once through the stage-once-per-shape batched path and once
+   one-at-a-time — so every per-candidate digest can be compared, which is
+   the evaluator's bit-identity contract. The JSON records the digests,
+   the shape statistics and the staging share of the sweep wall; the
+   --compare gate holds the share under 20% and the digests identical to
+   the committed baseline. ----- *)
+
+let sweep_suite () =
+  let module A = Ppat_apps in
+  [
+    ("sumRows", A.Sum_rows_cols.sum_rows ~r:256 ~c:64 ());
+    ("sumCols", A.Sum_rows_cols.sum_cols ~r:256 ~c:64 ());
+    ("hotspot", A.Hotspot.app ~n:48 ~steps:1 A.Hotspot.R);
+  ]
+
+(* the target pattern (richest hard-feasible space), its deduped candidate
+   mappings, and soft-auto base mappings for the other patterns — the same
+   setup `ppat sweep` uses *)
+let sweep_space (app : Ppat_apps.App.t) =
+  let ap = Ppat_harness.Runner.analysis_params app.prog app.params in
+  let pats = ref [] in
+  let rec step = function
+    | Ppat_ir.Pat.Launch n ->
+      if
+        not
+          (List.exists
+             (fun (pid, _) -> pid = n.pat.Ppat_ir.Pat.pid)
+             !pats)
+      then begin
+        let c =
+          Ppat_core.Collect.collect ~params:ap ?bind:n.Ppat_ir.Pat.bind dev
+            app.prog n.Ppat_ir.Pat.pat
+        in
+        pats := (n.pat.Ppat_ir.Pat.pid, c) :: !pats
+      end
+    | Ppat_ir.Pat.Host_loop { body; _ } | Ppat_ir.Pat.While_flag { body; _ }
+      ->
+      List.iter step body
+    | Ppat_ir.Pat.Swap _ -> ()
+  in
+  List.iter step app.prog.Ppat_ir.Pat.steps;
+  let pats = List.rev !pats in
+  let base =
+    List.map
+      (fun (pid, c) ->
+        ( pid,
+          (Ppat_core.Strategy.decide ~model:Ppat_core.Cost_model.Soft dev c
+             Ppat_core.Strategy.Auto)
+            .Ppat_core.Strategy.mapping ))
+      pats
+  in
+  let tpid, cands =
+    List.fold_left
+      (fun (bp, bm) (pid, c) ->
+        let ms =
+          List.map fst
+            (Ppat_core.Search.enumerate ~model:Ppat_core.Cost_model.Soft dev c)
+        in
+        if List.length ms > List.length bm then (pid, ms) else (bp, bm))
+      (-1, []) pats
+  in
+  let seen = Hashtbl.create 64 in
+  let cands =
+    List.filter
+      (fun (m : Ppat_core.Mapping.t) ->
+        let k = Digest.string (Marshal.to_string m []) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      cands
+  in
+  (base, tpid, Array.of_list cands)
+
+let run_sweep ~jobs ~sim_jobs file =
+  let module J = Ppat_profile.Jsonx in
+  Format.printf "batched-sweep trajectory on simulated %s:@."
+    dev.Ppat_gpu.Device.dname;
+  let any_mismatch = ref false in
+  let app_jsons =
+    List.map
+      (fun (name, (app : Ppat_apps.App.t)) ->
+        let data = Ppat_apps.App.input_data app in
+        let base, tpid, cands = sweep_space app in
+        let n = Array.length cands in
+        let t0 = Unix.gettimeofday () in
+        let results, stats =
+          Ppat_harness.Runner.sweep_mapped ~sim_jobs ~jobs
+            ~params:app.Ppat_apps.App.params dev app.prog ~target_pid:tpid
+            ~base cands data
+        in
+        let batched_wall = Unix.gettimeofday () -. t0 in
+        (* the same population one-at-a-time (same pool width, so the wall
+           clocks compare staging strategies, not parallelism) *)
+        let t1 = Unix.gettimeofday () in
+        let unbatched =
+          pool_run ~jobs n (fun i ->
+              let mapping_of pid =
+                if pid = tpid then cands.(i) else List.assoc pid base
+              in
+              match
+                Ppat_harness.Runner.run_gpu_mapped ~sim_jobs
+                  ~params:app.params dev app.prog mapping_of data
+              with
+              | r -> Some (Ppat_harness.Runner.result_digest r)
+              | exception Ppat_codegen.Lower.Unsupported _ -> None
+              | exception Failure _ -> None)
+        in
+        let unbatched_wall = Unix.gettimeofday () -. t1 in
+        let mismatches = ref 0 in
+        Array.iteri
+          (fun i (c : Ppat_harness.Runner.sweep_candidate) ->
+            match (c.sc_digest, unbatched.(i)) with
+            | Some a, Some b when String.equal a b -> ()
+            | None, None -> ()
+            | _ -> incr mismatches)
+          results;
+        let digests_match = !mismatches = 0 in
+        if not digests_match then any_mismatch := true;
+        let share =
+          if stats.Ppat_harness.Runner.sw_wall_seconds > 0. then
+            stats.sw_stage_seconds /. stats.sw_wall_seconds
+          else 0.
+        in
+        let sweep_digest =
+          Digest.to_hex
+            (Digest.string
+               (String.concat ";"
+                  (Array.to_list
+                     (Array.map
+                        (fun (c : Ppat_harness.Runner.sweep_candidate) ->
+                          Option.value ~default:"-" c.sc_digest)
+                        results))))
+        in
+        Format.printf
+          "  %-12s %4d candidates, %3d shapes (%d staged, %d replayed, %d \
+           failed): digests %s@."
+          name n stats.sw_shapes stats.sw_staged stats.sw_replayed
+          stats.sw_failed
+          (if digests_match then "identical"
+           else Printf.sprintf "%d MISMATCH(ES)" !mismatches);
+        Format.printf
+          "  %-12s staging %.3fs of %.2fs sweep wall (share %.1f%%); \
+           one-at-a-time %.2fs (%.2fx)@."
+          "" stats.sw_stage_seconds stats.sw_wall_seconds (100. *. share)
+          unbatched_wall
+          (if batched_wall > 0. then unbatched_wall /. batched_wall else 0.);
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("candidates", J.Int n);
+            ("shapes", J.Int stats.sw_shapes);
+            ("staged", J.Int stats.sw_staged);
+            ("replayed", J.Int stats.sw_replayed);
+            ("failed", J.Int stats.sw_failed);
+            ("digests_match", J.Bool digests_match);
+            ("staging_share", J.number share);
+            ("stage_seconds", J.number stats.sw_stage_seconds);
+            ("batched_wall_seconds", J.number batched_wall);
+            ("unbatched_wall_seconds", J.number unbatched_wall);
+            ("sweep_digest", J.Str sweep_digest);
+          ])
+      (sweep_suite ())
+  in
+  (match file with
+   | None -> ()
+   | Some file ->
+     J.to_file file
+       (J.Obj
+          [
+            ("schema", J.Str "ppat-bench/6");
+            ("mode", J.Str "sweep");
+            ("device", J.Str dev.Ppat_gpu.Device.dname);
+            ("jobs", J.Int jobs);
+            ("sim_jobs", J.Int sim_jobs);
+            ("apps", J.List app_jsons);
+          ]);
+     Format.printf "wrote sweep trajectory to %s@." file);
+  if !any_mismatch then begin
+    Format.printf
+      "sweep bench: batched results are NOT bit-identical to one-at-a-time@.";
+    exit 1
+  end
 
 (* ----- --compare: the bench regression gate. Diffs two --json
    trajectories app by app. Simulator statistics are deterministic, so any
@@ -613,6 +815,71 @@ let compare_serve base_file new_file base next =
   end;
   gate_exit "serve configs" failed (List.length bc)
 
+(* sweep-mode trajectories (schema ppat-bench/6): per app, the candidate
+   the batched evaluator must agree with one-at-a-time bit for bit, the
+   per-candidate digests must match the committed baseline (any drift is a
+   real behaviour change), and staging must stay a small share of the
+   sweep wall — the amortisation the batching exists to buy *)
+let compare_sweep base_file new_file base next =
+  let module J = Ppat_profile.Jsonx in
+  let failed = ref [] in
+  let fail name fmt =
+    Format.kasprintf
+      (fun s ->
+        failed := name :: !failed;
+        Format.printf "  FAIL %s@." s)
+      fmt
+  in
+  let apps j =
+    match Option.bind (J.member "apps" j) J.to_list with
+    | None -> []
+    | Some l ->
+      List.filter_map
+        (fun a ->
+          Option.map (fun n -> (n, a)) (Option.bind (J.member "name" a) J.to_str))
+        l
+  in
+  let str key j =
+    Option.value ~default:"?" (Option.bind (J.member key j) J.to_str)
+  in
+  let num key j =
+    Option.value ~default:nan (Option.bind (J.member key j) J.to_float)
+  in
+  let bool_ key j =
+    match J.member key j with Some (J.Bool b) -> b | _ -> false
+  in
+  Format.printf "comparing sweep trajectories %s (baseline) vs %s:@."
+    base_file new_file;
+  let bapps = apps base and napps = apps next in
+  List.iter
+    (fun (name, ba) ->
+      match List.assoc_opt name napps with
+      | None -> fail name "%s: present in baseline only" name
+      | Some na ->
+        let bd = str "sweep_digest" ba and nd = str "sweep_digest" na in
+        let share = num "staging_share" na in
+        Format.printf
+          "  %-12s digests vs baseline: %s; batched-vs-unbatched: %s; \
+           staging share %.1f%%@."
+          name
+          (if bd = nd then "identical" else "MISMATCH")
+          (if bool_ "digests_match" na then "identical" else "MISMATCH")
+          (100. *. share);
+        if bd <> nd then
+          fail name "%s: per-candidate results drifted from baseline" name;
+        if not (bool_ "digests_match" na) then
+          fail name "%s: batched results differ from one-at-a-time" name;
+        if not (share < 0.20) then
+          fail name "%s: staging is %.1f%% of the sweep wall (gate: <20%%)"
+            name (100. *. share))
+    bapps;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name bapps) then
+        Format.printf "  note: %s is new (not in baseline)@." name)
+    napps;
+  gate_exit "sweep apps" failed (List.length bapps)
+
 let compare_bench base_file new_file =
   let module J = Ppat_profile.Jsonx in
   let base = load_bench base_file and next = load_bench new_file in
@@ -622,9 +889,10 @@ let compare_bench base_file new_file =
   let mode j = Option.bind (J.member "mode" j) J.to_str in
   (match (mode base, mode next) with
    | Some "serve", Some "serve" -> compare_serve base_file new_file base next
-   | Some "serve", _ | _, Some "serve" ->
+   | Some "sweep", Some "sweep" -> compare_sweep base_file new_file base next
+   | Some "serve", _ | _, Some "serve" | Some "sweep", _ | _, Some "sweep" ->
      Format.eprintf
-       "cannot compare a serve-mode trajectory against a classic one@.";
+       "cannot compare trajectories of different modes@.";
      exit 2
    | _ -> ());
   let results j =
@@ -735,6 +1003,7 @@ let parse_jobs args =
   let serve = ref None in
   let zipf = ref 1.1 in
   let no_cache = ref false in
+  let sweep = ref false in
   let rec go acc = function
     | "-j" :: n :: rest ->
       jobs := int_of_string n;
@@ -754,20 +1023,36 @@ let parse_jobs args =
     | "--no-cache" :: rest ->
       no_cache := true;
       go acc rest
+    | "--sweep" :: rest ->
+      sweep := true;
+      go acc rest
     | a :: rest -> go (a :: acc) rest
-    | [] -> (!jobs, !sim_jobs, !best_of, !serve, !zipf, !no_cache, List.rev acc)
+    | [] ->
+      (!jobs, !sim_jobs, !best_of, !serve, !zipf, !no_cache, !sweep,
+       List.rev acc)
   in
   go [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs, sim_jobs, best_of, serve, zipf, no_cache, args = parse_jobs args in
+  let jobs, sim_jobs, best_of, serve, zipf, no_cache, sweep, args =
+    parse_jobs args
+  in
   (match args with
    | "--compare" :: base :: next :: _ -> compare_bench base next
    | "--compare" :: _ ->
      Format.eprintf "--compare expects BASELINE.json NEW.json@.";
      exit 2
    | _ -> ());
+  if sweep then begin
+    let file =
+      match args with
+      | "--json" :: f :: _ when Filename.check_suffix f ".json" -> Some f
+      | _ -> None
+    in
+    run_sweep ~jobs ~sim_jobs file;
+    exit 0
+  end;
   match serve with
   | Some n ->
     let file =

@@ -213,11 +213,14 @@ let key_compare (a : Cost_model.eval) (b : Cost_model.eval) =
   in
   go 0
 
-let cmd_modelcmp name engine top json =
-  let app = find_app name in
-  let data = A.App.input_data app in
+(* candidate space shared by modelcmp and sweep: per-pattern collections,
+   soft-auto base mappings for the non-target patterns, and the target
+   pattern — the one with the richest hard-feasible mapping space — with
+   its candidates deduped by canonical mapping key (the search can reach
+   one mapping through several enumeration moves; simulating it twice
+   would double-count the sample) *)
+let target_space (app : A.App.t) =
   let ap = Ppat_harness.Runner.analysis_params app.prog app.params in
-  (* one collection per distinct top-level pattern *)
   let pats = ref [] in
   iter_launches app (fun n ->
       let c =
@@ -228,7 +231,7 @@ let cmd_modelcmp name engine top json =
         (n.pat.Ppat_ir.Pat.pid, n.pat.Ppat_ir.Pat.label, c) :: !pats);
   let pats = List.rev !pats in
   if pats = [] then begin
-    Format.eprintf "%s has no launches@." name;
+    Format.eprintf "%s has no launches@." app.A.App.name;
     exit 1
   end;
   (* non-target patterns keep their soft-model auto mapping, so candidate
@@ -242,7 +245,6 @@ let cmd_modelcmp name engine top json =
             .Ppat_core.Strategy.mapping ))
       pats
   in
-  (* target: the pattern with the richest hard-feasible mapping space *)
   let tpid, tlabel, tc, cands =
     List.fold_left
       (fun (bp, bl, bc, bm) (pid, label, c) ->
@@ -254,7 +256,24 @@ let cmd_modelcmp name engine top json =
       (-1, "", (let _, _, c = List.hd pats in c), [])
       pats
   in
-  let cands = Array.of_list cands in
+  let seen = Hashtbl.create 64 in
+  let unique, dupes =
+    List.fold_left
+      (fun (acc, d) (m : Ppat_core.Mapping.t) ->
+        let k = Digest.string (Marshal.to_string m []) in
+        if Hashtbl.mem seen k then (acc, d + 1)
+        else begin
+          Hashtbl.add seen k ();
+          (m :: acc, d)
+        end)
+      ([], 0) cands
+  in
+  (base, tpid, tlabel, tc, Array.of_list (List.rev unique), dupes)
+
+let cmd_modelcmp name engine top json =
+  let app = find_app name in
+  let data = A.App.input_data app in
+  let base, tpid, tlabel, tc, cands, dupes = target_space app in
   let n = Array.length cands in
   if n = 0 then begin
     Format.eprintf "no hard-feasible candidate mappings for %s@." tlabel;
@@ -329,9 +348,10 @@ let cmd_modelcmp name engine top json =
   in
   let sim_arr = Array.of_list (List.map snd simulated) in
   Format.printf
-    "modelcmp %s: target pattern %S, %d hard-feasible mappings, %d \
-     simulated (top-%d per model + stride-%d sample)@."
-    name tlabel n (List.length simulated) top stride;
+    "modelcmp %s: target pattern %S, %d unique hard-feasible mappings (%d \
+     duplicate(s) dropped), %d simulated (top-%d per model + stride-%d \
+     sample)@."
+    name tlabel n dupes (List.length simulated) top stride;
   Format.printf "  %-12s %-9s %-8s selected mapping@." "model" "spearman"
     "regret";
   let rows =
@@ -397,8 +417,12 @@ let cmd_modelcmp name engine top json =
           ("app", Str name);
           ("pattern", Str tlabel);
           ("feasible_candidates", Int n);
+          ("duplicates_dropped", Int dupes);
           ("simulated", Int (List.length simulated));
-          ("predictor_spearman", Float pred_rho);
+          (* [number], not [Float]: spearman is undefined (nan) on
+             constant rankings and regret can degenerate — both must
+             reach the file as explicit nulls, never as invalid tokens *)
+          ("predictor_spearman", number pred_rho);
           ( "models",
             List
               (List.map
@@ -406,14 +430,14 @@ let cmd_modelcmp name engine top json =
                    Obj
                      [
                        ("model", Str (Cost_model.name model));
-                       ("spearman", Float rho);
-                       ("regret", Float regret);
+                       ("spearman", number rho);
+                       ("regret", number regret);
                        ( "selected_mapping",
                          Str (Ppat_core.Mapping.to_string cands.(top1)) );
-                       ("selected_sim_seconds", Float top1_secs);
+                       ("selected_sim_seconds", number top1_secs);
                        ( "selected_predicted_cycles",
                          match pred_cycles with
-                         | Some c -> Float c
+                         | Some c -> number c
                          | None -> Null );
                      ])
                  rows) );
@@ -425,13 +449,289 @@ let cmd_modelcmp name engine top json =
                      [
                        ( "mapping",
                          Str (Ppat_core.Mapping.to_string cands.(i)) );
-                       ("sim_seconds", Float s);
+                       ("sim_seconds", number s);
                      ])
                  simulated) );
         ]
     in
     to_file f j;
     Format.printf "wrote modelcmp report to %s@." f
+
+(* ----- sweep: batched evaluation of the target pattern's mapping space
+   (stage once per shape, replay the rest), plus the predictor-vs-
+   simulator calibration loop ----- *)
+
+let cmd_sweep name engine sim_jobs jobs budget json =
+  let app = find_app name in
+  let data = A.App.input_data app in
+  let base, tpid, tlabel, tc, cands, dupes = target_space app in
+  let n = Array.length cands in
+  if n = 0 then begin
+    Format.eprintf "no hard-feasible candidate mappings for %s@." tlabel;
+    exit 1
+  end;
+  (* rank the whole population under a model; [calib] re-ranks after the
+     calibration fit (a positive-gain affine map must not change ranks —
+     the gate below holds the loop to that) *)
+  let rank_of ?calib model =
+    let evals =
+      Array.map (fun m -> Cost_model.evaluate ?calib model dev tc m) cands
+    in
+    let order =
+      List.stable_sort
+        (fun i j -> key_compare evals.(i) evals.(j))
+        (List.init n (fun i -> i))
+    in
+    let order = Array.of_list order in
+    let pos = Array.make n 0 in
+    Array.iteri (fun rank i -> pos.(i) <- rank) order;
+    (evals, order, pos)
+  in
+  let rankings = List.map (fun m -> (m, rank_of m)) Cost_model.all in
+  (* active learning: the simulation budget goes to the candidates whose
+     rank the models disagree on most, plus each model's incumbent *)
+  let disagreement =
+    Ppat_core.Sweep.rank_disagreement
+      (List.map (fun (_, (_, _, pos)) -> pos) rankings)
+      n
+  in
+  let incumbents = List.map (fun (_, (_, order, _)) -> order.(0)) rankings in
+  let budget = if budget <= 0 then n else budget in
+  let chosen =
+    Ppat_core.Sweep.select ~budget ~always:incumbents disagreement
+  in
+  let sel = Array.of_list chosen in
+  Format.printf
+    "sweep %s: target %S, %d unique candidates (%d duplicate(s) dropped), \
+     evaluating %d (budget %d)@."
+    name tlabel n dupes (Array.length sel) budget;
+  let staged_c = Ppat_profile.Metrics.counter "sweep.shapes_staged" in
+  let evaluated_c = Ppat_profile.Metrics.counter "sweep.candidates_evaluated" in
+  let staged0 = Ppat_profile.Metrics.value staged_c in
+  let evaluated0 = Ppat_profile.Metrics.value evaluated_c in
+  let results, stats =
+    Ppat_harness.Runner.sweep_mapped ~engine ~sim_jobs ~jobs
+      ~params:app.params dev app.prog ~target_pid:tpid ~base
+      (Array.map (fun i -> cands.(i)) sel)
+      data
+  in
+  let staged_d = Ppat_profile.Metrics.value staged_c -. staged0 in
+  let evaluated_d = Ppat_profile.Metrics.value evaluated_c -. evaluated0 in
+  let share =
+    if stats.Ppat_harness.Runner.sw_wall_seconds > 0. then
+      stats.sw_stage_seconds /. stats.sw_wall_seconds
+    else 0.
+  in
+  let amortisation =
+    if stats.sw_staged > 0 then
+      float_of_int (stats.sw_staged + stats.sw_replayed)
+      /. float_of_int stats.sw_staged
+    else 0.
+  in
+  Format.printf
+    "  %d shape(s): %d staged, %d replayed, %d failed; staging %.3fs of \
+     %.3fs wall (share %.1f%%, amortisation %.1fx)@."
+    stats.sw_shapes stats.sw_staged stats.sw_replayed stats.sw_failed
+    stats.sw_stage_seconds stats.sw_wall_seconds (100. *. share) amortisation;
+  (* the metrics must corroborate stage-once-per-shape: exactly one
+     staging per distinct shape, and every candidate counted *)
+  if
+    int_of_float staged_d <> stats.sw_shapes
+    || int_of_float staged_d <> stats.sw_staged
+    || int_of_float evaluated_d <> stats.sw_candidates
+  then begin
+    Format.eprintf
+      "sweep: metrics disagree with stage-once-per-shape (staged %g for %d \
+       shape(s), evaluated %g of %d)@."
+      staged_d stats.sw_shapes evaluated_d stats.sw_candidates;
+    exit 1
+  end;
+  (* ground truth: simulated model seconds of the target pattern, keyed
+     by population index *)
+  let sim = Hashtbl.create 32 in
+  Array.iteri
+    (fun si (c : Ppat_harness.Runner.sweep_candidate) ->
+      match (c.sc_result, c.sc_target_seconds) with
+      | Ok _, Some s -> Hashtbl.replace sim sel.(si) s
+      | _ -> ())
+    results;
+  let simulated =
+    Hashtbl.fold (fun i s acc -> (i, s) :: acc) sim []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if List.length simulated < 2 then begin
+    Format.eprintf "only %d candidate(s) simulated; nothing to calibrate@."
+      (List.length simulated);
+    exit 1
+  end;
+  let best_sim =
+    List.fold_left (fun a (_, s) -> min a s) infinity simulated
+  in
+  let sim_arr = Array.of_list (List.map snd simulated) in
+  (* calibration sample: the analytical predictor's cycles against the
+     simulated seconds of the same candidates *)
+  let a_evals, _, _ = List.assoc Cost_model.Analytical rankings in
+  let pairs =
+    List.filter_map
+      (fun (i, s) ->
+        match a_evals.(i).Cost_model.predicted with
+        | Some p when Float.is_finite p.Ppat_core.Predict.cycles ->
+          Some (p.Ppat_core.Predict.cycles, s)
+        | _ -> None)
+      simulated
+  in
+  let calib = Ppat_core.Sweep.fit_affine pairs in
+  let mare_before = Ppat_core.Sweep.mare pairs in
+  let mare_after =
+    match calib with
+    | None -> mare_before
+    | Some cal ->
+      Ppat_core.Sweep.mare
+        (List.map (fun (c, s) -> (Cost_model.calibrate cal c, s)) pairs)
+  in
+  let stats_of (_, order, pos) =
+    let rank_arr =
+      Array.of_list
+        (List.map (fun (i, _) -> float_of_int pos.(i)) simulated)
+    in
+    let rho = Cost_model.spearman rank_arr sim_arr in
+    let top1 = order.(0) in
+    let regret =
+      match Hashtbl.find_opt sim top1 with
+      | Some s -> Ppat_core.Sweep.regret ~best:best_sim s
+      | None -> nan
+    in
+    (rho, regret, top1)
+  in
+  let report =
+    List.map
+      (fun (model, pre) ->
+        let rho0, reg0, _ = stats_of pre in
+        let post =
+          match calib with
+          | Some cal -> rank_of ~calib:cal model
+          | None -> pre
+        in
+        let rho1, reg1, top1 = stats_of post in
+        (model, rho0, reg0, rho1, reg1, top1))
+      rankings
+  in
+  let fnum x = if Float.is_nan x then "n/a" else Printf.sprintf "%.3f" x in
+  let fpct x =
+    if Float.is_nan x then "n/a" else Printf.sprintf "%.1f%%" (100. *. x)
+  in
+  Format.printf "  %-12s %-17s %-17s selected mapping@." "model"
+    "spearman pre/post" "regret pre/post";
+  List.iter
+    (fun (model, rho0, reg0, rho1, reg1, top1) ->
+      Format.printf "  %-12s %-17s %-17s %s@." (Cost_model.name model)
+        (Printf.sprintf "%s / %s" (fnum rho0) (fnum rho1))
+        (Printf.sprintf "%s / %s" (fpct reg0) (fpct reg1))
+        (Ppat_core.Mapping.to_string cands.(top1)))
+    report;
+  (match calib with
+   | Some c ->
+     Format.printf
+       "  calibration over %d pair(s): seconds ~ %.4g * cycles + %.4g; \
+        MARE %s -> %s@."
+       (List.length pairs) c.Cost_model.gain c.Cost_model.offset
+       (match mare_before with Some m -> fnum m | None -> "n/a")
+       (match mare_after with Some m -> fnum m | None -> "n/a")
+   | None ->
+     Format.printf
+       "  calibration: degenerate sample (%d pair(s)), identity kept@."
+       (List.length pairs));
+  (* the loop's contract: re-ranking under the calibrated predictor never
+     worsens a model's regret (affine positive gain preserves order) *)
+  List.iter
+    (fun (model, _, reg0, _, reg1, _) ->
+      if Float.is_finite reg0 && Float.is_finite reg1 && reg1 > reg0 +. 1e-9
+      then begin
+        Format.eprintf
+          "sweep: calibration worsened %s regret (%.4f -> %.4f)@."
+          (Cost_model.name model) reg0 reg1;
+        exit 1
+      end)
+    report;
+  match json with
+  | None -> ()
+  | Some f ->
+    let open Ppat_profile.Jsonx in
+    let opt_number = function None -> Null | Some x -> number x in
+    let j =
+      Obj
+        [
+          ("schema", Str "ppat-sweep/1");
+          ("app", Str name);
+          ("pattern", Str tlabel);
+          ("population", Int n);
+          ("duplicates_dropped", Int dupes);
+          ("budget", Int budget);
+          ("evaluated", Int stats.sw_candidates);
+          ("shapes", Int stats.sw_shapes);
+          ("staged", Int stats.sw_staged);
+          ("replayed", Int stats.sw_replayed);
+          ("failed", Int stats.sw_failed);
+          ("stage_seconds", number stats.sw_stage_seconds);
+          ("wall_seconds", number stats.sw_wall_seconds);
+          ("staging_share", number share);
+          ("amortisation", number amortisation);
+          ( "calibration",
+            match calib with
+            | Some c ->
+              Obj
+                [
+                  ("gain", number c.Cost_model.gain);
+                  ("offset", number c.Cost_model.offset);
+                ]
+            | None -> Null );
+          ("mare_before", opt_number mare_before);
+          ("mare_after", opt_number mare_after);
+          ( "models",
+            List
+              (List.map
+                 (fun (model, rho0, reg0, rho1, reg1, top1) ->
+                   Obj
+                     [
+                       ("model", Str (Cost_model.name model));
+                       ("spearman_pre", number rho0);
+                       ("spearman_post", number rho1);
+                       ("regret_pre", number reg0);
+                       ("regret_post", number reg1);
+                       ( "selected_mapping",
+                         Str (Ppat_core.Mapping.to_string cands.(top1)) );
+                     ])
+                 report) );
+          ( "candidates",
+            List
+              (Array.to_list
+                 (Array.map
+                    (fun (c : Ppat_harness.Runner.sweep_candidate) ->
+                      Obj
+                        ([
+                           ( "mapping",
+                             Str (Ppat_core.Mapping.to_string c.sc_mapping)
+                           );
+                           ("staged", Bool c.sc_staged);
+                         ]
+                        @ (match c.sc_shape with
+                           | Some s -> [ ("shape", Str s) ]
+                           | None -> [])
+                        @ (match c.sc_digest with
+                           | Some d -> [ ("digest", Str d) ]
+                           | None -> [])
+                        @ (match c.sc_target_seconds with
+                           | Some s -> [ ("sim_seconds", number s) ]
+                           | None -> [])
+                        @
+                        match c.sc_result with
+                        | Error e -> [ ("error", Str e) ]
+                        | Ok _ -> []))
+                    results)) );
+        ]
+    in
+    to_file f j;
+    Format.printf "wrote sweep report to %s@." f
 
 let cmd_cuda name =
   let app = find_app name in
@@ -588,6 +888,15 @@ let usage () =
      \                            rank the mapping space under every cost\n\
      \                            model; report rank correlation and regret\n\
      \                            against the simulator\n\
+     \  sweep APP [--engine E] [--budget N] [--jobs N] [--sim-jobs N]\n\
+     \                            [--json FILE]\n\
+     \                            batched mapping-space sweep: stage each\n\
+     \                            mapping shape once, replay the population\n\
+     \                            through it, fit the predictor calibration\n\
+     \                            and report before/after rank quality;\n\
+     \                            --budget caps simulations (active learning\n\
+     \                            picks where the cost models disagree),\n\
+     \                            --jobs fans candidates out on the pool\n\
      \  serve [--jobs N] [--socket PATH] [--plan-cache N] [--memo-cache N]\n\
      \                            persistent mapping service: line-delimited\n\
      \                            JSON requests (schema ppat-serve/1) on stdin\n\
@@ -618,10 +927,13 @@ type flags = {
   f_chrome : string option;
   f_top : int;
   f_sim_jobs : int;
+  f_jobs : int;
+  f_budget : int;
 }
 
 (* [-s STRAT] [--engine E] [--cost-model M] [--json FILE]
-   [--chrome-trace FILE] [--top K] [--sim-jobs N] in any order *)
+   [--chrome-trace FILE] [--top K] [--sim-jobs N] [--jobs N] [--budget N]
+   in any order *)
 let parse_flags rest =
   let strat = ref Ppat_core.Strategy.Auto in
   let engine = ref (Ppat_kernel.Interp.default_engine ()) in
@@ -629,6 +941,8 @@ let parse_flags rest =
   let json = ref None and chrome = ref None in
   let top = ref 6 in
   let sim_jobs = ref (Ppat_kernel.Interp.default_jobs ()) in
+  let jobs = ref (Ppat_parallel.default_jobs ()) in
+  let budget = ref 0 in
   let rec go = function
     | [] -> ()
     | "-s" :: s :: rest ->
@@ -663,6 +977,19 @@ let parse_flags rest =
        | Some k when k > 0 -> top := k
        | _ -> failwith (Printf.sprintf "--top expects a positive integer, got %S" k));
       go rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := min n Ppat_parallel.max_jobs
+       | _ ->
+         failwith (Printf.sprintf "--jobs expects a positive integer, got %S" n));
+      go rest
+    | "--budget" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> budget := n
+       | _ ->
+         failwith
+           (Printf.sprintf "--budget expects a positive integer, got %S" n));
+      go rest
     | arg :: _ ->
       Format.eprintf "unexpected argument %S@." arg;
       usage ();
@@ -677,6 +1004,8 @@ let parse_flags rest =
     f_chrome = !chrome;
     f_top = !top;
     f_sim_jobs = !sim_jobs;
+    f_jobs = !jobs;
+    f_budget = !budget;
   }
 
 let () =
@@ -714,6 +1043,13 @@ let () =
       exit 1
     end;
     cmd_modelcmp name f.f_engine f.f_top f.f_json
+  | _ :: "sweep" :: name :: rest ->
+    let f = parse_flags rest in
+    if f.f_chrome <> None then begin
+      Format.eprintf "--chrome-trace applies to 'profile' only@.";
+      exit 1
+    end;
+    cmd_sweep name f.f_engine f.f_sim_jobs f.f_jobs f.f_budget f.f_json
   | _ :: "serve" :: rest -> cmd_serve rest
   | _ :: "racecheck" :: rest -> cmd_racecheck rest
   | _ :: "cuda" :: name :: rest ->

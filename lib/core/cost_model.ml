@@ -12,9 +12,16 @@ let of_string = function
   | s ->
     Error (Printf.sprintf "unknown cost model %S (soft|analytical|hybrid)" s)
 
+(* fail fast on a malformed value: a typo used to fall back silently to
+   Soft, which is indistinguishable from the knob working *)
 let default () =
-  match Sys.getenv_opt "PPAT_COST_MODEL" with
-  | Some s -> ( match of_string s with Ok k -> k | Error _ -> Soft)
+  match
+    Ppat_gpu.Tuning.env "PPAT_COST_MODEL" (fun ~name s ->
+        match of_string s with
+        | Ok k -> Ok k
+        | Error e -> Error (Printf.sprintf "%s: %s" name e))
+  with
+  | Some k -> k
   | None -> Soft
 
 let all = [ Soft; Analytical; Hybrid ]
@@ -31,7 +38,21 @@ let block_proximity m =
   let tpb = Mapping.threads_per_block m in
   abs (int_of_float (Float.round (Float.log2 (float_of_int tpb))) - 8)
 
-let evaluate kind dev (c : Collect.t) m =
+(* ----- affine calibration of predicted cycles -----
+
+   The sweep evaluator fits, per app, a least-squares affine map from
+   predicted cycles to simulated seconds and threads it through here.
+   [gain] is always positive (the fitter rejects non-monotone fits), so
+   calibrating never reorders an [Analytical]/[Hybrid] ranking — it
+   corrects the predictor's absolute scale, which is what the regret
+   loop measures before/after. *)
+
+type calibration = { gain : float; offset : float }
+
+let no_calibration = { gain = 1.; offset = 0. }
+let calibrate calib cycles = (calib.gain *. cycles) +. calib.offset
+
+let evaluate ?(calib = no_calibration) kind dev (c : Collect.t) m =
   let score = Score.score dev c.softs m in
   let dop = float_of_int (Mapping.dop ~sizes:c.level_sizes m) in
   let prox = -.float_of_int (block_proximity m) in
@@ -43,14 +64,14 @@ let evaluate kind dev (c : Collect.t) m =
     {
       soft_score = score;
       predicted = Some p;
-      key = [| -.p.Predict.cycles; score; dop; prox |];
+      key = [| -.calibrate calib p.Predict.cycles; score; dop; prox |];
     }
   | Hybrid ->
     let p = Predict.predict dev c m in
     {
       soft_score = score;
       predicted = Some p;
-      key = [| score; -.p.Predict.cycles; dop; prox |];
+      key = [| score; -.calibrate calib p.Predict.cycles; dop; prox |];
     }
 
 let better a b =

@@ -22,7 +22,7 @@
 
     Selection: pass [?model] explicitly, or let {!default} read the
     [PPAT_COST_MODEL] environment variable ([soft] | [analytical] |
-    [hybrid]; unset or unrecognised means [Soft]). The [ppat
+    [hybrid]; unset means [Soft], anything else fails fast). The [ppat
     --cost-model] flag threads through the same type. *)
 
 type kind = Soft | Analytical | Hybrid
@@ -33,7 +33,9 @@ val name : kind -> string
 val of_string : string -> (kind, string) result
 
 val default : unit -> kind
-(** [PPAT_COST_MODEL], defaulting to [Soft]. *)
+(** [PPAT_COST_MODEL], defaulting to [Soft] when unset. A malformed value
+    fails fast (via {!Ppat_gpu.Tuning.env}) instead of silently selecting
+    [Soft]. *)
 
 val all : kind list
 
@@ -45,12 +47,28 @@ type eval = {
       (** descending-lexicographic ranking key; {!better} compares these *)
 }
 
-val evaluate : kind -> Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> eval
+type calibration = { gain : float; offset : float }
+(** Affine correction of predicted cycles, fitted per app by the sweep
+    evaluator's active-learning pass ({!Sweep.fit_affine}) against
+    simulated seconds. [gain] is positive by construction, so applying a
+    calibration never reorders a ranking — it fixes the predictor's
+    absolute scale. *)
+
+val no_calibration : calibration
+(** [gain = 1, offset = 0]: predicted cycles pass through unchanged. *)
+
+val calibrate : calibration -> float -> float
+(** [calibrate c cycles = c.gain *. cycles +. c.offset]. *)
+
+val evaluate :
+  ?calib:calibration -> kind -> Ppat_gpu.Device.t -> Collect.t -> Mapping.t -> eval
 (** Evaluate one candidate. For [Soft] the key is
     [(score, dop, -block-size-proximity)] — comparing keys reproduces
     the historical comparison exactly, including its float-equality tie
     semantics. [Analytical] keys lead with [-predicted cycles]; [Hybrid]
-    keys lead with the score and break ties with [-predicted cycles]. *)
+    keys lead with the score and break ties with [-predicted cycles].
+    [calib] (default {!no_calibration}) rescales the predicted cycles
+    entering the key; [Soft] ignores it. *)
 
 val better : eval -> eval -> bool
 (** [better challenger incumbent]: strict descending-lexicographic

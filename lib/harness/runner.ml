@@ -293,8 +293,9 @@ let label_of_pid prog pid =
     prog;
   !found
 
-let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.effective_options ())
-    ?(params = []) dev prog ~decisions data =
+let stage_gen ?engine ?sim_jobs ?(attr = false)
+    ?(opts = Lower.effective_options ()) ?(params = []) dev prog ~mapping_of
+    ~via_of ~predicted_of ~labelled data =
   (match Pat.validate prog with
    | Ok () -> ()
    | Error e -> failwith ("invalid program: " ^ e));
@@ -319,17 +320,6 @@ let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.effective_options ())
   let records = ref [] in
   let stage_seconds = ref 0. in
   let unstageable = ref None in
-  let mapping_of pid = (List.assoc pid decisions).Strategy.mapping in
-  let via_of pid =
-    match List.assoc_opt pid decisions with
-    | Some d -> d.Strategy.via
-    | None -> ""
-  in
-  let predicted_of pid =
-    match List.assoc_opt pid decisions with
-    | Some d -> d.Strategy.predicted
-    | None -> None
-  in
   let exec sl =
     ignore
       (run_and_record ~jobs ~attr ~agg ~total_time ~kernels ~records dev mem
@@ -458,8 +448,7 @@ let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.effective_options ())
       kernels = !kernels;
       stats = agg;
       data = out;
-      decisions =
-        List.map (fun (pid, d) -> (label_of_pid prog pid, d)) decisions;
+      decisions = labelled;
       notes = List.rev !notes;
       profile = List.rev !records;
     }
@@ -489,6 +478,28 @@ let stage ?engine ?sim_jobs ?(attr = false) ?(opts = Lower.effective_options ())
     st_unstageable = !unstageable;
     st_stage_seconds = !stage_seconds;
   }
+
+let stage ?engine ?sim_jobs ?attr ?opts ?params dev prog ~decisions data =
+  stage_gen ?engine ?sim_jobs ?attr ?opts ?params dev prog
+    ~mapping_of:(fun pid -> (List.assoc pid decisions).Strategy.mapping)
+    ~via_of:(fun pid ->
+      match List.assoc_opt pid decisions with
+      | Some d -> d.Strategy.via
+      | None -> "")
+    ~predicted_of:(fun pid ->
+      match List.assoc_opt pid decisions with
+      | Some d -> d.Strategy.predicted
+      | None -> None)
+    ~labelled:
+      (List.map (fun (pid, d) -> (label_of_pid prog pid, d)) decisions)
+    data
+
+let stage_mapped ?engine ?sim_jobs ?attr ?opts ?params dev prog mapping_of
+    data =
+  stage_gen ?engine ?sim_jobs ?attr ?opts ?params dev prog ~mapping_of
+    ~via_of:(fun _ -> "sweep")
+    ~predicted_of:(fun _ -> None)
+    ~labelled:[] data
 
 let replay ?sim_jobs ?(attr = false) (p : plan) data =
   let jobs =
@@ -594,3 +605,224 @@ let check ?(eps = 1e-6) ?(unordered = []) ?only (prog : Pat.prog) ~expected
         [ Printf.sprintf "mismatched buffers: %s" (String.concat ", " bs) ]
     in
     Error (String.concat "; " (missing_msg @ mismatch_msg))
+
+(* ----- batched mapping-space sweeps: stage once per shape, replay the
+   rest of the population through the shape's frozen skeleton ----- *)
+
+module Sweep = Ppat_core.Sweep
+
+let sweep_candidates_evaluated =
+  Ppat_metrics.Metrics.counter "sweep.candidates_evaluated"
+
+let sweep_shapes_staged = Ppat_metrics.Metrics.counter "sweep.shapes_staged"
+
+let sweep_candidates_replayed =
+  Ppat_metrics.Metrics.counter "sweep.candidates_replayed"
+
+(* the deterministic fields of a result, digested: timing-model seconds,
+   counted statistics, output buffers, and the per-kernel records minus
+   everything that is allowed to differ between evaluation paths
+   ([sim_wall_seconds] is host wall clock; [via]/[predicted] label how a
+   mapping was chosen, not what it computed) *)
+let result_digest (r : gpu_result) =
+  let record (k : Record.kernel) =
+    ( k.Record.index,
+      k.Record.label,
+      k.Record.kname,
+      k.Record.grid,
+      k.Record.block,
+      k.Record.mapping,
+      k.Record.stats,
+      k.Record.breakdown )
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (r.seconds, r.kernels, r.stats, r.data, List.map record r.profile)
+          []))
+
+type sweep_candidate = {
+  sc_mapping : Mapping.t;
+  sc_shape : string option;
+  sc_staged : bool;
+  sc_result : (gpu_result, string) result;
+  sc_digest : string option;
+  sc_target_seconds : float option;
+  sc_stage_seconds : float;
+}
+
+type sweep_stats = {
+  sw_candidates : int;
+  sw_shapes : int;
+  sw_staged : int;
+  sw_replayed : int;
+  sw_failed : int;
+  sw_stage_seconds : float;
+  sw_wall_seconds : float;
+}
+
+let sweep_mapped ?engine ?sim_jobs ?(jobs = 1)
+    ?(opts = Lower.effective_options ()) ?(params = []) dev prog ~target_pid
+    ~base (cands : Mapping.t array) data =
+  let t0 = Unix.gettimeofday () in
+  (match Pat.validate prog with
+   | Ok () -> ()
+   | Error e -> failwith ("invalid program: " ^ e));
+  let ap = analysis_params prog params in
+  let target =
+    let found = ref None in
+    let rec step = function
+      | Pat.Launch n ->
+        if n.pat.Pat.pid = target_pid && !found = None then found := Some n
+      | Pat.Host_loop { body; _ } | Pat.While_flag { body; _ } ->
+        List.iter step body
+      | Pat.Swap _ -> ()
+    in
+    List.iter step prog.Pat.steps;
+    match !found with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "sweep: no launch with pid %d" target_pid)
+  in
+  let target_label = target.Pat.pat.Pat.label in
+  let n = Array.length cands in
+  (* shape keys are computed at the analysis point (host-loop midpoints),
+     exactly where the search evaluates candidates, so two mappings share
+     a key iff they lower to the same kernel structure *)
+  let shapes =
+    Array.map
+      (fun m ->
+        match Lower.lower dev ~opts ~params:ap prog target m with
+        | l -> Ok (Lower.shape_key l)
+        | exception Lower.Unsupported e -> Error ("unsupported: " ^ e)
+        | exception Failure e -> Error e)
+      cands
+  in
+  let groups =
+    Sweep.group_by
+      ~key:(fun i ->
+        match shapes.(i) with Ok k -> Some k | Error _ -> None)
+      n
+  in
+  let representative = Hashtbl.create 64 in
+  List.iter
+    (fun (_, members) ->
+      match members with
+      | i :: _ -> Hashtbl.replace representative i ()
+      | [] -> ())
+    groups;
+  let mapping_of_cand m pid =
+    if pid = target_pid then m
+    else
+      match List.assoc_opt pid base with
+      | Some bm -> bm
+      | None ->
+        failwith (Printf.sprintf "sweep: no base mapping for pattern %d" pid)
+  in
+  let eval i =
+    match shapes.(i) with
+    | Error e ->
+      Ppat_metrics.Metrics.incr sweep_candidates_evaluated;
+      {
+        sc_mapping = cands.(i);
+        sc_shape = None;
+        sc_staged = false;
+        sc_result = Error e;
+        sc_digest = None;
+        sc_target_seconds = None;
+        sc_stage_seconds = 0.;
+      }
+    | Ok shape -> (
+      let mapping_of = mapping_of_cand cands.(i) in
+      let staged = Hashtbl.mem representative i in
+      let outcome =
+        try
+          if staged then begin
+            (* the group representative goes through the full staged-plans
+               path: its cold run is the candidate's evaluation and the
+               recorded plan is the shape's reusable skeleton *)
+            let sr =
+              stage_mapped ?engine ?sim_jobs ~opts ~params dev prog
+                mapping_of data
+            in
+            Ppat_metrics.Metrics.incr sweep_shapes_staged;
+            Ok (sr.st_result, sr.st_stage_seconds)
+          end
+          else begin
+            (* same-shape members skip staging: shared validated program
+               and input slabs, a fresh memory image per candidate (temp
+               base addresses feed the sliced-L2 model, so sharing one
+               image would perturb hit counts), only geometry constants
+               re-specialised *)
+            let seconds, kernels, stats, out, notes, profile =
+              exec_steps ?engine ?sim_jobs dev prog ~opts ~params ~mapping_of
+                ~via_of:(fun _ -> "sweep")
+                data
+            in
+            Ppat_metrics.Metrics.incr sweep_candidates_replayed;
+            Ok
+              ( {
+                  seconds;
+                  kernels;
+                  stats;
+                  data = out;
+                  decisions = [];
+                  notes;
+                  profile;
+                },
+                0. )
+          end
+        with
+        | Lower.Unsupported e -> Error ("unsupported: " ^ e)
+        | Failure e -> Error e
+      in
+      Ppat_metrics.Metrics.incr sweep_candidates_evaluated;
+      match outcome with
+      | Error e ->
+        {
+          sc_mapping = cands.(i);
+          sc_shape = Some shape;
+          sc_staged = staged;
+          sc_result = Error e;
+          sc_digest = None;
+          sc_target_seconds = None;
+          sc_stage_seconds = 0.;
+        }
+      | Ok (r, stage_s) ->
+        let target_seconds =
+          List.fold_left
+            (fun acc (k : Record.kernel) ->
+              if String.equal k.Record.label target_label then
+                acc +. k.Record.breakdown.Timing.seconds
+              else acc)
+            0. r.profile
+        in
+        {
+          sc_mapping = cands.(i);
+          sc_shape = Some shape;
+          sc_staged = staged;
+          sc_result = Ok r;
+          sc_digest = Some (result_digest r);
+          sc_target_seconds = Some target_seconds;
+          sc_stage_seconds = stage_s;
+        })
+  in
+  let results = Ppat_parallel.pool_run ~jobs n eval in
+  let sw_staged = ref 0 and sw_replayed = ref 0 and sw_failed = ref 0 in
+  let sw_stage_seconds = ref 0. in
+  Array.iter
+    (fun c ->
+      sw_stage_seconds := !sw_stage_seconds +. c.sc_stage_seconds;
+      match c.sc_result with
+      | Error _ -> incr sw_failed
+      | Ok _ -> if c.sc_staged then incr sw_staged else incr sw_replayed)
+    results;
+  ( results,
+    {
+      sw_candidates = n;
+      sw_shapes = List.length groups;
+      sw_staged = !sw_staged;
+      sw_replayed = !sw_replayed;
+      sw_failed = !sw_failed;
+      sw_stage_seconds = !sw_stage_seconds;
+      sw_wall_seconds = Unix.gettimeofday () -. t0;
+    } )

@@ -163,3 +163,82 @@ val replay :
 (** Re-run a staged plan against fresh input data. [Error] means the data
     does not fit the plan (a buffer changed shape or type) and the caller
     should fall back to a cold run. *)
+
+val stage_mapped :
+  ?engine:Ppat_kernel.Interp.engine ->
+  ?sim_jobs:int ->
+  ?attr:bool ->
+  ?opts:Ppat_codegen.Lower.options ->
+  ?params:(string * int) list ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  (int -> Ppat_core.Mapping.t) ->
+  Ppat_ir.Host.data ->
+  staged_run
+(** {!stage} with an explicit mapping per top-level pattern pid instead of
+    search decisions — the staging entry point of the batched sweep. The
+    result carries no decisions and its records say [via = "sweep"]. *)
+
+(** {2 Batched sweeps}
+
+    A candidate population usually collapses onto far fewer mapping
+    {e shapes} — kernel structures identical up to geometry and constant
+    parameters ({!Ppat_codegen.Lower.shape_key}). The sweep stages one
+    representative per shape through the staged-plans path above and runs
+    the remaining members through the plain execution path against the
+    shared validated program and input slabs; every candidate gets a fresh
+    memory image, which is what makes each result bit-identical to a
+    one-at-a-time {!run_gpu_mapped} of the same mapping. *)
+
+val result_digest : gpu_result -> string
+(** Hex digest of a result's deterministic content: model seconds, kernel
+    count, aggregate and per-launch statistics, output buffers, and each
+    record's label/geometry/mapping/breakdown. Simulator wall clock and
+    provenance fields ([via], [predicted]) are excluded, so two
+    evaluations of the same candidate digest equal regardless of engine
+    path, [sim_jobs], or whether the sweep staged or replayed it. *)
+
+type sweep_candidate = {
+  sc_mapping : Ppat_core.Mapping.t;
+  sc_shape : string option;
+      (** the candidate's shape key; [None] when it does not lower *)
+  sc_staged : bool;  (** this candidate was its shape's representative *)
+  sc_result : (gpu_result, string) result;
+  sc_digest : string option;  (** {!result_digest} of a successful run *)
+  sc_target_seconds : float option;
+      (** summed model seconds of the target pattern's kernels — the
+          quantity candidate mappings compete on *)
+  sc_stage_seconds : float;  (** staging wall clock; 0 for replays *)
+}
+
+type sweep_stats = {
+  sw_candidates : int;
+  sw_shapes : int;  (** distinct shape keys among lowerable candidates *)
+  sw_staged : int;  (** successful representative stagings *)
+  sw_replayed : int;  (** successful non-representative evaluations *)
+  sw_failed : int;
+  sw_stage_seconds : float;  (** summed staging wall clock *)
+  sw_wall_seconds : float;  (** whole-sweep wall clock *)
+}
+
+val sweep_mapped :
+  ?engine:Ppat_kernel.Interp.engine ->
+  ?sim_jobs:int ->
+  ?jobs:int ->
+  ?opts:Ppat_codegen.Lower.options ->
+  ?params:(string * int) list ->
+  Ppat_gpu.Device.t ->
+  Ppat_ir.Pat.prog ->
+  target_pid:int ->
+  base:(int * Ppat_core.Mapping.t) list ->
+  Ppat_core.Mapping.t array ->
+  Ppat_ir.Host.data ->
+  sweep_candidate array * sweep_stats
+(** Evaluate a population of candidate mappings for the pattern
+    [target_pid], holding every other top-level pattern at its [base]
+    mapping. Candidates fan out over the {!Ppat_parallel} pool ([jobs],
+    default 1); per-candidate results and digests are independent of
+    [jobs] and of grouping. Counts every evaluation, staging and replay on
+    the [sweep.candidates_evaluated] / [sweep.shapes_staged] /
+    [sweep.candidates_replayed] metrics — a finished sweep asserts
+    "each shape staged exactly once" as [sw_staged = sw_shapes]. *)

@@ -570,9 +570,16 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
 type engine = Reference | Compiled
 
 let default_engine () =
-  match Sys.getenv_opt "PPAT_ENGINE" with
-  | Some ("reference" | "ref" | "interp") -> Reference
-  | Some _ | None -> Compiled
+  match
+    Ppat_gpu.Tuning.env "PPAT_ENGINE"
+      (Ppat_gpu.Tuning.parse_enum
+         [
+           ([ "compiled"; "closure" ], Compiled);
+           ([ "reference"; "ref"; "interp" ], Reference);
+         ])
+  with
+  | Some e -> e
+  | None -> Compiled
 
 let fallbacks = ref 0
 let last_fallback : string option ref = ref None
@@ -580,11 +587,8 @@ let last_fallback : string option ref = ref None
 (* ----- intra-launch parallelism ----- *)
 
 let default_jobs () =
-  match Sys.getenv_opt "PPAT_SIM_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> min n Ppat_parallel.max_jobs
-    | Some _ | None -> 1)
+  match Ppat_gpu.Tuning.env "PPAT_SIM_JOBS" Ppat_gpu.Tuning.parse_pos_int with
+  | Some n -> min n Ppat_parallel.max_jobs
   | None -> 1
 
 let parallel_fallbacks = ref 0

@@ -34,7 +34,9 @@ type engine =
 
 val default_engine : unit -> engine
 (** [Compiled], unless the [PPAT_ENGINE] environment variable is set to
-    ["reference"] (or ["ref"] / ["interp"]). *)
+    ["reference"] (or ["ref"] / ["interp"]); ["compiled"] / ["closure"]
+    select the default explicitly. Any other value fails fast (via
+    {!Ppat_gpu.Tuning.env}) instead of being silently ignored. *)
 
 val fallbacks : int ref
 (** Number of launches the [Compiled] engine handed to the reference
@@ -46,7 +48,9 @@ val last_fallback : string option ref
 val default_jobs : unit -> int
 (** Worker-domain count for intra-launch parallel simulation: the
     [PPAT_SIM_JOBS] environment variable (clamped to
-    [1 .. Ppat_parallel.max_jobs]), defaulting to 1 (serial). *)
+    [1 .. Ppat_parallel.max_jobs]), defaulting to 1 (serial). A value
+    that is not a positive integer fails fast instead of silently
+    running serially. *)
 
 val parallel_fallbacks : int ref
 (** Number of launches that requested [jobs > 1] but ran serially because

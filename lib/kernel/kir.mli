@@ -131,3 +131,17 @@ val validate : kernel -> (unit, string) result
 
 val pp_kernel : Format.formatter -> kernel -> unit
 (** Debug listing (CUDA emission lives in the codegen library). *)
+
+val shape_fingerprint : launch -> string
+(** Digest of the launch's {e mapping shape}: the kernel structure with
+    every numeric literal wiped, shared-array and kernel-parameter
+    {e values} dropped (names and element types kept) and the grid/block
+    geometry ignored. Two candidate mappings whose lowered code differs
+    only in geometry, tile extents or DOP parameters collide here — the
+    grouping key of the batched sweep evaluator. *)
+
+val exact_fingerprint : launch -> string
+(** Digest of the launch exactly as it will execute: kernel, geometry and
+    kernel-parameter values. Candidates that collide here produce
+    bit-identical simulations, so the sweep/modelcmp paths simulate one
+    representative and share the result. *)

@@ -33,7 +33,7 @@ type pool = {
   mutable queue : batch list;  (* batches with unclaimed items *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
-  nworkers : int;
+  mutable nworkers : int;
 }
 
 (* pool.tasks counts every claimed item; pool.steals the subset claimed
@@ -120,23 +120,32 @@ let shutdown pool =
 let global : pool option ref = ref None
 let global_lock = Mutex.create ()
 
+(* Grow the pool IN PLACE when a wider batch arrives. Tearing the old pool
+   down first (shutdown + Domain.join) deadlocks under nesting: the joined
+   worker may be executing the very task that asked for the wider pool —
+   e.g. a sweep worker whose simulation runs at sim_jobs > outer jobs. *)
 let get_pool ~jobs =
   Mutex.lock global_lock;
   let pool =
     match !global with
-    | Some p when p.nworkers >= jobs - 1 -> p
-    | prev ->
-      let first = prev = None in
-      (match prev with Some p -> shutdown p | None -> ());
+    | Some p ->
+      if p.nworkers < jobs - 1 then begin
+        let extra = jobs - 1 - p.nworkers in
+        p.workers <-
+          p.workers
+          @ List.init extra (fun _ -> Domain.spawn (fun () -> worker p));
+        p.nworkers <- jobs - 1
+      end;
+      p
+    | None ->
       let p = make_pool ~workers:(jobs - 1) in
       global := Some p;
-      if first then
-        at_exit (fun () ->
-            Mutex.lock global_lock;
-            let p = !global in
-            global := None;
-            Mutex.unlock global_lock;
-            match p with Some p -> shutdown p | None -> ());
+      at_exit (fun () ->
+          Mutex.lock global_lock;
+          let p = !global in
+          global := None;
+          Mutex.unlock global_lock;
+          match p with Some p -> shutdown p | None -> ());
       p
   in
   Mutex.unlock global_lock;

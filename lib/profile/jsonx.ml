@@ -21,13 +21,22 @@ let escape buf s =
       | c -> Buffer.add_char buf c)
     s
 
-(* shortest decimal that round-trips the double, so parse(print(x)) = x *)
+(* shortest decimal that round-trips the double, so parse(print(x)) = x.
+   JSON has no representation for non-finite doubles ("nan"/"inf" are
+   invalid tokens), so they serialise as null — a [Float nan] can never
+   corrupt an exported file, whatever the exporter forgot to guard. *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e16 then
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
     Printf.sprintf "%.1f" f
   else
     let s = Printf.sprintf "%.15g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* total Float constructor: non-finite values become [Null] up front, so
+   consumers reading the field back see an explicit null rather than a
+   number; exporters use this for any ratio that can degenerate *)
+let number f = if Float.is_finite f then Float f else Null
 
 let to_buffer ?(minify = false) buf j =
   let rec go indent j =

@@ -4,7 +4,8 @@
     closure; the profiling exporters only need to emit (and, in tests,
     re-read) well-formed documents. Floats are printed with the shortest
     decimal representation that round-trips the IEEE double, so
-    [of_string (to_string j)] reproduces [j] exactly. *)
+    [of_string (to_string j)] reproduces [j] exactly. Non-finite floats
+    have no JSON representation and render as [null] — see {!number}. *)
 
 type t =
   | Null
@@ -14,6 +15,14 @@ type t =
   | Str of string
   | List of t list
   | Obj of (string * t) list
+
+val number : float -> t
+(** [Float f] when [f] is finite, [Null] otherwise. Exporters use this
+    for any statistic that can degenerate (an undefined rank correlation,
+    a percentile of an empty sample, an infinite ratio), making the null
+    explicit at construction time. The serialiser also renders a raw
+    non-finite [Float] as [null], so invalid tokens like [nan] can never
+    reach an exported file. *)
 
 val to_string : ?minify:bool -> t -> string
 (** Render with two-space indentation ([minify] drops all whitespace). *)

@@ -29,4 +29,5 @@ let () =
       ("metrics-lru", Test_metrics_lru.tests);
       ("serve", Test_serve.tests);
       ("race", Test_race.tests);
+      ("sweep", Test_sweep.tests);
     ]

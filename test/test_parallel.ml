@@ -27,7 +27,17 @@ let test_pool_run () =
   in
   Array.iteri
     (fun i x -> Alcotest.(check int) "nested" ((40 * i) + 6) x)
-    nested
+    nested;
+  (* a nested call may ask for a WIDER pool than the one running it; the
+     pool must grow in place — the old teardown-and-recreate joined a
+     worker from inside its own task and deadlocked *)
+  let widened =
+    P.pool_run ~jobs:2 4 (fun i ->
+        Array.fold_left ( + ) 0 (P.pool_run ~jobs:12 6 (fun j -> (10 * i) + j)))
+  in
+  Array.iteri
+    (fun i x -> Alcotest.(check int) "nested widening" ((60 * i) + 15) x)
+    widened
 
 let test_with_captured () =
   (* two domains printing concurrently: each capture holds exactly its own
