@@ -1,6 +1,6 @@
 # Tier-1 verification plus a smoke run of the observability path itself.
 
-.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep bench-diff check bench bench-json clean
+.PHONY: all build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep shard l2-validate bench-diff check bench bench-json clean
 
 all: build
 
@@ -104,6 +104,34 @@ sweep: build
 	dune exec bin/ppat.exe -- sweep msm_cluster --budget 16 --jobs 4 > /dev/null
 	@echo "sweep: stage-once metrics hold and calibration never worsens regret on any bench app"
 
+# process-sharding gate: the shard unit suite, then merged trajectories at
+# 2 and 4 worker processes diffed against an unsharded run of the same
+# build — stats and digests must be identical (--compare skips only the
+# wall gate when worker counts differ), for the classic suite and for the
+# serve trace; plus a sharded `ppat sweep` smoke run (it asserts coverage
+# and rank identity internally)
+shard: build
+	dune exec test/main.exe -- test shard > /dev/null
+	dune exec bench/main.exe -- --json /tmp/ppat_shard_serial.json
+	dune exec bench/main.exe -- --sharded 2 --json /tmp/ppat_shard_2.json
+	dune exec bench/main.exe -- --sharded 4 --json /tmp/ppat_shard_4.json
+	dune exec bench/main.exe -- --compare /tmp/ppat_shard_serial.json /tmp/ppat_shard_2.json
+	dune exec bench/main.exe -- --compare /tmp/ppat_shard_serial.json /tmp/ppat_shard_4.json
+	dune exec bench/main.exe -- --serve 120 --zipf 1.1 --json /tmp/ppat_shard_serve_0.json
+	dune exec bench/main.exe -- --serve 120 --zipf 1.1 --sharded 2 --json /tmp/ppat_shard_serve_2.json
+	dune exec bench/main.exe -- --compare /tmp/ppat_shard_serve_0.json /tmp/ppat_shard_serve_2.json
+	dune exec bin/ppat.exe -- sweep sum_rows --budget 32 --workers 2 > /dev/null
+	@echo "shard: merged trajectories digest-identical at 1/2/4 workers; sharded sweep OK"
+
+# approximate-L2 drift validation: six bench apps plus seeded random
+# kernels under exact and approx pricing across sim_jobs {1,2,4}; exact
+# parallel runs must stay bit-identical to serial, approx runs must stay
+# inside the committed envelope (< 2% L2 hit-rate drift, zero drift on
+# every counter the L2 does not feed)
+l2-validate: build
+	dune exec bench/main.exe -- --l2-validate --json /tmp/ppat_l2_validate.json
+	@echo "l2-validate: exact bit-identical, approx inside the drift envelope"
+
 # bench regression gate: regenerate the perf trajectory (single app worker
 # so wall clocks are undistorted) and diff it against the frozen artifact
 # of the previous PR — once with default lowering and once with shuffle
@@ -118,8 +146,12 @@ bench-diff: build
 	dune exec bench/main.exe -- --compare BENCH_pr9_serve_baseline.json /tmp/ppat_serve_gate.json
 	dune exec bench/main.exe -- --sweep -j 4 --json /tmp/ppat_sweep_gate.json
 	dune exec bench/main.exe -- --compare BENCH_pr9_sweep.json /tmp/ppat_sweep_gate.json
+	dune exec bench/main.exe -- --sharded 2 -j 1 --best-of 3 --json /tmp/ppat_bench_shard_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr10_baseline.json /tmp/ppat_bench_shard_gate.json
+	PPAT_L2_MODE=approx PPAT_SIM_JOBS=4 dune exec bench/main.exe -- -j 1 --best-of 3 --json /tmp/ppat_bench_approx_gate.json
+	dune exec bench/main.exe -- --compare BENCH_pr10_baseline.json /tmp/ppat_bench_approx_gate.json
 
-check: build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep bench-diff
+check: build test smoke engines cost-models parallel bench-smoke report serve racecheck sweep shard l2-validate bench-diff
 
 bench:
 	dune exec bench/main.exe -- --json BENCH_run.json
@@ -134,6 +166,10 @@ bench-json: build
 	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --no-cache --json BENCH_pr9_serve_baseline.json
 	dune exec bench/main.exe -- --serve 200 --zipf 1.1 --json BENCH_pr9_serve.json
 	dune exec bench/main.exe -- --sweep -j 4 --json BENCH_pr9_sweep.json
+	dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr10_baseline.json
+	dune exec bench/main.exe -- --sharded 2 -j 1 --best-of 3 --json BENCH_pr10.json
+	PPAT_L2_MODE=approx PPAT_SIM_JOBS=4 dune exec bench/main.exe -- -j 1 --best-of 3 --json BENCH_pr10_approx.json
+	dune exec bench/main.exe -- --l2-validate --json BENCH_pr10_l2_validate.json
 
 clean:
 	dune clean

@@ -23,14 +23,26 @@
    order — each log is replayed through the sliced L2 and the provisional
    bytes moved from DRAM to L2 for every hit. The replayed line stream is
    exactly the stream a serial run would have produced, so every counter,
-   L2 included, is bit-identical to [jobs = 1]. *)
+   L2 included, is bit-identical to [jobs = 1].
+
+   The opt-in approximate mode ([Locked], PPAT_L2_MODE=approx) makes the
+   opposite trade: workers price directly through the shared table under
+   per-slice mutexes, dropping the log and the serial replay pass, and
+   accepting that under eviction pressure the interleaving of worker
+   streams perturbs recency order — a bounded hit-rate drift gated by
+   the validation harness (bench --l2-validate). *)
 
 type kind = Global | Shared
 
 (* flat group stream: [site; n; line_0 .. line_{n-1}; site'; n'; ...] *)
 type l2_log = { mutable log_buf : int array; mutable log_len : int }
 
-type sink = Direct | Log of l2_log
+(* [Locked] is the opt-in approximate fast path (Tuning.l2_mode): the
+   chunk prices globals directly against the shared sliced table under
+   per-slice mutexes — no log, no replay — trading bounded hit-rate
+   drift (tick-order interleaving under eviction pressure only) for
+   dropping the serial merge pass. See the module comment above. *)
+type sink = Direct | Log of l2_log | Locked
 
 type t = {
   dev : Device.t;
@@ -57,6 +69,36 @@ type t = {
 }
 
 let new_log () = { log_buf = Array.make 4096 0; log_len = 0 }
+
+(* ----- replay-log reuse -----
+
+   Logs can grow to megabytes on large launches (one int per deduped
+   line). They used to be allocated per chunk and dropped after the
+   merge, so every parallel launch re-grew them from 4 KB; the free list
+   below keeps the grown buffers alive across launches instead. Chunks
+   run on worker domains, so the list is mutex-protected — two ops per
+   chunk, far off the hot path. *)
+
+let log_pool : l2_log list ref = ref []
+let log_pool_lock = Mutex.create ()
+
+let acquire_log () =
+  Mutex.lock log_pool_lock;
+  let lg =
+    match !log_pool with
+    | lg :: rest ->
+      log_pool := rest;
+      lg
+    | [] -> new_log ()
+  in
+  Mutex.unlock log_pool_lock;
+  lg.log_len <- 0;
+  lg
+
+let release_log lg =
+  Mutex.lock log_pool_lock;
+  log_pool := lg :: !log_pool;
+  Mutex.unlock log_pool_lock
 
 let no_sites : int array = [||]
 
@@ -195,11 +237,16 @@ let flush t =
         stats.Stats.mem_insts <- stats.Stats.mem_insts +. 1.;
         stats.Stats.transactions <- stats.Stats.transactions +. trans;
         (match t.sink with
-         | Direct ->
+         | (Direct | Locked) as sink ->
            let hits =
              float_of_int
-               (Memory.cache_access_lines t.mem ~cap_lines:t.cap_lines
-                  ~slices:t.slices buf nlines)
+               (match sink with
+                | Locked ->
+                  Memory.cache_access_lines_locked t.mem
+                    ~cap_lines:t.cap_lines ~slices:t.slices buf nlines
+                | _ ->
+                  Memory.cache_access_lines t.mem ~cap_lines:t.cap_lines
+                    ~slices:t.slices buf nlines)
            in
            stats.Stats.bytes <- stats.Stats.bytes +. ((trans -. hits) *. t.tb);
            stats.Stats.l2_bytes <- stats.Stats.l2_bytes +. (hits *. t.tb);

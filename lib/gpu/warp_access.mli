@@ -30,8 +30,26 @@ type sink =
           the real L2 in deterministic order. This is how parallel workers
           keep every counter bit-identical to a serial run without sharing
           (or locking) the L2 table. *)
+  | Locked
+      (** opt-in approximate mode ([Tuning.l2_mode]): price global slots
+          directly against the shared sliced table under per-slice
+          mutexes — no log, no replay at merge. Bit-identical to exact
+          mode while the working set fits the L2; under eviction
+          pressure the interleaving of worker streams perturbs recency
+          order, a bounded hit-rate drift gated by the l2-validate
+          envelope. The memory's tables must be allocated first from a
+          serial context ({!Memory.l2_prepare}). *)
 
 val new_log : unit -> l2_log
+
+val acquire_log : unit -> l2_log
+(** Take a cleared log off the process-wide free list (or allocate one).
+    Grown buffers are kept across launches, so steady-state parallel
+    simulation stops re-growing megabyte logs from scratch. Thread-safe. *)
+
+val release_log : l2_log -> unit
+(** Return a log to the free list once its groups have been replayed. The
+    caller must not touch it afterwards. *)
 
 val create : ?sink:sink -> ?attr:Site_stats.t -> Device.t -> Memory.t -> Stats.t -> t
 (** Scratch bound to one simulation run: constants derived from the

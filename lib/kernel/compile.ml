@@ -3204,14 +3204,21 @@ let execute ?(jobs = 1) ?attr dev (c : t) : Stats.t =
        the merged result is reproducible for a given jobs value. Linear
        block ids walk the grid x-innermost, matching the serial nest. *)
     let nchunks = min nblocks (jobs * 4) in
+    let approx = !Ppat_gpu.Tuning.l2_mode = Ppat_gpu.Tuning.L2_approx in
+    (* the Locked sink prices straight through the shared table; its lazy
+       slice allocation must happen before the workers race to it *)
+    if approx then Memory.l2_prepare c.c_mem ~slices:dev.Device.l2_slices;
     let results =
       Ppat_parallel.pool_run ~jobs nchunks (fun ci ->
           Ppat_metrics.Metrics.span ~cat:"chunk" "sim chunk" (fun () ->
-              let log = Warp_access.new_log () in
-              let wattr = Option.map Site_stats.create_like attr in
-              let stats, sf, si, slots =
-                make_state ~sink:(Warp_access.Log log) ?attr:wattr ()
+              let sink, log =
+                if approx then (Warp_access.Locked, None)
+                else
+                  let log = Warp_access.acquire_log () in
+                  (Warp_access.Log log, Some log)
               in
+              let wattr = Option.map Site_stats.create_like attr in
+              let stats, sf, si, slots = make_state ~sink ?attr:wattr () in
               let lo = ci * nblocks / nchunks
               and hi = (ci + 1) * nblocks / nchunks in
               Ppat_metrics.Metrics.incr Engine_metrics.sim_chunks;
@@ -3223,8 +3230,10 @@ let execute ?(jobs = 1) ?attr dev (c : t) : Stats.t =
               done;
               (stats, wattr, log)))
     in
-    (* merge in chunk order: counters are additive; the L2 logs replay in
-       serial block order, so hit accounting matches jobs = 1 exactly *)
+    (* merge in chunk order: counters are additive; in exact mode the L2
+       logs then replay in serial block order, so hit accounting matches
+       jobs = 1 exactly. Approx chunks carry no log — their hit split is
+       already final. *)
     let stats = Stats.create () in
     Array.iter (fun (s, _, _) -> Stats.add stats s) results;
     (match attr with
@@ -3237,8 +3246,12 @@ let execute ?(jobs = 1) ?attr dev (c : t) : Stats.t =
     Ppat_metrics.Metrics.span ~cat:"replay" "l2 replay" (fun () ->
         Array.iter
           (fun (_, _, lg) ->
-            lines :=
-              !lines + Warp_access.replay_log ?attr dev c.c_mem stats lg)
+            match lg with
+            | None -> ()
+            | Some lg ->
+              lines :=
+                !lines + Warp_access.replay_log ?attr dev c.c_mem stats lg;
+              Warp_access.release_log lg)
           results);
     Ppat_metrics.Metrics.add Engine_metrics.replayed_l2_lines
       (float_of_int !lines);

@@ -523,16 +523,22 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
        the other domains idle; chunk boundaries depend only on [jobs], so
        the merged result is reproducible for a given jobs value *)
     let nchunks = min nblocks (jobs * 4) in
+    let approx = !Ppat_gpu.Tuning.l2_mode = Ppat_gpu.Tuning.L2_approx in
+    (* the Locked sink prices straight through the shared table; its lazy
+       slice allocation must happen before the workers race to it *)
+    if approx then Memory.l2_prepare mem ~slices:dev.Device.l2_slices;
     let results =
       Ppat_parallel.pool_run ~jobs nchunks (fun c ->
           Ppat_metrics.Metrics.span ~cat:"chunk" "sim chunk" (fun () ->
               let stats = Stats.create () in
               let wattr = Option.map Site_stats.create_like attr in
-              let log = Warp_access.new_log () in
-              let acc =
-                Warp_access.create ~sink:(Warp_access.Log log) ?attr:wattr
-                  dev mem stats
+              let sink, log =
+                if approx then (Warp_access.Locked, None)
+                else
+                  let log = Warp_access.acquire_log () in
+                  (Warp_access.Log log, Some log)
               in
+              let acc = Warp_access.create ~sink ?attr:wattr dev mem stats in
               let lo = c * nblocks / nchunks
               and hi = (c + 1) * nblocks / nchunks in
               Ppat_metrics.Metrics.incr Engine_metrics.sim_chunks;
@@ -544,8 +550,9 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
               (stats, wattr, log)))
     in
     (* merge in chunk order: counters (aggregate and per-site) are
-       additive; the L2 logs replay in serial block order, so hit
-       accounting matches jobs = 1 exactly *)
+       additive; in exact mode the L2 logs then replay in serial block
+       order, so hit accounting matches jobs = 1 exactly. Approx chunks
+       carry no log — their hit split is already final. *)
     let stats = Stats.create () in
     Array.iter (fun (s, _, _) -> Stats.add stats s) results;
     (match attr with
@@ -558,7 +565,11 @@ let run_reference ?(jobs = 1) ?attr (dev : Device.t) (mem : Memory.t)
     Ppat_metrics.Metrics.span ~cat:"replay" "l2 replay" (fun () ->
         Array.iter
           (fun (_, _, lg) ->
-            lines := !lines + Warp_access.replay_log ?attr dev mem stats lg)
+            match lg with
+            | None -> ()
+            | Some lg ->
+              lines := !lines + Warp_access.replay_log ?attr dev mem stats lg;
+              Warp_access.release_log lg)
           results);
     Ppat_metrics.Metrics.add Engine_metrics.replayed_l2_lines
       (float_of_int !lines);

@@ -16,7 +16,10 @@
 
 let max_jobs = 64
 
-let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+(* one worker per available core, clamped to the pool's hard cap; the old
+   hard-coded cap of 8 under-used larger hosts *)
+let default_jobs () =
+  max 1 (min max_jobs (Domain.recommended_domain_count ()))
 
 (* ----- the persistent pool ----- *)
 
@@ -119,6 +122,16 @@ let shutdown pool =
    alive at exit, so the first creation registers a shutdown hook. *)
 let global : pool option ref = ref None
 let global_lock = Mutex.create ()
+
+(* whether worker domains have been spawned. Unix.fork is only safe while
+   the process is single-domain (a forked child would wait forever on
+   stop-the-world handshakes with domains whose threads did not survive
+   the fork), so the shard layer refuses to fork once this is true. *)
+let pool_started () =
+  Mutex.lock global_lock;
+  let r = !global <> None in
+  Mutex.unlock global_lock;
+  r
 
 (* Grow the pool IN PLACE when a wider batch arrives. Tearing the old pool
    down first (shutdown + Domain.join) deadlocks under nesting: the joined

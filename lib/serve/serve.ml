@@ -611,7 +611,7 @@ let serve_stdin ?jobs t =
    with End_of_file -> ());
   Stdlib.flush Stdlib.stdout
 
-let serve_socket ?jobs t path =
+let serve_socket ?jobs ?(workers = 1) t path =
   let jobs = default_jobs jobs in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -622,26 +622,63 @@ let serve_socket ?jobs t path =
   Fun.protect ~finally:cleanup (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;
-      let stop = ref false in
-      while not !stop do
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (try
-           let eof = ref false in
-           while not (!eof || !stop) do
-             match input_line ic with
-             | line ->
-               let r, s = handle_line' t ~jobs line in
-               (match r with
-               | Some r ->
-                 output_string oc (Jsonx.to_string ~minify:true r);
-                 output_char oc '\n';
-                 Stdlib.flush oc
-               | None -> ());
-               if s then stop := true
-             | exception End_of_file -> eof := true
-           done
-         with Sys_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ()
-      done)
+      (* the per-process accept loop: connections one at a time, each with
+         the stdin line protocol; a shutdown op ends the loop *)
+      let accept_loop () =
+        let stop = ref false in
+        while not !stop do
+          let fd, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (try
+             let eof = ref false in
+             while not (!eof || !stop) do
+               match input_line ic with
+               | line ->
+                 let r, s = handle_line' t ~jobs line in
+                 (match r with
+                 | Some r ->
+                   output_string oc (Jsonx.to_string ~minify:true r);
+                   output_char oc '\n';
+                   Stdlib.flush oc
+                 | None -> ());
+                 if s then stop := true
+               | exception End_of_file -> eof := true
+             done
+           with Sys_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        done
+      in
+      if workers <= 1 then accept_loop ()
+      else begin
+        (* pre-fork: [workers] processes share the listening socket and
+           the kernel load-balances accepts across them. Forking must
+           happen while this process is still single-domain — a child
+           forked after the worker-domain pool exists would hang at its
+           first GC waiting on domains the fork discarded. Each child
+           carries its own copy-on-write caches (no cross-worker
+           sharing) and builds its own domain pool on demand. *)
+        if Ppat_parallel.pool_started () then
+          failwith
+            "serve: cannot fork socket workers after the worker-domain \
+             pool has started";
+        let pids =
+          Array.init workers (fun _ ->
+              match Unix.fork () with
+              | 0 ->
+                (try accept_loop () with _ -> ());
+                Unix._exit 0
+              | pid -> pid)
+        in
+        (* the first worker to exit (a shutdown op, or a crash) ends the
+           service: terminate the siblings and reap everyone *)
+        (try ignore (Unix.wait ()) with Unix.Unix_error _ -> ());
+        Array.iter
+          (fun pid ->
+            try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          pids;
+        Array.iter
+          (fun pid ->
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          pids
+      end)

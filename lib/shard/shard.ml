@@ -1,0 +1,259 @@
+(* Process-level fan-out: fork worker processes, stream one JSON payload
+   per worker back over a pipe, merge in worker-id order.
+
+   The domain pool (PR 5) parallelises one launch inside a process; this
+   layer parallelises across processes, which is the only way simulation
+   scales past one core on hosts where the container pins the runtime,
+   and the only fan-out whose workers cannot corrupt each other through
+   shared mutable state. Work is partitioned deterministically by a
+   stable per-item key, so the shard an item lands on depends on nothing
+   but the item and the worker count — merged trajectories are then
+   reproducible and digest-identical to an unsharded run.
+
+   Fork safety: Unix.fork keeps only the calling thread, but an OCaml 5
+   runtime with several live domains expects all of them at every
+   stop-the-world section — a forked child of a multi-domain parent
+   hangs on its first minor GC. [fork_shards] therefore refuses to run
+   once the domain pool has spawned; callers fork *first* and let each
+   child build its own pool. *)
+
+module J = Ppat_profile.Jsonx
+module Metrics = Ppat_metrics.Metrics
+
+let default_workers () = Ppat_parallel.default_jobs ()
+
+(* ----- deterministic partition -----
+
+   FNV-1a over the item's stable key (offset basis truncated to OCaml's
+   63-bit int; products wrap, which is deterministic on every 64-bit
+   platform). Hashtbl.hash would also be deterministic, but its
+   behaviour is a compiler implementation detail; a spelled-out hash
+   keeps committed shard artifacts stable across compiler upgrades. *)
+
+let shard_of ~workers key =
+  if workers <= 1 then 0
+  else begin
+    let h = ref 0x3bf29ce484222325 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x100000001b3)
+      key;
+    (!h land max_int) mod workers
+  end
+
+let partition ~workers key items =
+  Array.map (fun it -> shard_of ~workers (key it)) items
+
+(* ----- metrics ----- *)
+
+let m_forks = Metrics.counter "sharding.forks"
+let m_failures = Metrics.counter "sharding.failures"
+
+let m_worker_wall =
+  Metrics.histogram "sharding.worker_wall_seconds"
+    ~bounds:[| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 60. |]
+
+type worker_result = {
+  w_id : int;
+  w_wall : float;  (** worker wall clock, spawn to payload, seconds *)
+  w_payload : J.t;
+}
+
+(* ----- pipe collection -----
+
+   One pipe per worker; payloads can exceed the kernel pipe capacity, so
+   the parent must drain all pipes concurrently while the children run —
+   a sequential read-to-EOF per child would deadlock the moment two
+   children both fill their pipes. Select over the remaining read ends,
+   append whatever is ready, retire a pipe at EOF. *)
+
+let collect_pipes (fds : Unix.file_descr array) =
+  let n = Array.length fds in
+  let bufs = Array.init n (fun _ -> Buffer.create 4096) in
+  let eof_at = Array.make n 0. in
+  let open_fds = ref (Array.to_list (Array.mapi (fun i fd -> (i, fd)) fds)) in
+  let chunk = Bytes.create 65536 in
+  while !open_fds <> [] do
+    let ready, _, _ = Unix.select (List.map snd !open_fds) [] [] (-1.) in
+    open_fds :=
+      List.filter
+        (fun (i, fd) ->
+          if not (List.mem fd ready) then true
+          else begin
+            let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if k > 0 then begin
+              Buffer.add_subbytes bufs.(i) chunk 0 k;
+              true
+            end
+            else begin
+              Unix.close fd;
+              eof_at.(i) <- Unix.gettimeofday ();
+              false
+            end
+          end)
+        !open_fds
+  done;
+  (Array.map Buffer.contents bufs, eof_at)
+
+(* lowest-id failure wins so the surfaced error is deterministic *)
+let first_error errs =
+  match List.sort compare errs with
+  | [] -> None
+  | (_, msg) :: _ -> Some msg
+
+let describe_status = function
+  | Unix.WEXITED s -> Printf.sprintf "exited with status %d" s
+  | Unix.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
+
+let finish ~t0 ~pids ~raws ~eof_at ~unwrap =
+  let workers = Array.length pids in
+  let statuses =
+    Array.map
+      (fun pid ->
+        let _, st = Unix.waitpid [] pid in
+        st)
+      pids
+  in
+  let errs = ref [] in
+  let results =
+    Array.init workers (fun w ->
+        match statuses.(w) with
+        | Unix.WEXITED 0 -> (
+          match unwrap w raws.(w) with
+          | Ok payload ->
+            Some { w_id = w; w_wall = eof_at.(w) -. t0; w_payload = payload }
+          | Error msg ->
+            errs := (w, Printf.sprintf "shard worker %d: %s" w msg) :: !errs;
+            None)
+        | st ->
+          let detail =
+            (* a worker that failed cleanly serialised its own error *)
+            match J.of_string raws.(w) with
+            | Ok j -> (
+              match Option.bind (J.member "error" j) J.to_str with
+              | Some e -> ": " ^ e
+              | None -> "")
+            | Error _ -> if raws.(w) = "" then "" else ": " ^ String.trim raws.(w)
+          in
+          errs :=
+            (w, Printf.sprintf "shard worker %d %s%s" w (describe_status st) detail)
+            :: !errs;
+          None)
+  in
+  match first_error !errs with
+  | Some msg ->
+    Metrics.incr m_failures;
+    Error msg
+  | None ->
+    let results = Array.map Option.get results in
+    Metrics.add m_forks (float_of_int workers);
+    Array.iter (fun r -> Metrics.observe m_worker_wall r.w_wall) results;
+    Ok results
+
+(* write the whole string to fd, looping over short writes *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* ----- fork-based sharding ----- *)
+
+let fork_shards ~workers (f : int -> J.t) =
+  if workers <= 1 then begin
+    (* degenerate single shard: same merge shape, no fork — callers can
+       treat --sharded 1 uniformly *)
+    let t0 = Unix.gettimeofday () in
+    match f 0 with
+    | payload ->
+      Metrics.add m_forks 1.;
+      let r = { w_id = 0; w_wall = Unix.gettimeofday () -. t0; w_payload = payload } in
+      Metrics.observe m_worker_wall r.w_wall;
+      Ok [| r |]
+    | exception e -> Error (Printf.sprintf "shard worker 0 failed: %s" (Printexc.to_string e))
+  end
+  else if Ppat_parallel.pool_started () then
+    Error
+      "fork_shards: the domain pool is already running; fork worker \
+       processes before any parallel simulation starts"
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let pipes = Array.init workers (fun _ -> Unix.pipe ~cloexec:false ()) in
+    let pids =
+      Array.init workers (fun w ->
+          match Unix.fork () with
+          | 0 ->
+            (* child: only our write end stays open *)
+            Array.iteri
+              (fun i (r, wr) ->
+                Unix.close r;
+                if i <> w then Unix.close wr)
+              pipes;
+            let _, wr = pipes.(w) in
+            let code =
+              match f w with
+              | payload ->
+                write_all wr (J.to_string ~minify:true payload);
+                0
+              | exception e ->
+                write_all wr
+                  (J.to_string ~minify:true
+                     (J.Obj [ ("error", J.Str (Printexc.to_string e)) ]));
+                1
+            in
+            Unix.close wr;
+            (* _exit: the child must not flush the parent's buffered
+               channels or run its at_exit hooks (pool shutdown) *)
+            Unix._exit code
+          | pid -> pid)
+    in
+    Array.iter (fun (_, wr) -> Unix.close wr) pipes;
+    let raws, eof_at = collect_pipes (Array.map fst pipes) in
+    finish ~t0 ~pids ~raws ~eof_at ~unwrap:(fun w raw ->
+        match J.of_string raw with
+        | Ok j -> Ok j
+        | Error e ->
+          Error (Printf.sprintf "invalid payload (%s): %S" e
+                   (if String.length raw > 200 then String.sub raw 0 200 else raw))
+        | exception _ -> Error (Printf.sprintf "unreadable payload from worker %d" w))
+  end
+
+(* ----- exec-based sharding -----
+
+   Spawn an arbitrary command per worker and treat its stdout as the
+   payload. This variant is safe at any point in the process lifetime
+   (exec resets the child's runtime), which is what the test suite uses:
+   its own process already runs pool domains, so it cannot fork-only. *)
+
+let exec_shards ~workers (argv : int -> string array) =
+  let t0 = Unix.gettimeofday () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pipes = Array.init workers (fun _ -> Unix.pipe ~cloexec:true ()) in
+  let pids =
+    Array.init workers (fun w ->
+        let av = argv w in
+        let _, wr = pipes.(w) in
+        Unix.create_process av.(0) av devnull wr Unix.stderr)
+  in
+  Unix.close devnull;
+  Array.iter (fun (_, wr) -> Unix.close wr) pipes;
+  let raws, eof_at = collect_pipes (Array.map fst pipes) in
+  finish ~t0 ~pids ~raws ~eof_at ~unwrap:(fun _ raw ->
+      match J.of_string raw with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "invalid payload (%s)" e))
+
+(* the "sharding" trajectory group: worker count, per-worker wall clocks
+   (merge-order = worker id), and the parent's fan-out wall *)
+let sharding_json ~workers ~wall (results : worker_result array) =
+  J.Obj
+    [
+      ("workers", J.Int workers);
+      ( "worker_wall_seconds",
+        J.List (Array.to_list (Array.map (fun r -> J.number r.w_wall) results)) );
+      ("wall_seconds", J.number wall);
+    ]

@@ -1,0 +1,52 @@
+(** Process-level fan-out for the bench harness and the CLI.
+
+    Forks (or spawns) one worker process per shard, streams each
+    worker's JSON payload back over a pipe, and merges the payloads in
+    worker-id order — so the merged result is independent of worker
+    completion order. Items are routed to shards by a deterministic
+    hash of a stable per-item key, which is what makes sharded
+    trajectories digest-identical to unsharded runs. *)
+
+module J = Ppat_profile.Jsonx
+
+val default_workers : unit -> int
+(** One worker per available core (the pool's {!Ppat_parallel.default_jobs}). *)
+
+val shard_of : workers:int -> string -> int
+(** Deterministic shard of a stable key (FNV-1a, spelled out rather than
+    [Hashtbl.hash] so committed artifacts survive compiler upgrades).
+    Always 0 when [workers <= 1]. *)
+
+val partition : workers:int -> ('a -> string) -> 'a array -> int array
+(** Shard id per item, via [shard_of] of each item's key. *)
+
+type worker_result = {
+  w_id : int;
+  w_wall : float;  (** worker wall clock, spawn to payload EOF, seconds *)
+  w_payload : J.t;
+}
+
+val fork_shards :
+  workers:int -> (int -> J.t) -> (worker_result array, string) result
+(** Run [f w] in a forked child per worker [w]; each child serialises its
+    payload over a pipe and [Unix._exit]s. Results come back in worker-id
+    order regardless of completion order. A worker that raises, exits
+    non-zero, dies on a signal, or writes an unparseable payload turns the
+    whole call into [Error] naming that worker (lowest id wins), never a
+    hang. [workers <= 1] runs [f 0] in-process with the same result shape.
+
+    Must be called while the process is still single-domain: forking
+    after {!Ppat_parallel} has spawned pool workers is refused (the child
+    would hang at its first GC waiting for domains the fork discarded).
+    Children may freely build their own pools. *)
+
+val exec_shards :
+  workers:int -> (int -> string array) -> (worker_result array, string) result
+(** Like {!fork_shards} but spawns [argv w] per worker and treats the
+    command's stdout as its payload. Safe at any point in the process
+    lifetime (exec resets the child runtime) — the test suite uses this
+    from a process that already runs pool domains. *)
+
+val sharding_json : workers:int -> wall:float -> worker_result array -> J.t
+(** The trajectory's ["sharding"] group: worker count, per-worker wall
+    clocks in merge order, and the parent's total fan-out wall. *)

@@ -1,0 +1,233 @@
+(* Process-level sharding (Ppat_shard) and the approximate-L2 fast path.
+
+   The fork-based entry point cannot be exercised from this process — the
+   suite's other tests have already spawned pool domains, and forking a
+   multi-domain OCaml 5 runtime is exactly what [fork_shards] refuses to
+   do (a test below pins that refusal). The exec-based variant spawns
+   fresh processes, so merge-order independence and the failure paths are
+   driven through [exec_shards] with /bin/sh workers. *)
+
+module Shard = Ppat_shard.Shard
+module J = Ppat_profile.Jsonx
+module Stats = Ppat_gpu.Stats
+module Tuning = Ppat_gpu.Tuning
+module A = Ppat_apps
+module R = Ppat_harness.Runner
+
+let dev = Ppat_gpu.Device.k20c
+
+let has_infix affix s =
+  let la = String.length affix and ls = String.length s in
+  let rec go i = i + la <= ls && (String.sub s i la = affix || go (i + 1)) in
+  go 0
+
+(* ----- deterministic partition ----- *)
+
+let keys =
+  [ "sumRows"; "sumCols"; "hotspot"; "mandelbrot-c"; "qpscd"; "msmCluster" ]
+
+let test_shard_of_stable () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (k ^ " stable across calls")
+        (Shard.shard_of ~workers:4 k)
+        (Shard.shard_of ~workers:4 k);
+      let s = Shard.shard_of ~workers:4 k in
+      Alcotest.(check bool) (k ^ " in range") true (s >= 0 && s < 4);
+      Alcotest.(check int) (k ^ " single worker") 0 (Shard.shard_of ~workers:1 k))
+    keys;
+  (* the bench-suite names must not all collapse onto one shard *)
+  let distinct =
+    List.sort_uniq compare (List.map (Shard.shard_of ~workers:4) keys)
+  in
+  Alcotest.(check bool) "spreads over shards" true (List.length distinct > 1)
+
+let test_partition_covers () =
+  let items = Array.of_list keys in
+  let shards = Shard.partition ~workers:3 Fun.id items in
+  Alcotest.(check int) "one shard per item" (Array.length items)
+    (Array.length shards);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int) "partition agrees with shard_of"
+        (Shard.shard_of ~workers:3 items.(i))
+        s)
+    shards
+
+(* ----- exec-based fan-out ----- *)
+
+let sh script = [| "/bin/sh"; "-c"; script |]
+
+let test_merge_order_independent () =
+  (* worker 0 finishes last; the merged array must still be in worker-id
+     order with each payload under its own id *)
+  match
+    Shard.exec_shards ~workers:3 (fun w ->
+        if w = 0 then sh "sleep 0.4; printf '{\"w\": 0}'"
+        else sh (Printf.sprintf "printf '{\"w\": %d}'" w))
+  with
+  | Error e -> Alcotest.failf "exec_shards failed: %s" e
+  | Ok rs ->
+    Alcotest.(check int) "three results" 3 (Array.length rs);
+    Array.iteri
+      (fun i (r : Shard.worker_result) ->
+        Alcotest.(check int) "id order" i r.Shard.w_id;
+        Alcotest.(check (option int)) "payload under its id" (Some i)
+          (Option.bind (J.member "w" r.Shard.w_payload) J.to_int))
+      rs
+
+let test_failing_worker_named () =
+  match
+    Shard.exec_shards ~workers:3 (fun w ->
+        if w = 1 then sh "exit 3" else sh (Printf.sprintf "printf '{\"w\": %d}'" w))
+  with
+  | Ok _ -> Alcotest.fail "a worker exited 3 but the merge reported Ok"
+  | Error e ->
+    let has s = has_infix s e in
+    Alcotest.(check bool) ("names worker 1: " ^ e) true (has "worker 1");
+    Alcotest.(check bool) ("names status 3: " ^ e) true (has "status 3")
+
+let test_malformed_payload () =
+  match
+    Shard.exec_shards ~workers:2 (fun w ->
+        if w = 1 then sh "printf 'not json'" else sh "printf '{}'")
+  with
+  | Ok _ -> Alcotest.fail "a malformed payload merged as Ok"
+  | Error e ->
+    Alcotest.(check bool) ("names worker 1: " ^ e) true
+      (has_infix "worker 1" e)
+
+let test_fork_refused_after_pool () =
+  (* make sure the pool is really up, then check fork_shards refuses *)
+  ignore (Ppat_parallel.pool_run ~jobs:2 4 (fun i -> i * i));
+  Alcotest.(check bool) "pool is running" true (Ppat_parallel.pool_started ());
+  (match Shard.fork_shards ~workers:2 (fun _ -> J.Obj []) with
+  | Ok _ -> Alcotest.fail "fork_shards forked a multi-domain process"
+  | Error e ->
+    Alcotest.(check bool) ("refusal names the pool: " ^ e) true
+      (has_infix "pool" e));
+  (* the degenerate single shard runs in-process and is always allowed *)
+  match Shard.fork_shards ~workers:1 (fun w -> J.Obj [ ("w", J.Int w) ]) with
+  | Error e -> Alcotest.failf "single-shard run failed: %s" e
+  | Ok rs ->
+    Alcotest.(check int) "one result" 1 (Array.length rs);
+    Alcotest.(check (option int)) "ran worker 0" (Some 0)
+      (Option.bind (J.member "w" rs.(0).Shard.w_payload) J.to_int)
+
+(* ----- PPAT_L2_MODE parsing ----- *)
+
+let test_parse_l2_mode () =
+  let ok s v =
+    match Tuning.parse_l2_mode ~name:"PPAT_L2_MODE" s with
+    | Ok m -> Alcotest.(check bool) (s ^ " parses") true (m = v)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "exact" Tuning.L2_exact;
+  ok "approx" Tuning.L2_approx;
+  ok "Approximate" Tuning.L2_approx;
+  match Tuning.parse_l2_mode ~name:"PPAT_L2_MODE" "fast" with
+  | Ok _ -> Alcotest.fail "accepted PPAT_L2_MODE=fast"
+  | Error e ->
+    let has s = has_infix s e in
+    Alcotest.(check bool) ("error names the variable: " ^ e) true
+      (has "PPAT_L2_MODE");
+    Alcotest.(check bool) ("error lists the choices: " ^ e) true
+      (has "exact" && has "approx")
+
+(* ----- approximate L2 against exact ----- *)
+
+let with_mode m f =
+  let old = !Tuning.l2_mode in
+  Tuning.l2_mode := m;
+  Fun.protect ~finally:(fun () -> Tuning.l2_mode := old) f
+
+let run_app ~sim_jobs (app : A.App.t) =
+  R.run_gpu ~sim_jobs ~params:app.A.App.params dev app.A.App.prog
+    Ppat_core.Strategy.Auto
+    (A.App.input_data app)
+
+let buf_equal (a : Ppat_ir.Host.buf) (b : Ppat_ir.Host.buf) =
+  match (a, b) with
+  | Ppat_ir.Host.F x, Ppat_ir.Host.F y -> compare x y = 0
+  | Ppat_ir.Host.I x, Ppat_ir.Host.I y -> x = y
+  | _ -> false
+
+let data_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, b1) (n2, b2) -> String.equal n1 n2 && buf_equal b1 b2)
+       a b
+
+let check_envelope name (app : A.App.t) ~sim_jobs =
+  let exact = with_mode Tuning.L2_exact (fun () -> run_app ~sim_jobs app) in
+  let approx = with_mode Tuning.L2_approx (fun () -> run_app ~sim_jobs app) in
+  Alcotest.(check bool) (name ^ ": data identical") true
+    (data_equal exact.R.data approx.R.data);
+  Alcotest.(check bool)
+    (name ^ ": counters the L2 does not feed are identical")
+    true
+    (Stats.l2_untouched_equal ~exact:exact.R.stats ~approx:approx.R.stats);
+  let drift =
+    Float.abs (Stats.l2_hit_rate exact.R.stats -. Stats.l2_hit_rate approx.R.stats)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: hit-rate drift %.4f within 0.02" name drift)
+    true (drift <= 0.02)
+
+let test_approx_serial_bit_identical () =
+  (* sim_jobs = 1 takes the serial Direct path in both modes *)
+  let app = A.Sum_rows_cols.sum_rows ~r:256 ~c:64 () in
+  let exact = with_mode Tuning.L2_exact (fun () -> run_app ~sim_jobs:1 app) in
+  let approx = with_mode Tuning.L2_approx (fun () -> run_app ~sim_jobs:1 app) in
+  Alcotest.(check bool) "stats bit-identical" true
+    (Stats.equal exact.R.stats approx.R.stats);
+  Alcotest.(check bool) "data identical" true
+    (data_equal exact.R.data approx.R.data)
+
+let test_approx_fits_l2_bit_identical () =
+  (* 256x64 f32 is ~64 KB — far under the K20c's L2, so per-slice locked
+     pricing is pure set-membership and must match exact bit for bit even
+     under parallel workers *)
+  let app = A.Sum_rows_cols.sum_rows ~r:256 ~c:64 () in
+  let exact = with_mode Tuning.L2_exact (fun () -> run_app ~sim_jobs:4 app) in
+  let approx = with_mode Tuning.L2_approx (fun () -> run_app ~sim_jobs:4 app) in
+  Alcotest.(check bool) "stats bit-identical while the set fits" true
+    (Stats.equal exact.R.stats approx.R.stats);
+  Alcotest.(check bool) "data identical" true
+    (data_equal exact.R.data approx.R.data)
+
+let test_approx_envelope_parallel () =
+  (* larger footprints under parallel workers: exact equality is no
+     longer guaranteed (tick interleaving perturbs eviction order), but
+     the committed envelope must hold *)
+  check_envelope "sumRows-1024x256"
+    (A.Sum_rows_cols.sum_rows ~r:1024 ~c:256 ())
+    ~sim_jobs:4;
+  check_envelope "msmCluster"
+    (A.Msm_cluster.app ~frames:256 ~centers:16 ~dims:16 ())
+    ~sim_jobs:4
+
+let tests =
+  [
+    Alcotest.test_case "shard_of is deterministic and in range" `Quick
+      test_shard_of_stable;
+    Alcotest.test_case "partition covers every item" `Quick
+      test_partition_covers;
+    Alcotest.test_case "merge order is worker-id order" `Quick
+      test_merge_order_independent;
+    Alcotest.test_case "failing worker yields a named error" `Quick
+      test_failing_worker_named;
+    Alcotest.test_case "malformed payload yields an error" `Quick
+      test_malformed_payload;
+    Alcotest.test_case "fork refused once the pool runs" `Quick
+      test_fork_refused_after_pool;
+    Alcotest.test_case "PPAT_L2_MODE parses and fails fast" `Quick
+      test_parse_l2_mode;
+    Alcotest.test_case "approx L2 serial is bit-identical" `Quick
+      test_approx_serial_bit_identical;
+    Alcotest.test_case "approx L2 is bit-identical while the set fits" `Quick
+      test_approx_fits_l2_bit_identical;
+    Alcotest.test_case "approx L2 parallel stays in the envelope" `Slow
+      test_approx_envelope_parallel;
+  ]
